@@ -1,0 +1,85 @@
+// Ablation: interference response — multi-tree failover vs in-tree
+// reparenting.
+//
+// When a node's uplink degrades it can either (a) re-home inside the
+// single HARP hierarchy (reparent: release old link, negotiate at the new
+// parent) or (b) fail over to a pre-provisioned secondary hierarchy (the
+// non-tree extension). This bench measures the HARP messages each
+// response costs, over the leaf nodes of random meshes.
+//
+// Expected shape: with a COLD standby the first failovers pay the
+// secondary hierarchy's build-out; a hot standby (1-2 pre-reserved cells
+// per link) drops failover to a handful of local messages — cheaper and
+// more predictable than reparenting inside the loaded primary hierarchy.
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "harp/engine.hpp"
+#include "mesh/multi_tree.hpp"
+#include "net/traffic.hpp"
+
+using namespace harp;
+
+int main() {
+  net::SlotframeConfig frame;
+  frame.length = 397;   // roomy split: both hierarchies stay admissible
+  frame.data_slots = 360;
+
+  std::printf("Ablation: failover (two hierarchies) vs reparent (one)\n");
+  std::printf("(random 30-node meshes; every leaf with a diverse backup "
+              "uplink reacts to interference)\n\n");
+  bench::Table table({"standby", "fail-msgs", "fail-ok", "repar-msgs",
+                      "repar-ok"},
+                     13);
+
+  for (int standby = 0; standby <= 2; ++standby) {
+    Stats failover_msgs, reparent_msgs;
+    int failover_ok = 0, reparent_ok = 0, considered = 0;
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      Rng rng(seed);
+      const auto graph = mesh::random_mesh(30, rng);
+      std::vector<net::Task> tasks;
+      for (NodeId v = 1; v < graph.size(); ++v) {
+        tasks.push_back(
+            {.id = v, .source = v, .period_slots = 397, .echo = true});
+      }
+      mesh::MultiTreeHarp multi(graph, tasks, {frame, 0.35, 0, standby});
+      const auto& primary = multi.topology(mesh::Tree::kPrimary);
+      const auto& secondary = multi.topology(mesh::Tree::kSecondary);
+      core::HarpEngine single(
+          primary, net::derive_traffic(primary, tasks, frame), frame, tasks);
+
+      for (NodeId v = 1; v < primary.size(); ++v) {
+        if (!primary.is_leaf(v)) continue;
+        if (secondary.parent(v) == primary.parent(v)) continue;
+        ++considered;
+
+        const auto f = multi.failover(v);
+        if (f.satisfied) {
+          ++failover_ok;
+          failover_msgs.add(static_cast<double>(f.messages));
+          multi.failover(v);  // restore for the next measurement
+        }
+
+        const NodeId home = primary.parent(v);
+        const auto r = single.reparent_leaf(v, secondary.parent(v));
+        if (r.satisfied()) {
+          ++reparent_ok;
+          reparent_msgs.add(static_cast<double>(r.total_messages()));
+          single.reparent_leaf(v, home);  // move back for the next event
+        }
+      }
+    }
+    table.row({std::to_string(standby),
+               failover_msgs.empty() ? "-" : bench::fmt(failover_msgs.mean(), 1),
+               bench::pct(static_cast<double>(failover_ok) /
+                          std::max(considered, 1)),
+               reparent_msgs.empty() ? "-" : bench::fmt(reparent_msgs.mean(), 1),
+               bench::pct(static_cast<double>(reparent_ok) /
+                          std::max(considered, 1))});
+  }
+  table.print();
+  std::printf("\nstandby = hot-standby cells per secondary link; msgs = "
+              "HARP messages per interference response.\n");
+  return 0;
+}

@@ -1,0 +1,115 @@
+// Experiment E8 — Fig. 3 ablation: layered resource interfaces vs a
+// single monolithic rectangle per subtree.
+//
+// The paper motivates the layered interface with Fig. 3: abstracting a
+// whole subtree as one rectangle forces the routing-compliant order to
+// leave idle (wasted) cells. Here we quantify that: for random topologies
+// we compose interfaces both ways and compare the cells each reserves at
+// the gateway against the task set's actual demand.
+//
+// Expected shape: the monolithic abstraction reserves severalfold more
+// idle cells (the white areas of Fig. 3) — cells no other subtree can
+// use — and the gap persists across depths; the layered design's waste
+// stays a modest fraction.
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "harp/compose.hpp"
+#include "harp/interface_gen.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+
+using namespace harp;
+
+namespace {
+
+/// Gateway uplink super-partition size with LAYERED interfaces: sum over
+/// layers of the composed component's slots; cells = sum of areas.
+struct Cost {
+  std::int64_t slots{0};
+  std::int64_t cells{0};
+};
+
+Cost layered_cost(const net::Topology& topo, const net::TrafficMatrix& traffic,
+                  int channels) {
+  const auto ifs =
+      core::generate_interfaces(topo, traffic, Direction::kUp, channels);
+  Cost cost;
+  for (int layer : ifs.layers(net::Topology::gateway())) {
+    const auto c = ifs.component(net::Topology::gateway(), layer);
+    cost.slots += c.slots;
+    cost.cells += c.cells();
+  }
+  return cost;
+}
+
+/// Monolithic variant: every subtree reports ONE rectangle — the slots of
+/// all its layers concatenated (compliant order forces sequential layers
+/// inside the block), channels = the widest layer. The gateway composes
+/// its children's rectangles once.
+Cost monolithic_cost(const net::Topology& topo,
+                     const net::TrafficMatrix& traffic, int channels) {
+  const auto ifs =
+      core::generate_interfaces(topo, traffic, Direction::kUp, channels);
+  std::vector<core::ChildComponent> blocks;
+  for (NodeId child : topo.children(net::Topology::gateway())) {
+    core::ResourceComponent block;
+    if (topo.is_leaf(child)) continue;
+    for (int layer : ifs.layers(child)) {
+      const auto c = ifs.component(child, layer);
+      block.slots += c.slots;
+      block.channels = std::max(block.channels, c.channels);
+    }
+    if (!block.empty()) blocks.push_back({child, block});
+  }
+  // Links from the gateway to its children form one more row.
+  core::ResourceComponent own =
+      core::own_layer_component(topo, traffic, Direction::kUp, 0);
+  if (!own.empty()) blocks.push_back({net::Topology::gateway(), own});
+  const auto composed = core::compose_components(blocks, channels);
+  return {composed.composite.slots, composed.composite.cells()};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Ablation (Fig. 3): layered interfaces vs monolithic blocks\n");
+  std::printf("(uplink super-partition cost at the gateway; 20 random "
+              "topologies per row; demand = subtree sizes)\n\n");
+  bench::Table table({"layers", "demand", "lay-cells", "mono-cells",
+                      "lay-waste", "mono-waste"},
+                     13);
+
+  bench::Timer timer;
+  for (int depth : {3, 4, 5, 6, 8}) {
+    Stats demand_cells, lay_cells, mono_cells, lay_waste, mono_waste;
+    for (int t = 0; t < 20; ++t) {
+      Rng rng(500 + static_cast<std::uint64_t>(t) * 7 +
+              static_cast<std::uint64_t>(depth));
+      const auto topo = net::random_tree(
+          {.num_nodes = 50, .num_layers = depth, .max_children = 4}, rng);
+      const auto tasks = net::uniform_echo_tasks(topo, 199);
+      net::SlotframeConfig frame;
+      const auto traffic = net::derive_traffic(topo, tasks, frame);
+      std::int64_t demand = 0;
+      for (NodeId v = 1; v < topo.size(); ++v) demand += traffic.uplink(v);
+
+      const Cost lay = layered_cost(topo, traffic, 16);
+      const Cost mono = monolithic_cost(topo, traffic, 16);
+      demand_cells.add(static_cast<double>(demand));
+      lay_cells.add(static_cast<double>(lay.cells));
+      mono_cells.add(static_cast<double>(mono.cells));
+      lay_waste.add(static_cast<double>(lay.cells - demand) /
+                    static_cast<double>(lay.cells));
+      mono_waste.add(static_cast<double>(mono.cells - demand) /
+                     static_cast<double>(mono.cells));
+    }
+    table.row({std::to_string(depth), bench::fmt(demand_cells.mean(), 0),
+               bench::fmt(lay_cells.mean(), 0), bench::fmt(mono_cells.mean(), 0),
+               bench::pct(lay_waste.mean()), bench::pct(mono_waste.mean())});
+  }
+  table.print();
+  std::printf("\nwaste = fraction of reserved cells no link needs.\n");
+  std::printf("[%0.1f s]\n", timer.seconds());
+  return 0;
+}

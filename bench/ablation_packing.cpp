@@ -1,0 +1,91 @@
+// Experiment E9 — packing-heuristic ablation for Alg. 1.
+//
+// The paper picks the best-fit skyline heuristic for resource component
+// composition, citing its quality/efficiency balance. This bench compares
+// it against the classic shelf algorithms (FFDH, NFDH) and Bottom-Left on
+// random instances shaped like HARP compositions (few, small rectangles)
+// and on larger stress instances: achieved strip height relative to the
+// area/height lower bound, plus runtime.
+//
+// Expected shape: skyline dominates or ties the shelf heuristics on
+// quality at comparable speed; Bottom-Left is competitive on quality but
+// an order of magnitude slower on large instances.
+#include <functional>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "packing/bottom_left.hpp"
+#include "packing/shelf.hpp"
+#include "packing/skyline.hpp"
+#include "packing/validate.hpp"
+
+using namespace harp;
+using packing::Dim;
+using packing::Rect;
+
+namespace {
+
+struct Algo {
+  const char* name;
+  std::function<packing::StripResult(std::vector<Rect>, Dim)> run;
+};
+
+struct Instance {
+  const char* name;
+  std::size_t count;
+  Dim max_w, max_h;
+  Dim strip;
+};
+
+}  // namespace
+
+int main() {
+  const Algo algos[] = {
+      {"skyline", packing::pack_strip},
+      {"FFDH", packing::pack_ffdh},
+      {"NFDH", packing::pack_nfdh},
+      {"bottom-left", packing::pack_bottom_left},
+  };
+  const Instance instances[] = {
+      {"harp-small (n=6, 16ch)", 6, 4, 20, 16},
+      {"harp-wide (n=12, 16ch)", 12, 8, 12, 16},
+      {"mixed (n=50)", 50, 10, 10, 24},
+      {"stress (n=300)", 300, 12, 8, 32},
+  };
+  constexpr int kTrials = 40;
+
+  std::printf("Ablation: strip-packing heuristics for Alg. 1\n");
+  std::printf("(quality = achieved height / lower bound, averaged over %d "
+              "random instances)\n\n",
+              kTrials);
+  bench::Table table(
+      {"instance", "algo", "quality", "time(us)"}, 24);
+
+  for (const Instance& inst : instances) {
+    for (const Algo& algo : algos) {
+      Stats quality;
+      bench::Timer timer;
+      for (int trial = 0; trial < kTrials; ++trial) {
+        Rng rng(900 + static_cast<std::uint64_t>(trial));
+        std::vector<Rect> rects;
+        for (std::size_t i = 0; i < inst.count; ++i) {
+          rects.push_back({static_cast<Dim>(rng.between(1, inst.max_w)),
+                           static_cast<Dim>(rng.between(1, inst.max_h)), i});
+        }
+        const Dim lb = packing::strip_height_lower_bound(rects, inst.strip);
+        const auto result = algo.run(rects, inst.strip);
+        HARP_ASSERT(packing::validate_packing(result.placements, inst.strip,
+                                              result.height, &rects)
+                        .empty());
+        quality.add(static_cast<double>(result.height) /
+                    static_cast<double>(std::max<Dim>(lb, 1)));
+      }
+      table.row({inst.name, algo.name, bench::fmt(quality.mean(), 3),
+                 bench::fmt(timer.seconds() * 1e6 / kTrials, 1)});
+    }
+  }
+  table.print();
+  return 0;
+}

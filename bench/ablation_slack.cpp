@@ -1,0 +1,74 @@
+// Ablation: provisioning headroom (own_slack) — the locality/overhead
+// trade-off behind Sec. V's "idle cells available within the partition".
+//
+// Sweeps the per-link reservation headroom and measures, over a series of
+// +1 demand events on the testbed network: how many events resolve
+// locally (zero HARP messages), the mean messages per event, and the cost
+// — total cells reserved beyond the true demand. This quantifies design
+// choice 4 of DESIGN.md: headroom buys adjustment locality with bandwidth.
+//
+// Expected shape: slack 0 escalates nearly every event; one spare cell per
+// link absorbs most; two absorbs nearly all; reserved-cell overhead grows
+// linearly with slack.
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "harp/engine.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+
+using namespace harp;
+
+int main() {
+  net::SlotframeConfig frame;
+  frame.length = 397;  // roomy frame so every slack level bootstraps
+  frame.data_slots = 360;
+
+  std::printf("Ablation: provisioning headroom (own_slack)\n");
+  std::printf("(testbed topology, uniform echo tasks; 30 random +1 demand "
+              "events per engine)\n\n");
+  bench::Table table({"slack", "local", "msgs/event", "reserved", "demand"},
+                     13);
+
+  for (int slack = 0; slack <= 3; ++slack) {
+    const auto topo = net::testbed_tree();
+    const auto tasks = net::uniform_echo_tasks(topo, frame.length);
+    core::HarpEngine engine(topo, tasks, frame, {.own_slack = slack});
+
+    // Reserved cells = sum over scheduling partitions of their size.
+    std::int64_t reserved = 0;
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      for (const auto& row : engine.partitions().rows(dir)) {
+        if (row.layer == engine.topology().link_layer(row.node)) {
+          reserved += row.part.comp.cells();
+        }
+      }
+    }
+    const std::int64_t demand = engine.traffic().total_cells();
+
+    Rng rng(77);
+    int local = 0, total = 0;
+    Stats msgs;
+    for (int event = 0; event < 30; ++event) {
+      const NodeId child = static_cast<NodeId>(
+          rng.between(1, static_cast<int>(topo.size()) - 1));
+      const Direction dir =
+          rng.chance(0.5) ? Direction::kUp : Direction::kDown;
+      const int cur = engine.traffic().demand(child, dir);
+      const auto r = engine.request_demand(child, dir, cur + 1);
+      if (!r.satisfied) continue;
+      ++total;
+      msgs.add(static_cast<double>(r.messages.size()));
+      if (r.messages.empty()) ++local;
+    }
+
+    table.row({std::to_string(slack),
+               bench::pct(static_cast<double>(local) / std::max(total, 1)),
+               bench::fmt(msgs.mean(), 1), std::to_string(reserved),
+               std::to_string(demand)});
+  }
+  table.print();
+  std::printf("\nlocal = events absorbed with zero HARP messages; reserved "
+              "= scheduling-partition cells vs true demand.\n");
+  return 0;
+}

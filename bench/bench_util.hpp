@@ -1,0 +1,70 @@
+// Shared helpers for the experiment harnesses: aligned table printing and
+// simple timing. Each bench binary regenerates one table or figure of the
+// paper (see DESIGN.md's experiment index) and prints the series to
+// stdout; EXPERIMENTS.md records paper-vs-measured.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace harp::bench {
+
+/// Fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers, int col_width = 12)
+      : headers_(std::move(headers)), width_(col_width) {}
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print() const {
+    for (const auto& h : headers_) std::printf("%-*s", width_, h.c_str());
+    std::printf("\n");
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      for (int c = 0; c < width_ - 2; ++c) std::printf("-");
+      std::printf("  ");
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) {
+      for (const auto& cell : r) std::printf("%-*s", width_, cell.c_str());
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  int width_;
+};
+
+inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string pct(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f%%", precision, 100.0 * v);
+  return buf;
+}
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace harp::bench

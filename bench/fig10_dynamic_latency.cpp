@@ -1,0 +1,78 @@
+// Experiment E2 — Fig. 10: end-to-end latency of one node while its data
+// rate steps from 1 to 1.5 to ~3 packets/slotframe.
+//
+// Setup per the paper (Sec. VI-C): the testbed network runs the uniform
+// 2-second echo workload; at runtime the chosen node's task rate is
+// raised twice. The first step fits the idle cells of its parent's
+// partition (resolved locally); the second exhausts them and triggers a
+// partition adjustment request up the tree.
+//
+// Expected shape: latency near one slotframe at rate 1; a small bump at
+// the first step that settles quickly; a larger, longer spike at the
+// second step (adjustment takes management-plane round trips), settling
+// back near one slotframe once the new partition is granted.
+#include "bench/bench_util.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "sim/harp_sim.hpp"
+
+using namespace harp;
+
+namespace {
+
+/// Runs `frames` slotframes and prints one latency sample per bucket.
+void trace(sim::HarpSimulation& sim, NodeId node, int frames, int bucket,
+           bench::Table& table, const char* phase) {
+  for (int f = 0; f < frames; f += bucket) {
+    sim.data().metrics().clear();
+    sim.run_frames(static_cast<AbsoluteSlot>(bucket));
+    const auto& lat = sim.metrics().node_latency(node);
+    table.row({bench::fmt(sim.now_seconds(), 1),
+               lat.empty() ? "-" : bench::fmt(lat.mean()),
+               lat.empty() ? "-" : bench::fmt(lat.max()),
+               std::to_string(lat.count()), phase});
+  }
+}
+
+}  // namespace
+
+int main() {
+  const net::Topology topo = net::testbed_tree();
+  net::SlotframeConfig frame;
+  frame.data_slots = 190;
+  const NodeId kNode = 15;  // layer-3 relay, the paper's Node 15 analogue
+
+  const auto tasks = net::uniform_echo_tasks(topo, frame.length);
+  sim::HarpSimulation::Options options{frame};
+  options.own_slack = 1;  // idle cells per partition, as on the testbed
+  options.seed = 15;
+  options.queue_capacity = 512;
+  sim::HarpSimulation sim(topo, tasks, options);
+  sim.bootstrap();
+
+  std::printf("Fig. 10: node %u end-to-end latency under rate steps\n", kNode);
+  std::printf("(rate 1 -> 1.5 -> 3 pkt/slotframe; slotframe %.2f s)\n\n",
+              frame.frame_seconds());
+  bench::Table table({"time(s)", "avg-lat(s)", "max-lat(s)", "pkts", "phase"});
+
+  bench::Timer timer;
+  trace(sim, kNode, 24, 4, table, "rate=1");
+
+  const auto s1 = sim.change_task_rate(kNode, 133);  // 1.5 pkt/slotframe
+  trace(sim, kNode, 24, 4, table, "rate=1.5");
+
+  const auto s2 = sim.change_task_rate(kNode, 66);  // ~3 pkt/slotframe
+  trace(sim, kNode, 144, 8, table, "rate=3");
+
+  table.print();
+  std::printf("\nstep 1 (1 -> 1.5): %zu HARP msgs, %.2f s, %llu slotframes"
+              " (local when 0 msgs)\n",
+              s1.harp_messages, s1.elapsed_seconds,
+              static_cast<unsigned long long>(s1.elapsed_slotframes));
+  std::printf("step 2 (1.5 -> 3): %zu HARP msgs, %.2f s, %llu slotframes"
+              " (partition adjustment)\n",
+              s2.harp_messages, s2.elapsed_seconds,
+              static_cast<unsigned long long>(s2.elapsed_slotframes));
+  std::printf("[%0.1f s]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Experiment E6 — Fig. 12: dynamic adjustment overhead per layer,
+// APaS (centralized) vs HARP (hierarchical).
+//
+// Setup per the paper (Sec. VII-B): networks with 81 nodes and 10 layers;
+// after the static phase, each node's link demand is increased to trigger
+// the dynamic path, and we count the management packets needed to
+// complete the adjustment, grouped by the requesting link's layer.
+// HARP packets = the child's request + the final cell update (2) plus the
+// PUT-intf/PUT-part messages; APaS = hop-enumerated 3l-1 round trip
+// through the root.
+//
+// Expected shape: APaS grows linearly in the layer (3l-1); HARP stays
+// nearly flat and low because most requests are absorbed by the parent's
+// idle cells or a one-level adjustment.
+#include <map>
+
+#include "bench/bench_util.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "harp/engine.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "schedulers/apas.hpp"
+
+using namespace harp;
+
+int main() {
+  constexpr int kTopologies = 10;
+
+  net::SlotframeConfig frame;
+  frame.length = 397;  // roomier slotframe so 10-layer demand fits
+  frame.data_slots = 360;
+
+  std::printf("Fig. 12: adjustment overhead per layer, APaS vs HARP\n");
+  std::printf("(%d random 81-node 10-layer topologies, +1 cell per link)\n\n",
+              kTopologies);
+
+  std::map<int, Stats> harp_pkts, apas_pkts;
+  bench::Timer timer;
+
+  for (int t = 0; t < kTopologies; ++t) {
+    Rng rng(31 + static_cast<std::uint64_t>(t));
+    const auto topo = net::random_tree(
+        {.num_nodes = 81, .num_layers = 10, .max_children = 4}, rng);
+    // Light uniform load so both systems admit every +1 increase.
+    net::TrafficMatrix traffic(topo.size());
+    for (NodeId v = 1; v < topo.size(); ++v) {
+      traffic.set_uplink(v, 1);
+      traffic.set_downlink(v, 1);
+    }
+    core::HarpEngine harp_engine(topo, traffic, frame, {},
+                                 {.own_slack = 2});
+    sched::ApasScheduler apas(topo, traffic, frame);
+
+    for (NodeId v = 1; v < topo.size(); ++v) {
+      const int layer = topo.node_layer(v);
+      const int cur = harp_engine.traffic().uplink(v);
+
+      const auto hr = harp_engine.request_demand(v, Direction::kUp, cur + 1);
+      if (hr.satisfied) {
+        // Request from the affected node to its parent + the final cell
+        // update, plus the HARP partition messages.
+        harp_pkts[layer].add(2.0 + static_cast<double>(hr.messages.size()));
+      }
+      const auto ar = apas.request_demand(v, Direction::kUp, cur + 1);
+      if (ar.satisfied) {
+        apas_pkts[layer].add(static_cast<double>(ar.packets()));
+      }
+    }
+  }
+
+  bench::Table table({"layer", "APaS-pkts", "HARP-pkts", "3l-1"});
+  for (const auto& [layer, stats] : apas_pkts) {
+    const auto it = harp_pkts.find(layer);
+    table.row({std::to_string(layer), bench::fmt(stats.mean(), 1),
+               it == harp_pkts.end() ? "-" : bench::fmt(it->second.mean(), 1),
+               std::to_string(3 * layer - 1)});
+  }
+  table.print();
+  std::printf("\n[%0.1f s]\n", timer.seconds());
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Experiment E10 — microbenchmarks (google-benchmark): throughput of the
+// algorithmic kernels HARP runs on constrained devices — skyline strip
+// packing, MaxRects feasibility packing, Alg. 1 composition, Alg. 2
+// adjustment — plus whole-engine bootstrap and a dynamic request.
+//
+// These bound the on-node compute cost the paper argues is affordable for
+// class CC2650 hardware (composition inputs are single-digit rectangle
+// counts; everything here is microseconds).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "harp/adjustment.hpp"
+#include "harp/compose.hpp"
+#include "harp/engine.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "packing/maxrects.hpp"
+#include "packing/skyline.hpp"
+
+using namespace harp;
+
+namespace {
+
+std::vector<packing::Rect> random_rects(std::uint64_t seed, std::size_t n,
+                                        packing::Dim max_w,
+                                        packing::Dim max_h) {
+  Rng rng(seed);
+  std::vector<packing::Rect> rects;
+  for (std::size_t i = 0; i < n; ++i) {
+    rects.push_back({static_cast<packing::Dim>(rng.between(1, max_w)),
+                     static_cast<packing::Dim>(rng.between(1, max_h)), i});
+  }
+  return rects;
+}
+
+void BM_SkylinePack(benchmark::State& state) {
+  const auto rects =
+      random_rects(1, static_cast<std::size_t>(state.range(0)), 8, 12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(packing::pack_strip(rects, 16));
+  }
+}
+BENCHMARK(BM_SkylinePack)->Arg(6)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_MaxRectsPack(benchmark::State& state) {
+  const auto rects =
+      random_rects(2, static_cast<std::size_t>(state.range(0)), 6, 20);
+  for (auto _ : state) {
+    packing::FixedBinPacker bin(199, 16);
+    benchmark::DoNotOptimize(bin.try_pack(rects));
+  }
+}
+BENCHMARK(BM_MaxRectsPack)->Arg(6)->Arg(16)->Arg(64);
+
+void BM_Compose(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<core::ChildComponent> children;
+  for (int i = 1; i <= state.range(0); ++i) {
+    children.push_back({static_cast<NodeId>(i),
+                        {static_cast<int>(rng.between(1, 12)),
+                         static_cast<int>(rng.between(1, 4))}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::compose_components(children, 16));
+  }
+}
+BENCHMARK(BM_Compose)->Arg(3)->Arg(6)->Arg(12);
+
+void BM_Adjustment(benchmark::State& state) {
+  Rng rng(4);
+  packing::FixedBinPacker bin(40, 8);
+  std::vector<packing::Placement> layout;
+  for (std::uint64_t id = 1; id <= 8; ++id) {
+    if (auto p = bin.insert({rng.between(2, 8), rng.between(1, 3), id})) {
+      layout.push_back(*p);
+    }
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::adjust_partition_layout(
+        {40, 8}, layout, static_cast<NodeId>(layout.front().id), {12, 3}));
+  }
+}
+BENCHMARK(BM_Adjustment);
+
+void BM_EngineBootstrap(benchmark::State& state) {
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  const net::SlotframeConfig frame;
+  for (auto _ : state) {
+    core::HarpEngine engine(topo, tasks, frame);
+    benchmark::DoNotOptimize(engine.schedule().total_cells());
+  }
+}
+BENCHMARK(BM_EngineBootstrap);
+
+void BM_EngineDynamicRequest(benchmark::State& state) {
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  net::SlotframeConfig frame;
+  frame.data_slots = 180;
+  core::HarpEngine engine(topo, tasks, frame);
+  int demand = 1;
+  for (auto _ : state) {
+    demand = (demand == 1) ? 2 : 1;
+    benchmark::DoNotOptimize(
+        engine.request_demand(49, Direction::kUp, demand));
+  }
+}
+BENCHMARK(BM_EngineDynamicRequest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+// Experiment E3 — Table II: partition adjustment overhead for a set of
+// interface-update events at different layers.
+//
+// Setup per the paper (Sec. VI-C): on the running 50-node network, a
+// selected set of nodes at different layers request component growth;
+// for each event we report the involved nodes, the layers spanned, the
+// HARP messages exchanged, and the wall-clock time / slotframes the
+// reconfiguration took over the management plane.
+//
+// Expected shape (Table II): events resolved at the immediate parent cost
+// ~2 messages and about one slotframe; events crossing several layers
+// cost proportionally more messages and slotframes, with the involved
+// node count staying a small fraction of the network.
+#include "bench/bench_util.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "sim/harp_sim.hpp"
+
+using namespace harp;
+
+int main() {
+  const net::Topology topo = net::testbed_tree();
+  net::SlotframeConfig frame;
+  frame.data_slots = 190;
+  const auto tasks = net::uniform_echo_tasks(topo, frame.length);
+
+  sim::HarpSimulation::Options options{frame};
+  options.own_slack = 1;  // testbed-like idle cells inside each partition
+  options.seed = 2;
+  sim::HarpSimulation sim(topo, tasks, options);
+  sim.bootstrap();
+  sim.run_frames(5);
+
+  // Events shaped like the paper's Table II: node X's own-layer interface
+  // C_{X,l} grows because one of its child links needs `delta` more
+  // cells. Deltas are sized so the shallow events escalate one level (the
+  // paper's 2-message rows) and the deep events climb multiple layers.
+  struct Event {
+    NodeId node;     // whose interface grows
+    Direction dir;
+    int delta;       // extra cells on X's first child link
+  };
+  const Event events[] = {
+      {5, Direction::kUp, 3},     // C_{5,2} grows: one-level adjustment
+      {22, Direction::kUp, 2},    // C_{22,3} grows: one-level adjustment
+      {3, Direction::kUp, 6},     // C_{3,2} grows: larger growth
+      {10, Direction::kDown, 2},  // C_{10,3} grows, downlink
+      {40, Direction::kUp, 2},    // C_{40,5} grows: climb to the root
+      {30, Direction::kUp, 2},    // C_{30,4} grows: multi-layer climb
+  };
+
+  std::printf("Table II: partition adjustment overhead per event\n");
+  std::printf("(event = link demand growth; Msg counts PUT-intf/PUT-part "
+              "only, as in the paper)\n\n");
+  bench::Table table({"event", "layer", "nodes", "layers", "msg", "time(s)",
+                      "SF"});
+
+  bench::Timer timer;
+  for (const Event& e : events) {
+    const NodeId child = topo.children(e.node).front();
+    const int layer = topo.link_layer(e.node);
+    const int cur = sim.agent(e.node).child_demand(child, e.dir);
+    const auto s = sim.change_link_demand(child, e.dir, cur + e.delta);
+    char label[64];
+    std::snprintf(label, sizeof label, "C%u,%d:+%d(%s)", e.node, layer,
+                  e.delta, to_string(e.dir));
+    table.row({label, std::to_string(layer), std::to_string(s.nodes.size()),
+               std::to_string(s.layers), std::to_string(s.harp_messages),
+               bench::fmt(s.elapsed_seconds),
+               std::to_string(s.elapsed_slotframes)});
+    sim.run_frames(3);  // settle between events
+  }
+  table.print();
+  std::printf("\n[%0.1f s]\n", timer.seconds());
+  return 0;
+}

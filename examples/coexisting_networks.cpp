@@ -1,0 +1,84 @@
+// Co-existing networks: three independent plants share the 2.4 GHz band.
+//
+// Each factory cell runs its own HARP network — different gateway,
+// topology, even slotframe length — and a channel broker partitions the
+// 16 channels into per-network bands. Inside its band every network is
+// its own master; when one outgrows its band, the broker widens it from
+// the spare pool (or borrows from the laziest neighbor), and isolation
+// guarantees the others never hear a thing.
+#include <cstdio>
+
+#include "coexist/channel_broker.hpp"
+#include "common/rng.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+
+using namespace harp;
+
+namespace {
+
+coexist::ChannelBroker::NetworkSpec plant(std::uint64_t seed,
+                                          std::size_t nodes, SlotId length) {
+  Rng rng(seed);
+  coexist::ChannelBroker::NetworkSpec spec{
+      net::random_tree({.num_nodes = nodes, .num_layers = 3}, rng),
+      {},
+      {},
+      1};
+  spec.frame.length = length;
+  spec.frame.data_slots = static_cast<SlotId>(length - 19);
+  spec.tasks = net::uniform_echo_tasks(spec.topology, length);
+  return spec;
+}
+
+void show_bands(const coexist::ChannelBroker& broker) {
+  for (std::size_t id = 0; id < broker.network_count(); ++id) {
+    const auto b = broker.band(id);
+    std::printf("  network %zu: channels [%u,%u)  (%lld cells of demand)\n",
+                id, b.first, b.first + b.width,
+                static_cast<long long>(
+                    broker.engine(id).traffic().total_cells()));
+  }
+  std::printf("  spare channels: %u\n", broker.spare_channels());
+}
+
+}  // namespace
+
+int main() {
+  coexist::ChannelBroker broker(16);
+
+  // Three heterogeneous plants: different sizes AND slotframe lengths.
+  const auto a = broker.admit(plant(1, 15, 199));
+  const auto b = broker.admit(plant(2, 10, 101));
+  const auto c = broker.admit(plant(3, 20, 397));
+  if (!a || !b || !c) {
+    std::printf("admission failed unexpectedly\n");
+    return 1;
+  }
+  std::printf("three networks admitted into disjoint channel bands:\n");
+  show_bands(broker);
+  std::printf("cross-network validation: %s\n\n",
+              broker.validate().empty() ? "isolated, collision-free"
+                                        : broker.validate().c_str());
+
+  // Plant A's production line speeds up: every link needs more cells.
+  std::printf("plant %zu ramps all its links to 8 cells...\n", *a);
+  std::size_t rebanded = 0, intra = 0;
+  for (NodeId child = 1; child < 15; ++child) {
+    const auto r = broker.request_demand(*a, child, Direction::kUp, 8);
+    if (!r.satisfied) {
+      std::printf("  link %u denied!\n", child);
+      continue;
+    }
+    rebanded += r.networks_rebanded;
+    intra += r.intra_messages;
+  }
+  std::printf("  done: %zu intra-network HARP messages, %zu band "
+              "adjustments\n\n",
+              intra, rebanded);
+  show_bands(broker);
+  std::printf("\nfinal validation: %s\n",
+              broker.validate().empty() ? "isolated, collision-free"
+                                        : broker.validate().c_str());
+  return 0;
+}

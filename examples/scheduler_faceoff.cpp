@@ -1,0 +1,53 @@
+// Scheduler face-off: HARP vs the distributed baselines on one network.
+//
+// Generates a random 50-node topology, loads every link with the same
+// demand, builds a schedule with each scheduler (Random, MSF, LDSF, HARP),
+// and reports the collision probability — the per-transmission chance of
+// an exact-cell or half-duplex conflict. A compact version of the Fig. 11
+// comparison on a single instance.
+#include <cstdio>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "net/topology_gen.hpp"
+#include "schedulers/scheduler.hpp"
+
+using namespace harp;
+
+int main() {
+  Rng topo_rng(2022);
+  const net::Topology topo =
+      net::random_tree({.num_nodes = 50, .num_layers = 5, .max_children = 4},
+                       topo_rng);
+  net::SlotframeConfig frame;
+  frame.data_slots = frame.length;  // pure scheduling comparison: the whole
+                                    // slotframe is schedulable
+
+  std::printf("topology: 50 nodes, 5 layers, slotframe %ux%u\n\n",
+              frame.length, frame.num_channels);
+  std::printf("%-8s", "demand");
+  std::unique_ptr<sched::Scheduler> schedulers[] = {
+      sched::make_random_scheduler(), sched::make_msf_scheduler(),
+      sched::make_ldsf_scheduler(), sched::make_harp_scheduler()};
+  for (const auto& s : schedulers) std::printf("%10s", s->name().c_str());
+  std::printf("   <- collision probability\n");
+
+  for (int demand = 1; demand <= 6; ++demand) {
+    net::TrafficMatrix traffic(topo.size());
+    for (NodeId v = 1; v < topo.size(); ++v) {
+      traffic.set_uplink(v, demand);
+      traffic.set_downlink(v, demand);
+    }
+    std::printf("%-8d", demand);
+    for (const auto& s : schedulers) {
+      Rng rng(42 + demand);
+      const auto schedule = s->build(topo, traffic, frame, rng);
+      std::printf("%9.1f%%",
+                  100.0 * sched::collision_probability(topo, schedule));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nHARP stays at zero: hierarchical partitioning dedicates "
+              "disjoint cells to every link by construction.\n");
+  return 0;
+}

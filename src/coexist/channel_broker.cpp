@@ -1,0 +1,207 @@
+#include "coexist/channel_broker.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "net/traffic.hpp"
+
+namespace harp::coexist {
+
+ChannelBroker::ChannelBroker(ChannelId total_channels) : total_(total_channels) {
+  if (total_channels == 0) {
+    throw InvalidArgument("need at least one channel");
+  }
+}
+
+ChannelId ChannelBroker::spare_channels() const {
+  ChannelId used = 0;
+  for (const Network& n : networks_) used += n.band.width;
+  return total_ - used;
+}
+
+std::unique_ptr<core::HarpEngine> ChannelBroker::try_build(
+    const NetworkSpec& spec, ChannelId width) {
+  net::SlotframeConfig frame = spec.frame;
+  frame.num_channels = width;
+  try {
+    return std::make_unique<core::HarpEngine>(
+        spec.topology, net::derive_traffic(spec.topology, spec.tasks, frame),
+        frame, spec.tasks, core::EngineOptions{spec.own_slack});
+  } catch (const InfeasibleError&) {
+    return nullptr;
+  }
+}
+
+void ChannelBroker::layout_bands() {
+  ChannelId cursor = 0;
+  for (Network& n : networks_) {
+    n.band.first = cursor;
+    cursor += n.band.width;
+  }
+  HARP_ASSERT(cursor <= total_);
+}
+
+std::optional<NetworkId> ChannelBroker::admit(NetworkSpec spec) {
+  spec.frame.validate();
+  for (ChannelId width = 1; width <= spare_channels(); ++width) {
+    if (auto engine = try_build(spec, width)) {
+      Network n{std::move(spec), Band{0, width}, std::move(engine)};
+      networks_.push_back(std::move(n));
+      layout_bands();
+      return networks_.size() - 1;
+    }
+  }
+  return std::nullopt;
+}
+
+ChannelBroker::Band ChannelBroker::band(NetworkId id) const {
+  HARP_ASSERT(id < networks_.size());
+  return networks_[id].band;
+}
+
+const core::HarpEngine& ChannelBroker::engine(NetworkId id) const {
+  HARP_ASSERT(id < networks_.size());
+  return *networks_[id].engine;
+}
+
+core::Schedule ChannelBroker::global_schedule(NetworkId id) const {
+  HARP_ASSERT(id < networks_.size());
+  const Network& n = networks_[id];
+  core::Schedule out(n.engine->schedule().num_nodes());
+  for (NodeId child = 1; child < out.num_nodes(); ++child) {
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      std::vector<Cell> cells = n.engine->schedule().cells(child, dir);
+      for (Cell& c : cells) c.channel += n.band.first;
+      out.set_cells(child, dir, std::move(cells));
+    }
+  }
+  return out;
+}
+
+ChannelBroker::Report ChannelBroker::request_demand(NetworkId id,
+                                                    NodeId child,
+                                                    Direction dir,
+                                                    int cells) {
+  HARP_ASSERT(id < networks_.size());
+  Network& net = networks_[id];
+  Report report;
+
+  // Fast path: the network's own hierarchy absorbs the change.
+  const auto r = net.engine->request_demand(child, dir, cells);
+  if (r.satisfied) {
+    report.satisfied = true;
+    report.intra_messages = r.messages.size();
+    return report;
+  }
+
+  // The band is exhausted: widen it. Candidate widths come from the spare
+  // pool first; each attempt re-bootstraps the network from its CURRENT
+  // traffic matrix with the one link overridden.
+  std::vector<Band> old_bands;
+  for (const Network& n : networks_) old_bands.push_back(n.band);
+  const auto count_rebanded = [&] {
+    std::size_t moved = 0;
+    for (NetworkId other = 0; other < networks_.size(); ++other) {
+      if (networks_[other].band.first != old_bands[other].first ||
+          networks_[other].band.width != old_bands[other].width) {
+        ++moved;
+      }
+    }
+    return moved;
+  };
+  net::TrafficMatrix want = net.engine->traffic();
+  want.set_demand(child, dir, cells);
+
+  const auto rebuild = [&](ChannelId width)
+      -> std::unique_ptr<core::HarpEngine> {
+    net::SlotframeConfig frame = net.spec.frame;
+    frame.num_channels = width;
+    try {
+      return std::make_unique<core::HarpEngine>(
+          net.spec.topology, want, frame, net.spec.tasks,
+          core::EngineOptions{net.spec.own_slack});
+    } catch (const InfeasibleError&) {
+      return nullptr;
+    }
+  };
+
+  for (ChannelId width = net.band.width + 1;
+       width <= net.band.width + spare_channels(); ++width) {
+    if (auto engine = rebuild(width)) {
+      net.engine = std::move(engine);
+      net.band.width = width;
+      layout_bands();
+      report.satisfied = true;
+      report.networks_rebanded = count_rebanded();
+      return report;
+    }
+  }
+
+  // No spare channels left: borrow from the neighbor with the most
+  // headroom (widest band that still bootstraps one channel narrower at
+  // its CURRENT demand — reservations included).
+  const auto slim_build = [&](NetworkId other)
+      -> std::unique_ptr<core::HarpEngine> {
+    net::SlotframeConfig frame = networks_[other].spec.frame;
+    frame.num_channels = networks_[other].band.width - 1;
+    try {
+      return std::make_unique<core::HarpEngine>(
+          networks_[other].spec.topology, networks_[other].engine->traffic(),
+          frame, networks_[other].spec.tasks,
+          core::EngineOptions{networks_[other].spec.own_slack});
+    } catch (const InfeasibleError&) {
+      return nullptr;
+    }
+  };
+  std::optional<NetworkId> donor;
+  for (NetworkId other = 0; other < networks_.size(); ++other) {
+    if (other == id || networks_[other].band.width <= 1) continue;
+    if (auto slim = slim_build(other)) {
+      if (!donor ||
+          networks_[other].band.width > networks_[*donor].band.width) {
+        donor = other;
+      }
+    }
+  }
+  if (donor) {
+    if (auto engine = rebuild(net.band.width + 1)) {
+      auto slim = slim_build(*donor);
+      HARP_ASSERT(slim != nullptr);
+      networks_[*donor].engine = std::move(slim);
+      networks_[*donor].band.width -= 1;
+      net.engine = std::move(engine);
+      net.band.width += 1;
+      layout_bands();
+      report.satisfied = true;
+      report.networks_rebanded = count_rebanded();
+      return report;
+    }
+  }
+  return report;  // denied; the requesting network keeps its old state
+}
+
+std::string ChannelBroker::validate() const {
+  ChannelId cursor = 0;
+  for (NetworkId id = 0; id < networks_.size(); ++id) {
+    const Network& n = networks_[id];
+    if (n.band.first != cursor) {
+      return "band of network " + std::to_string(id) + " misplaced";
+    }
+    cursor += n.band.width;
+    if (cursor > total_) {
+      return "bands exceed the channel space";
+    }
+    if (auto err = n.engine->validate(); !err.empty()) {
+      return "network " + std::to_string(id) + ": " + err;
+    }
+    for (const auto& e : global_schedule(id).entries()) {
+      if (e.cell.channel < n.band.first ||
+          e.cell.channel >= n.band.first + n.band.width) {
+        return "network " + std::to_string(id) + " cell escapes its band";
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace harp::coexist

@@ -1,0 +1,102 @@
+// Co-existing heterogeneous IWNs (the paper's third future-work item).
+//
+// Several independent networks — each with its own gateway, tree, task
+// set, and even slotframe length — often share one 2.4 GHz band. The same
+// HARP philosophy lifts one dimension up: a channel BROKER partitions the
+// 16 channels into contiguous per-network bands (isolation: networks can
+// never collide), each network runs its own HARP hierarchy inside its
+// band, and band boundaries move at runtime with the same
+// reservation-first, smallest-change discipline as slot partitions:
+//   * a network whose demand drops keeps its band (reservation);
+//   * a network that needs more channels takes them from the spare pool,
+//     or from the adjacent band with the most unused channels;
+//   * re-briefing cost is counted per affected network, mirroring the
+//     paper's message accounting.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "harp/engine.hpp"
+#include "net/task.hpp"
+#include "net/topology.hpp"
+
+namespace harp::coexist {
+
+/// Identifier of a co-existing network (index into the broker).
+using NetworkId = std::size_t;
+
+class ChannelBroker {
+ public:
+  /// Creates a broker over `total_channels` (e.g. 16 for 802.15.4).
+  explicit ChannelBroker(ChannelId total_channels);
+
+  struct NetworkSpec {
+    net::Topology topology;
+    std::vector<net::Task> tasks;
+    /// Per-network slotframe; num_channels is ignored (the broker
+    /// assigns the band).
+    net::SlotframeConfig frame;
+    int own_slack = 0;
+  };
+
+  /// Admits a network, granting it the smallest channel band that fits
+  /// its task set (searched from 1 channel up). Returns its id, or
+  /// nullopt when no band size up to the spare capacity admits it.
+  std::optional<NetworkId> admit(NetworkSpec spec);
+
+  std::size_t network_count() const { return networks_.size(); }
+  ChannelId total_channels() const { return total_; }
+  ChannelId spare_channels() const;
+
+  /// The band [first, first + width) assigned to a network.
+  struct Band {
+    ChannelId first{0};
+    ChannelId width{0};
+  };
+  Band band(NetworkId id) const;
+
+  /// The network's engine (its cells are in band-local channels 0..width).
+  const core::HarpEngine& engine(NetworkId id) const;
+
+  /// The network's schedule translated to GLOBAL channel coordinates.
+  core::Schedule global_schedule(NetworkId id) const;
+
+  /// Runtime traffic change inside one network. When the network's band
+  /// can no longer admit its demand, the broker widens the band — from
+  /// the spare pool first, else by shrinking the neighbor with the most
+  /// headroom — and re-bootstraps the affected networks.
+  struct Report {
+    bool satisfied{false};
+    /// HARP messages inside the requesting network (adjustment path).
+    std::size_t intra_messages{0};
+    /// Networks whose band moved (each costs a network-wide re-brief).
+    std::size_t networks_rebanded{0};
+  };
+  Report request_demand(NetworkId id, NodeId child, Direction dir,
+                        int cells);
+
+  /// Cross-network isolation check: every pair of global schedules must
+  /// be channel-disjoint, and each network internally valid. "" = OK.
+  std::string validate() const;
+
+ private:
+  struct Network {
+    NetworkSpec spec;
+    Band band;
+    std::unique_ptr<core::HarpEngine> engine;
+  };
+
+  /// Builds an engine for `spec` with the given band width; nullopt when
+  /// inadmissible.
+  static std::unique_ptr<core::HarpEngine> try_build(const NetworkSpec& spec,
+                                                     ChannelId width);
+  /// Re-packs all bands left-to-right in id order (widths given).
+  void layout_bands();
+
+  ChannelId total_;
+  std::vector<Network> networks_;
+};
+
+}  // namespace harp::coexist

@@ -1,0 +1,46 @@
+// Error handling helpers.
+//
+// Library-level contract violations throw harp::Error (invalid arguments,
+// inconsistent topologies, infeasible allocations the caller must handle).
+// Internal invariants that should be impossible to violate use HARP_ASSERT,
+// which is active in all build types: this is control-plane code where a
+// silent scheduling corruption is far worse than a crash.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace harp {
+
+/// Base exception for all errors raised by the HARP libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an input (topology, task set, parameter) is malformed.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Raised when a requested allocation cannot fit (e.g. the composed resource
+/// interface exceeds the slotframe). Callers typically surface this as an
+/// admission-control rejection.
+class InfeasibleError : public Error {
+ public:
+  explicit InfeasibleError(const std::string& what) : Error(what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
+              std::to_string(line));
+}
+
+}  // namespace harp
+
+/// Always-on invariant check. Throws harp::Error on failure so tests can
+/// observe violations instead of aborting the process.
+#define HARP_ASSERT(expr) \
+  ((expr) ? static_cast<void>(0) : ::harp::assert_fail(#expr, __FILE__, __LINE__))

@@ -1,0 +1,37 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+
+namespace harp::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+
+const char* label(Level lvl) {
+  switch (lvl) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    default:
+      return "?????";
+  }
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < static_cast<int>(level())) return;
+  std::cerr << "[" << label(lvl) << "] " << message << '\n';
+}
+
+}  // namespace harp::log

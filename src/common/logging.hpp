@@ -1,0 +1,50 @@
+// Minimal leveled logging.
+//
+// The simulator and protocol agents log through this facility so that
+// examples can turn on tracing (`harp::log::set_level(Level::kDebug)`)
+// while tests and benchmarks stay quiet by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace harp::log {
+
+enum class Level : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+/// Emits one line to stderr if `lvl` passes the threshold.
+void write(Level lvl, const std::string& message);
+
+namespace detail {
+
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level lvl) : lvl_(lvl) {}
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+  ~LineBuilder() { write(lvl_, out_.str()); }
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    out_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream out_;
+};
+
+}  // namespace detail
+
+/// Usage: harp::log::info() << "node " << id << " joined";
+inline detail::LineBuilder debug() { return detail::LineBuilder(Level::kDebug); }
+inline detail::LineBuilder info() { return detail::LineBuilder(Level::kInfo); }
+inline detail::LineBuilder warn() { return detail::LineBuilder(Level::kWarn); }
+inline detail::LineBuilder error() { return detail::LineBuilder(Level::kError); }
+
+}  // namespace harp::log

@@ -1,0 +1,73 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace harp {
+
+void Stats::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Stats::merge(const Stats& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+void Stats::clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+double Stats::sum() const {
+  double total = 0.0;
+  for (double s : samples_) total += s;
+  return total;
+}
+
+double Stats::mean() const {
+  HARP_ASSERT(!samples_.empty());
+  return sum() / static_cast<double>(samples_.size());
+}
+
+double Stats::min() const {
+  HARP_ASSERT(!samples_.empty());
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double Stats::max() const {
+  HARP_ASSERT(!samples_.empty());
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double Stats::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double s : samples_) acc += (s - m) * (s - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size()));
+}
+
+void Stats::sort_if_needed() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Stats::percentile(double p) const {
+  HARP_ASSERT(!samples_.empty());
+  HARP_ASSERT(p >= 0.0 && p <= 100.0);
+  sort_if_needed();
+  if (samples_.size() == 1) return samples_[0];
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+}  // namespace harp

@@ -1,0 +1,89 @@
+// Fundamental value types shared by every HARP module.
+//
+// The whole code base works on a slotted multi-channel TDMA grid: time is a
+// sequence of equal-length slots grouped into repeating slotframes, and each
+// slot offers `num_channels` orthogonal channels. The unit of allocatable
+// resource is a Cell = (slot offset, channel offset) inside the slotframe.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace harp {
+
+/// Identifier of a network node. The gateway is always node 0 by convention
+/// of the topology builder (see net/topology.hpp).
+using NodeId = std::uint32_t;
+
+/// Sentinel value meaning "no node" (e.g. parent of the gateway).
+inline constexpr NodeId kNoNode = std::numeric_limits<NodeId>::max();
+
+/// Slot offset within a slotframe, in [0, slotframe_length).
+using SlotId = std::uint32_t;
+
+/// Channel offset, in [0, num_channels). IEEE 802.15.4 in the 2.4 GHz band
+/// offers 16 channels; the paper's experiments use up to all 16.
+using ChannelId = std::uint32_t;
+
+/// Monotone slot counter since the start of a simulation (absolute time,
+/// not wrapped to the slotframe).
+using AbsoluteSlot = std::uint64_t;
+
+/// Identifier of a periodic application task (data flow).
+using TaskId = std::uint32_t;
+
+/// One schedulable unit of network resource: a (slot, channel) coordinate
+/// inside the slotframe.
+struct Cell {
+  SlotId slot{0};
+  ChannelId channel{0};
+
+  friend auto operator<=>(const Cell&, const Cell&) = default;
+};
+
+/// A directed link `child -> parent` or `parent -> child` in the routing
+/// tree. `sender` transmits, `receiver` listens. In the paper's notation
+/// e_{i,j} has sender V_i and receiver V_j.
+struct Link {
+  NodeId sender{kNoNode};
+  NodeId receiver{kNoNode};
+
+  friend auto operator<=>(const Link&, const Link&) = default;
+};
+
+/// Direction of traffic relative to the gateway. Uplink flows toward the
+/// gateway (sensor data), downlink away from it (actuation commands).
+enum class Direction : std::uint8_t { kUp, kDown };
+
+/// Human-readable direction name, for logs and benchmark tables.
+inline const char* to_string(Direction d) {
+  return d == Direction::kUp ? "up" : "down";
+}
+
+inline std::string to_string(const Cell& c) {
+  return "(" + std::to_string(c.slot) + "," + std::to_string(c.channel) + ")";
+}
+
+inline std::string to_string(const Link& e) {
+  return "e(" + std::to_string(e.sender) + "->" + std::to_string(e.receiver) +
+         ")";
+}
+
+}  // namespace harp
+
+template <>
+struct std::hash<harp::Cell> {
+  std::size_t operator()(const harp::Cell& c) const noexcept {
+    return (static_cast<std::size_t>(c.slot) << 16) ^ c.channel;
+  }
+};
+
+template <>
+struct std::hash<harp::Link> {
+  std::size_t operator()(const harp::Link& e) const noexcept {
+    return (static_cast<std::size_t>(e.sender) << 32) ^ e.receiver;
+  }
+};

@@ -1,0 +1,72 @@
+#include "harp/compose.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "packing/skyline.hpp"
+
+namespace harp::core {
+
+Composition compose_components(const std::vector<ChildComponent>& children,
+                               int num_channels) {
+  if (num_channels <= 0) {
+    throw InvalidArgument("num_channels must be positive");
+  }
+
+  std::vector<packing::Rect> rects;
+  rects.reserve(children.size());
+  for (const ChildComponent& cc : children) {
+    if (cc.comp.empty()) continue;
+    if (cc.comp.channels > num_channels) {
+      throw InfeasibleError("component " + to_string(cc.comp) + " of child " +
+                            std::to_string(cc.child) + " exceeds " +
+                            std::to_string(num_channels) + " channels");
+    }
+    // Pass-1 orientation: width = channels, height = slots.
+    rects.push_back({cc.comp.channels, cc.comp.slots,
+                     static_cast<std::uint64_t>(cc.child)});
+  }
+  if (rects.empty()) return {};
+
+  // Pass 1: fixed width of M channels, minimize height = slots.
+  const packing::StripResult pass1 = packing::pack_strip(rects, num_channels);
+  const packing::Dim min_slots = pass1.height;
+
+  // Pass 2: fixed width of n_s^min slots, minimize height = channels.
+  // Transpose every rectangle: width = slots, height = channels.
+  for (auto& r : rects) std::swap(r.w, r.h);
+  const packing::StripResult pass2 = packing::pack_strip(rects, min_slots);
+
+  // The transposed pass-1 layout is itself a packing into min_slots slots;
+  // its channel usage is the widest placement edge. Being a heuristic,
+  // pass 2 is not guaranteed to beat it (or even to stay within M
+  // channels), so keep whichever uses fewer channels.
+  packing::Dim pass1_channels = 0;
+  for (const auto& p : pass1.placements) {
+    pass1_channels = std::max(pass1_channels, p.right());
+  }
+  Composition out;
+  if (pass2.height <= pass1_channels) {
+    out.composite = {static_cast<int>(min_slots),
+                     static_cast<int>(pass2.height)};
+    out.layout = pass2.placements;  // already (x=slot, y=channel) oriented
+  } else {
+    out.composite = {static_cast<int>(min_slots),
+                     static_cast<int>(pass1_channels)};
+    out.layout = packing::transpose(pass1.placements);
+  }
+  return out;
+}
+
+ResourceComponent monolithic_bound(
+    const std::vector<ResourceComponent>& comps) {
+  ResourceComponent out;
+  for (const ResourceComponent& c : comps) {
+    if (c.empty()) continue;
+    out.slots += c.slots;
+    out.channels = std::max(out.channels, c.channels);
+  }
+  return out;
+}
+
+}  // namespace harp::core

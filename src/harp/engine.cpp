@@ -1,0 +1,474 @@
+#include "harp/engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "harp/adjustment.hpp"
+#include "harp/compose.hpp"
+
+namespace harp::core {
+
+const char* to_string(ProtocolMessage::Type t) {
+  switch (t) {
+    case ProtocolMessage::Type::kPostIntf:
+      return "POST-intf";
+    case ProtocolMessage::Type::kPostPart:
+      return "POST-part";
+    case ProtocolMessage::Type::kPutIntf:
+      return "PUT-intf";
+    case ProtocolMessage::Type::kPutPart:
+      return "PUT-part";
+  }
+  return "?";
+}
+
+const char* to_string(AdjustmentKind k) {
+  switch (k) {
+    case AdjustmentKind::kNoChange:
+      return "no-change";
+    case AdjustmentKind::kLocalRelease:
+      return "local-release";
+    case AdjustmentKind::kLocalSchedule:
+      return "local-schedule";
+    case AdjustmentKind::kPartitionAdjust:
+      return "partition-adjust";
+    case AdjustmentKind::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+std::set<NodeId> AdjustmentReport::involved() const {
+  std::set<NodeId> out;
+  for (const ProtocolMessage& m : messages) {
+    out.insert(m.from);
+    out.insert(m.to);
+  }
+  return out;
+}
+
+int AdjustmentReport::layers_spanned(const net::Topology& topo) const {
+  const auto nodes = involved();
+  if (nodes.empty()) return 0;
+  int lo = 1 << 30, hi = -1;
+  for (NodeId v : nodes) {
+    lo = std::min(lo, topo.node_layer(v));
+    hi = std::max(hi, topo.node_layer(v));
+  }
+  return std::max(hi - lo, 1);
+}
+
+HarpEngine::HarpEngine(net::Topology topo, net::TrafficMatrix traffic,
+                       net::SlotframeConfig frame, std::vector<net::Task> tasks,
+                       EngineOptions options)
+    : topo_(std::move(topo)),
+      traffic_(std::move(traffic)),
+      frame_(frame),
+      tasks_(std::move(tasks)),
+      options_(options),
+      periods_(link_periods(topo_, tasks_)) {
+  frame_.validate();
+  if (traffic_.num_nodes() != topo_.size()) {
+    throw InvalidArgument("traffic matrix does not match topology size");
+  }
+  if (options_.own_slack < 0) throw InvalidArgument("own_slack must be >= 0");
+  bootstrap();
+}
+
+HarpEngine::HarpEngine(net::Topology topo, std::vector<net::Task> tasks,
+                       net::SlotframeConfig frame, EngineOptions options)
+    : HarpEngine(topo, derive_traffic(topo, tasks, frame), frame, tasks,
+                 options) {}
+
+void HarpEngine::bootstrap() {
+  up_ = generate_interfaces(topo_, traffic_, Direction::kUp,
+                            static_cast<int>(frame_.num_channels),
+                            options_.own_slack);
+  down_ = generate_interfaces(topo_, traffic_, Direction::kDown,
+                              static_cast<int>(frame_.num_channels),
+                              options_.own_slack);
+  parts_ = allocate_partitions(topo_, up_, down_, frame_).partitions;
+  rebuild_schedule();
+}
+
+void HarpEngine::rebuild_schedule() {
+  // Idle partition cells are handed out as bonus capacity: the paper's
+  // nodes grab more cells from their own partition under queueing.
+  schedule_ = generate_schedule(topo_, traffic_, parts_, periods_,
+                                /*distribute_leftover=*/true);
+}
+
+std::size_t HarpEngine::bootstrap_message_count() const {
+  // One POST-intf per non-gateway non-leaf node (leaves have nothing to
+  // report; their demands ride on the join handshake), plus one POST-part
+  // from each non-leaf node to each child that roots a non-leaf subtree,
+  // plus one initial cell-assignment message per link. Counted per
+  // direction pair jointly (interfaces for up and down travel together).
+  std::size_t intf = 0, part = 0;
+  for (NodeId v = 1; v < topo_.size(); ++v) {
+    if (!topo_.is_leaf(v)) ++intf;
+  }
+  for (NodeId v = 0; v < topo_.size(); ++v) {
+    if (!topo_.is_leaf(v) && v != net::Topology::gateway()) ++part;
+  }
+  const std::size_t links = topo_.size() - 1;
+  return intf + part + links;
+}
+
+std::int64_t HarpEngine::reserved_cells() const {
+  std::int64_t total = 0;
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    for (const auto& row : parts_.rows(dir)) {
+      if (row.layer == topo_.link_layer(row.node)) {
+        total += row.part.comp.cells();
+      }
+    }
+  }
+  return total;
+}
+
+HarpEngine::CompactionReport HarpEngine::recompact() {
+  CompactionReport report;
+  report.reserved_before = reserved_cells();
+
+  const InterfaceSet old_up = up_;
+  const InterfaceSet old_down = down_;
+  const PartitionTable old_parts = parts_;
+  try {
+    bootstrap();
+  } catch (const InfeasibleError&) {
+    // Should not happen (the current demands were admitted incrementally),
+    // but heuristics give no hard guarantee: keep the old state.
+    up_ = old_up;
+    down_ = old_down;
+    parts_ = old_parts;
+    rebuild_schedule();
+    return report;
+  }
+  report.performed = true;
+  report.reserved_after = reserved_cells();
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    for (const auto& row : parts_.rows(dir)) {
+      if (row.part != old_parts.get(dir, row.node, row.layer)) {
+        ++report.partitions_changed;
+      }
+    }
+  }
+  return report;
+}
+
+std::string HarpEngine::validate() const {
+  if (auto err = validate_partitions(topo_, up_, down_, parts_, frame_);
+      !err.empty()) {
+    return err;
+  }
+  return validate_schedule(topo_, traffic_, schedule_, frame_);
+}
+
+AdjustmentReport HarpEngine::request_demand(NodeId child, Direction dir,
+                                            int new_cells) {
+  if (child == net::Topology::gateway() || child >= topo_.size()) {
+    throw InvalidArgument("demand requests address a non-gateway node");
+  }
+  if (new_cells < 0) throw InvalidArgument("demand must be non-negative");
+
+  AdjustmentReport report;
+  const int old_cells = traffic_.demand(child, dir);
+  if (new_cells == old_cells) {
+    report.kind = AdjustmentKind::kNoChange;
+    report.satisfied = true;
+    return report;
+  }
+
+  const NodeId q = topo_.parent(child);
+  const int layer = topo_.node_layer(child);  // layer of this link
+
+  if (new_cells < old_cells) {
+    // Sec. V: on decrease the parent releases cells; partitions (and the
+    // reported interfaces) stay, keeping the reservation for later grabs.
+    traffic_.set_demand(child, dir, new_cells);
+    rebuild_schedule();
+    report.kind = AdjustmentKind::kLocalRelease;
+    report.satisfied = true;
+    return report;
+  }
+
+  traffic_.set_demand(child, dir, new_cells);
+  const ResourceComponent raw = own_layer_component(topo_, traffic_, dir, q);
+  const Partition current = parts_.get(dir, q, layer);
+  if (raw.slots <= current.comp.slots && !current.empty()) {
+    // Case 1 (Fig. 5a): idle cells inside the partition absorb the change.
+    rebuild_schedule();
+    report.kind = AdjustmentKind::kLocalSchedule;
+    report.satisfied = true;
+    report.resolved_at = q;
+    return report;
+  }
+
+  // Case 2: q needs a bigger own-layer partition; climb, asking for
+  // exactly the new demand (headroom is a bootstrap-time property:
+  // re-requesting it here would inflate every escalation).
+  report = climb(q, layer, dir, raw);
+  if (!report.satisfied) {
+    traffic_.set_demand(child, dir, old_cells);  // admission denied
+  } else {
+    rebuild_schedule();
+  }
+  return report;
+}
+
+HarpEngine::TopoChangeReport HarpEngine::attach_leaf(NodeId parent,
+                                                     int up_cells,
+                                                     int down_cells) {
+  if (parent >= topo_.size()) throw InvalidArgument("unknown parent");
+  if (up_cells < 0 || down_cells < 0) {
+    throw InvalidArgument("demands must be non-negative");
+  }
+  topo_ = topo_.with_leaf(parent);
+  const NodeId node = static_cast<NodeId>(topo_.size() - 1);
+  traffic_.resize(topo_.size());
+  up_.resize(topo_.size());
+  down_.resize(topo_.size());
+  parts_.resize(topo_.size());
+  schedule_.resize(topo_.size());
+  periods_.up.push_back(~0u);
+  periods_.down.push_back(~0u);
+
+  TopoChangeReport report;
+  report.node = node;
+  report.up = request_demand(node, Direction::kUp, up_cells);
+  report.down = request_demand(node, Direction::kDown, down_cells);
+  if (!report.satisfied()) {
+    // Leave the device joined but unprovisioned.
+    request_demand(node, Direction::kUp, 0);
+    request_demand(node, Direction::kDown, 0);
+  }
+  return report;
+}
+
+HarpEngine::TopoChangeReport HarpEngine::detach_leaf(NodeId leaf) {
+  if (leaf == net::Topology::gateway() || leaf >= topo_.size()) {
+    throw InvalidArgument("unknown leaf");
+  }
+  if (!topo_.is_leaf(leaf)) {
+    throw InvalidArgument("node " + std::to_string(leaf) +
+                          " still relays for children");
+  }
+  TopoChangeReport report;
+  report.node = leaf;
+  report.up = request_demand(leaf, Direction::kUp, 0);
+  report.down = request_demand(leaf, Direction::kDown, 0);
+  return report;
+}
+
+HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
+                                                       NodeId new_parent) {
+  if (leaf == net::Topology::gateway() || leaf >= topo_.size()) {
+    throw InvalidArgument("unknown leaf");
+  }
+  if (!topo_.is_leaf(leaf)) {
+    throw InvalidArgument("only leaf devices can roam");
+  }
+  const NodeId old_parent = topo_.parent(leaf);
+  if (new_parent == old_parent) return {leaf, {}, {}};
+
+  const int old_up = traffic_.uplink(leaf);
+  const int old_down = traffic_.downlink(leaf);
+
+  TopoChangeReport report;
+  report.node = leaf;
+  // Release at the old location (local, reservation kept)...
+  request_demand(leaf, Direction::kUp, 0);
+  request_demand(leaf, Direction::kDown, 0);
+  // ...scrub any residual relay-era reservations the roamer still holds
+  // (a node whose children all left keeps its components as reservations;
+  // they must not travel to the new parent unnegotiated) and free its
+  // rectangle inside the old parent's composite layouts...
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    InterfaceSet& ifs = dir == Direction::kUp ? up_ : down_;
+    for (int layer : ifs.layers(leaf)) {
+      parts_.erase(dir, leaf, layer);
+    }
+    for (int layer : ifs.layers(leaf)) {
+      ifs.set_component(leaf, layer, {});
+    }
+    for (int layer : ifs.layers(old_parent)) {
+      auto layout = ifs.layout(old_parent, layer);
+      std::erase_if(layout, [&](const packing::Placement& p) {
+        return p.id == static_cast<std::uint64_t>(leaf);
+      });
+      ifs.set_layout(old_parent, layer, std::move(layout));
+    }
+  }
+  // ...rewire (with_parent validates against cycles), refreshing the RM
+  // priorities whose paths changed...
+  topo_ = topo_.with_parent(leaf, new_parent);
+  periods_ = link_periods(topo_, tasks_);
+  // ...and request the same demands at the new location.
+  report.up = request_demand(leaf, Direction::kUp, old_up);
+  report.down = request_demand(leaf, Direction::kDown, old_down);
+
+  if (!report.satisfied()) {
+    // Fall back to the old relay: its reservation was kept, so the old
+    // demands are guaranteed to fit locally.
+    request_demand(leaf, Direction::kUp, 0);
+    request_demand(leaf, Direction::kDown, 0);
+    topo_ = topo_.with_parent(leaf, old_parent);
+    periods_ = link_periods(topo_, tasks_);
+    const auto up_back = request_demand(leaf, Direction::kUp, old_up);
+    const auto down_back = request_demand(leaf, Direction::kDown, old_down);
+    HARP_ASSERT(up_back.satisfied && down_back.satisfied);
+  }
+  return report;
+}
+
+namespace {
+
+/// Recursively re-derives the partitions of `node`'s children at `layer`
+/// from node's (already updated) partition and layout, emitting one
+/// PUT-part per child whose partition changed. The recursion continues
+/// through unchanged children too: a node on the escalation chain can keep
+/// its partition box while its interior layout was recomposed, so its
+/// descendants may still need repositioning.
+void place_children(const net::Topology& topo, const InterfaceSet& ifs,
+                    Direction dir, NodeId node, int layer,
+                    PartitionTable& parts, std::vector<ProtocolMessage>& msgs,
+                    std::set<NodeId>& changed) {
+  const Partition base = parts.get(dir, node, layer);
+  for (const packing::Placement& pl : ifs.layout(node, layer)) {
+    const auto child = static_cast<NodeId>(pl.id);
+    const Partition next{ifs.component(child, layer),
+                         base.slot + static_cast<SlotId>(pl.x),
+                         base.channel + static_cast<ChannelId>(pl.y)};
+    HARP_ASSERT(next.comp.slots == pl.w && next.comp.channels == pl.h);
+    if (next != parts.get(dir, child, layer)) {
+      parts.set(dir, child, layer, next);
+      msgs.push_back({node, child, ProtocolMessage::Type::kPutPart});
+      changed.insert(child);
+    }
+    place_children(topo, ifs, dir, child, layer, parts, msgs, changed);
+  }
+}
+
+}  // namespace
+
+AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
+                                   ResourceComponent grown) {
+  AdjustmentReport report;
+  report.kind = AdjustmentKind::kPartitionAdjust;
+
+  // Work on copies; commit only on success so a rejected request leaves
+  // the engine untouched.
+  InterfaceSet ifs = (dir == Direction::kUp) ? up_ : down_;
+  PartitionTable parts = parts_;
+  std::vector<ProtocolMessage>& msgs = report.messages;
+  std::set<NodeId> changed;
+
+  NodeId v = start;
+  ResourceComponent c_req = grown;
+  bool resolved = false;
+
+  const GrowSide side =
+      dir == Direction::kUp ? GrowSide::kRight : GrowSide::kLeft;
+  const int max_channels = static_cast<int>(frame_.num_channels);
+
+  ifs.set_component(v, layer, c_req);
+  while (v != net::Topology::gateway()) {
+    const NodeId p = topo_.parent(v);
+    msgs.push_back({v, p, ProtocolMessage::Type::kPutIntf});
+    ++report.hops_up;
+
+    const Partition box = parts.get(dir, p, layer);
+    if (!box.empty()) {
+      const AdjustOutcome outcome = adjust_partition_layout(
+          box.comp, ifs.layout(p, layer), v, c_req, side);
+      if (outcome.success) {
+        ifs.set_layout(p, layer, outcome.layout);
+        place_children(topo_, ifs, dir, p, layer, parts, msgs, changed);
+        report.resolved_at = p;
+        resolved = true;
+        break;
+      }
+
+      // p's box must grow. Anchored growth keeps every sibling placement
+      // fixed, so the escalation's blast radius stays on this branch.
+      if (auto grown = grow_composite_anchored(
+              box.comp, ifs.layout(p, layer), v, c_req, max_channels, side)) {
+        ifs.set_component(p, layer, grown->box);
+        ifs.set_layout(p, layer, std::move(grown->layout));
+        c_req = ifs.component(p, layer);
+        v = p;
+        continue;
+      }
+    }
+
+    // Last resort: recompose the layer from scratch (Alg. 1) and escalate
+    // with the fresh composite (all sibling placements may change).
+    std::vector<ChildComponent> parts_in;
+    for (NodeId c : topo_.children(p)) {
+      const ResourceComponent cc = ifs.component(c, layer);
+      if (!cc.empty()) parts_in.push_back({c, cc});
+    }
+    Composition composed = compose_components(parts_in, max_channels);
+    HARP_ASSERT(!composed.composite.empty());
+    if (!box.empty() && composed.composite.slots <= box.comp.slots &&
+        composed.composite.channels <= box.comp.channels) {
+      // The fresh composition fits the existing box after all: adopt the
+      // layout, keep the partition (and its reported size) unchanged.
+      ifs.set_layout(p, layer, std::move(composed.layout));
+      place_children(topo_, ifs, dir, p, layer, parts, msgs, changed);
+      report.resolved_at = p;
+      resolved = true;
+      break;
+    }
+    ifs.set_component(p, layer, composed.composite);
+    ifs.set_layout(p, layer, std::move(composed.layout));
+    c_req = ifs.component(p, layer);
+    v = p;
+  }
+
+  if (!resolved) {
+    // Reached the gateway: re-place this direction's layer partitions
+    // with minimal movement (untouched layers stay anchored; the grown
+    // layer extends into its inter-layer gap), falling back to a compact
+    // re-placement, and rejecting when even that cannot fit beside the
+    // other direction's partitions.
+    const NodeId gw = net::Topology::gateway();
+    std::map<int, ResourceComponent> comps;
+    for (int l : ifs.layers(gw)) comps[l] = ifs.component(gw, l);
+    std::map<int, Partition> current_side;
+    for (int l : parts.layers(dir, gw)) current_side[l] = parts.get(dir, gw, l);
+    const Direction other_dir =
+        dir == Direction::kUp ? Direction::kDown : Direction::kUp;
+    std::map<int, Partition> other_side;
+    for (int l : parts.layers(other_dir, gw)) {
+      other_side[l] = parts.get(other_dir, gw, l);
+    }
+    const auto placed =
+        replace_gateway_side(comps, dir, frame_, current_side, other_side);
+    if (!placed) {
+      report.kind = AdjustmentKind::kRejected;
+      report.satisfied = false;
+      return report;
+    }
+    for (const auto& [l, next] : *placed) {
+      parts.set(dir, gw, l, next);
+      // Recurse even when the gateway partition itself is unchanged: the
+      // escalation recomposed this layer's interior layout.
+      place_children(topo_, ifs, dir, gw, l, parts, msgs, changed);
+    }
+    report.resolved_at = gw;
+  }
+
+  // Commit.
+  (dir == Direction::kUp ? up_ : down_) = std::move(ifs);
+  parts_ = std::move(parts);
+  report.satisfied = true;
+  // Moved partitions: nodes whose placement changed, minus the requester
+  // itself (its change is the point of the exercise).
+  report.partitions_moved =
+      static_cast<int>(changed.size()) - (changed.contains(start) ? 1 : 0);
+  return report;
+}
+
+}  // namespace harp::core

@@ -1,0 +1,56 @@
+#include "harp/interface_gen.hpp"
+
+#include "common/error.hpp"
+#include "harp/compose.hpp"
+
+namespace harp::core {
+
+ResourceComponent own_layer_component(const net::Topology& topo,
+                                      const net::TrafficMatrix& traffic,
+                                      Direction dir, NodeId node,
+                                      int own_slack) {
+  int sum = 0;
+  int active = 0;
+  for (NodeId child : topo.children(node)) {
+    const int d = traffic.demand(child, dir);
+    sum += d;
+    if (d > 0) ++active;
+  }
+  // Slack is per active link: every link gets its own spare cells, so a
+  // lossy or bursty link cannot be starved by its siblings.
+  return sum > 0 ? ResourceComponent{sum + own_slack * active, 1}
+                 : ResourceComponent{};
+}
+
+InterfaceSet generate_interfaces(const net::Topology& topo,
+                                 const net::TrafficMatrix& traffic,
+                                 Direction dir, int num_channels,
+                                 int own_slack) {
+  InterfaceSet ifs(topo.size());
+  for (NodeId node : topo.nodes_bottom_up()) {
+    if (topo.is_leaf(node)) continue;
+
+    // Case 1: the node's own links.
+    const int own_layer = topo.link_layer(node);
+    ifs.set_component(node, own_layer,
+                      own_layer_component(topo, traffic, dir, node, own_slack));
+
+    // Case 2: compose children's interfaces layer by layer. Children were
+    // processed earlier (bottom-up order), so their components are final.
+    for (int layer = own_layer + 1; layer <= topo.subtree_depth(node);
+         ++layer) {
+      std::vector<ChildComponent> parts;
+      for (NodeId child : topo.children(node)) {
+        const ResourceComponent c = ifs.component(child, layer);
+        if (!c.empty()) parts.push_back({child, c});
+      }
+      Composition composed = compose_components(parts, num_channels);
+      if (composed.composite.empty()) continue;
+      ifs.set_component(node, layer, composed.composite);
+      ifs.set_layout(node, layer, std::move(composed.layout));
+    }
+  }
+  return ifs;
+}
+
+}  // namespace harp::core

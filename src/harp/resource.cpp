@@ -1,0 +1,55 @@
+#include "harp/resource.hpp"
+
+#include "common/error.hpp"
+
+namespace harp::core {
+
+const std::vector<packing::Placement> InterfaceSet::kEmptyLayout{};
+
+ResourceComponent InterfaceSet::component(NodeId node, int layer) const {
+  HARP_ASSERT(node < nodes_.size());
+  const auto it = nodes_[node].find(layer);
+  return it == nodes_[node].end() ? ResourceComponent{} : it->second.comp;
+}
+
+void InterfaceSet::set_component(NodeId node, int layer, ResourceComponent c) {
+  HARP_ASSERT(node < nodes_.size());
+  HARP_ASSERT(layer >= 1);
+  if (c.empty()) {
+    nodes_[node].erase(layer);
+  } else {
+    nodes_[node][layer].comp = c;
+  }
+}
+
+const std::vector<packing::Placement>& InterfaceSet::layout(NodeId node,
+                                                            int layer) const {
+  HARP_ASSERT(node < nodes_.size());
+  const auto it = nodes_[node].find(layer);
+  return it == nodes_[node].end() ? kEmptyLayout : it->second.layout;
+}
+
+void InterfaceSet::set_layout(NodeId node, int layer,
+                              std::vector<packing::Placement> layout) {
+  HARP_ASSERT(node < nodes_.size());
+  const auto it = nodes_[node].find(layer);
+  HARP_ASSERT(it != nodes_[node].end());  // set the component first
+  it->second.layout = std::move(layout);
+}
+
+std::vector<int> InterfaceSet::layers(NodeId node) const {
+  HARP_ASSERT(node < nodes_.size());
+  std::vector<int> out;
+  out.reserve(nodes_[node].size());
+  for (const auto& [layer, entry] : nodes_[node]) out.push_back(layer);
+  return out;
+}
+
+std::int64_t InterfaceSet::interface_cells(NodeId node) const {
+  HARP_ASSERT(node < nodes_.size());
+  std::int64_t total = 0;
+  for (const auto& [layer, entry] : nodes_[node]) total += entry.comp.cells();
+  return total;
+}
+
+}  // namespace harp::core

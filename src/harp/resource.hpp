@@ -1,0 +1,128 @@
+// Resource components, interfaces and partitions (paper Defs. 1-2, Sec. IV).
+//
+// A resource COMPONENT C_{i,l} = [n^s, n^c] abstracts the cells needed by
+// all the links of subtree G_{V_i} at layer l as an n^s-slots-by-n^c-channels
+// rectangle. A resource INTERFACE I_i is the per-layer collection of
+// components for one subtree — the compact summary a node reports to its
+// parent. A PARTITION P_{i,l} = [C_{i,l}, t, c] pins a component to a
+// concrete location in the slotframe.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "packing/rect.hpp"
+
+namespace harp::core {
+
+/// Definition 1: rectangular resource requirement of one subtree at one
+/// layer. `slots` is the time dimension (n^s), `channels` the frequency
+/// dimension (n^c). A default-constructed component is empty (no demand).
+struct ResourceComponent {
+  int slots{0};
+  int channels{0};
+
+  bool empty() const { return slots <= 0 || channels <= 0; }
+  std::int64_t cells() const {
+    return empty() ? 0
+                   : static_cast<std::int64_t>(slots) * channels;
+  }
+
+  /// The packing-plane view used throughout: x/width = slots,
+  /// y/height = channels.
+  packing::Rect as_rect(std::uint64_t id) const {
+    return {slots, channels, id};
+  }
+
+  friend auto operator<=>(const ResourceComponent&,
+                          const ResourceComponent&) = default;
+};
+
+inline std::string to_string(const ResourceComponent& c) {
+  return "[" + std::to_string(c.slots) + "," + std::to_string(c.channels) +
+         "]";
+}
+
+/// A component placed in the slotframe: occupies slots
+/// [slot, slot + comp.slots) x channels [channel, channel + comp.channels).
+struct Partition {
+  ResourceComponent comp;
+  SlotId slot{0};
+  ChannelId channel{0};
+
+  bool empty() const { return comp.empty(); }
+  SlotId end_slot() const { return slot + static_cast<SlotId>(comp.slots); }
+  ChannelId end_channel() const {
+    return channel + static_cast<ChannelId>(comp.channels);
+  }
+
+  bool contains(Cell cell) const {
+    return !empty() && cell.slot >= slot && cell.slot < end_slot() &&
+           cell.channel >= channel && cell.channel < end_channel();
+  }
+
+  bool overlaps(const Partition& o) const {
+    return !empty() && !o.empty() && slot < o.end_slot() &&
+           o.slot < end_slot() && channel < o.end_channel() &&
+           o.channel < end_channel();
+  }
+
+  friend auto operator<=>(const Partition&, const Partition&) = default;
+};
+
+inline std::string to_string(const Partition& p) {
+  return to_string(p.comp) + "@(" + std::to_string(p.slot) + "," +
+         std::to_string(p.channel) + ")";
+}
+
+/// Definition 2 plus composition layouts: for every node, the component it
+/// reports per layer, and — for composed layers — where each direct
+/// subtree's component sits inside the composite (relative slot/channel
+/// offsets; placement id = child node id). The layout is what lets a
+/// parent later carve its partition into child partitions (Sec. IV-C) and
+/// is also the state Alg. 2 rearranges.
+class InterfaceSet {
+ public:
+  InterfaceSet() = default;
+  explicit InterfaceSet(std::size_t num_nodes) : nodes_(num_nodes) {}
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+  /// Grows the set for newly joined nodes (empty interfaces).
+  void resize(std::size_t num_nodes) {
+    if (num_nodes > nodes_.size()) nodes_.resize(num_nodes);
+  }
+
+  /// C_{node,layer}; empty component when the subtree has no demand there.
+  ResourceComponent component(NodeId node, int layer) const;
+  void set_component(NodeId node, int layer, ResourceComponent c);
+
+  /// Relative placements of the direct subtrees' components inside
+  /// C_{node,layer} (x = slot offset, y = channel offset, id = child).
+  /// Empty for own-layer components (their interior is a schedule, not
+  /// sub-partitions).
+  const std::vector<packing::Placement>& layout(NodeId node, int layer) const;
+  void set_layout(NodeId node, int layer,
+                  std::vector<packing::Placement> layout);
+
+  /// Layers at which `node` reports a non-empty component, ascending.
+  std::vector<int> layers(NodeId node) const;
+
+  /// Sum of cells over one node's interface.
+  std::int64_t interface_cells(NodeId node) const;
+
+ private:
+  struct Entry {
+    ResourceComponent comp;
+    std::vector<packing::Placement> layout;
+  };
+  // layer -> entry; std::map keeps layers ordered for iteration.
+  std::vector<std::map<int, Entry>> nodes_;
+
+  static const std::vector<packing::Placement> kEmptyLayout;
+};
+
+}  // namespace harp::core

@@ -1,0 +1,113 @@
+#include "harp/rm_scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::core {
+
+std::vector<std::pair<NodeId, std::vector<Cell>>> assign_cells_rm(
+    const Partition& part, std::vector<LinkRequest> requests,
+    bool distribute_leftover) {
+  std::int64_t total = 0;
+  for (const LinkRequest& r : requests) {
+    HARP_ASSERT(r.demand >= 0);
+    total += r.demand;
+  }
+  if (total > part.comp.cells()) {
+    throw InfeasibleError("demand of " + std::to_string(total) +
+                          " cells exceeds partition " + to_string(part));
+  }
+
+  std::sort(requests.begin(), requests.end(),
+            [](const LinkRequest& a, const LinkRequest& b) {
+              if (a.period != b.period) return a.period < b.period;
+              return a.child < b.child;
+            });
+
+  std::vector<std::pair<NodeId, std::vector<Cell>>> out;
+  out.reserve(requests.size());
+  int cursor = 0;  // cell index inside the partition, row-major
+  for (const LinkRequest& r : requests) {
+    std::vector<Cell> cells;
+    cells.reserve(static_cast<std::size_t>(r.demand));
+    for (int k = 0; k < r.demand; ++k, ++cursor) {
+      const int slot_off = cursor % part.comp.slots;
+      const int chan_off = cursor / part.comp.slots;
+      cells.push_back(Cell{part.slot + static_cast<SlotId>(slot_off),
+                           part.channel + static_cast<ChannelId>(chan_off)});
+    }
+    out.emplace_back(r.child, std::move(cells));
+  }
+
+  if (distribute_leftover && !out.empty()) {
+    // Bonus cells go to the heaviest links first: they carry the most
+    // traffic, so they suffer the most loss retries and transient bursts.
+    std::vector<std::size_t> order(out.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      if (out[a].second.size() != out[b].second.size()) {
+        return out[a].second.size() > out[b].second.size();
+      }
+      return out[a].first < out[b].first;
+    });
+    std::size_t turn = 0;
+    while (cursor < part.comp.cells()) {
+      const int slot_off = cursor % part.comp.slots;
+      const int chan_off = cursor / part.comp.slots;
+      out[order[turn % order.size()]].second.push_back(
+          Cell{part.slot + static_cast<SlotId>(slot_off),
+               part.channel + static_cast<ChannelId>(chan_off)});
+      ++cursor;
+      ++turn;
+    }
+  }
+  return out;
+}
+
+LinkPeriods link_periods(const net::Topology& topo,
+                         std::span<const net::Task> tasks) {
+  LinkPeriods lp;
+  lp.up.assign(topo.size(), ~0u);
+  lp.down.assign(topo.size(), ~0u);
+  for (const net::Task& t : tasks) {
+    const std::uint32_t deadline = t.effective_deadline();
+    for (NodeId v : topo.path_to_gateway(t.source)) {
+      if (v == net::Topology::gateway()) continue;
+      lp.up[v] = std::min(lp.up[v], deadline);
+      if (t.echo) lp.down[v] = std::min(lp.down[v], deadline);
+    }
+  }
+  return lp;
+}
+
+Schedule generate_schedule(const net::Topology& topo,
+                           const net::TrafficMatrix& traffic,
+                           const PartitionTable& parts,
+                           const LinkPeriods& periods,
+                           bool distribute_leftover) {
+  Schedule schedule(topo.size());
+  for (NodeId node = 0; node < topo.size(); ++node) {
+    if (topo.is_leaf(node)) continue;
+    const int l0 = topo.link_layer(node);
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      std::vector<LinkRequest> requests;
+      for (NodeId child : topo.children(node)) {
+        const int demand = traffic.demand(child, dir);
+        if (demand > 0) {
+          requests.push_back({child, demand, periods.get(child, dir)});
+        }
+      }
+      if (requests.empty()) continue;
+      const Partition part = parts.get(dir, node, l0);
+      HARP_ASSERT(!part.empty());
+      for (auto& [child, cells] : assign_cells_rm(part, std::move(requests),
+                                                  distribute_leftover)) {
+        schedule.set_cells(child, dir, std::move(cells));
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace harp::core

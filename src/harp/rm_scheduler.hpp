@@ -1,0 +1,67 @@
+// Distributed schedule generation (paper Sec. IV-D).
+//
+// After partition allocation each non-leaf node owns a dedicated
+// scheduling partition P_{i,l(V_i)} (a row of consecutive cells) for the
+// links to its children, and assigns cells inside it without any further
+// coordination — isolation makes whatever it picks collision-free. The
+// paper deploys Rate Monotonic: links carrying shorter-period (higher
+// rate) tasks pick their cells first.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "harp/partition_alloc.hpp"
+#include "harp/schedule.hpp"
+#include "net/task.hpp"
+
+namespace harp::core {
+
+/// Per-link input to the in-partition scheduler.
+struct LinkRequest {
+  NodeId child{kNoNode};
+  int demand{0};               // cells required
+  std::uint32_t period{~0u};   // RM priority: smaller period = earlier cells
+};
+
+/// Assigns `requests` consecutive cell runs inside `part` in RM order
+/// (period, then child id for determinism). Row-major within the
+/// partition: slots first, then the next channel. Throws InfeasibleError
+/// when total demand exceeds the partition capacity.
+/// With `distribute_leftover`, cells of the partition beyond the summed
+/// demand are handed out round-robin (RM order) as bonus capacity — the
+/// node owns the whole partition, so idle cells may serve queue backlog
+/// (Sec. V: "directly assigns more cells within the partition").
+std::vector<std::pair<NodeId, std::vector<Cell>>> assign_cells_rm(
+    const Partition& part, std::vector<LinkRequest> requests,
+    bool distribute_leftover = false);
+
+/// Minimum effective deadline among the tasks crossing each node's
+/// uplink/downlink, used as the link's priority. With implicit deadlines
+/// (deadline = period) this is classic Rate Monotonic; with constrained
+/// deadlines it becomes Deadline Monotonic — the paper's
+/// diverse-deadlines extension. Index = child node id; links with no
+/// tasks get ~0u (lowest priority).
+struct LinkPeriods {
+  std::vector<std::uint32_t> up;
+  std::vector<std::uint32_t> down;
+  std::uint32_t get(NodeId child, Direction dir) const {
+    return dir == Direction::kUp ? up[child] : down[child];
+  }
+};
+LinkPeriods link_periods(const net::Topology& topo,
+                         std::span<const net::Task> tasks);
+
+/// Runs RM in every node's scheduling partition, for both directions, and
+/// returns the complete network schedule. This is the "distributed" phase
+/// executed node-locally in a real deployment; computing it centrally here
+/// yields the identical result because each node's decision depends only
+/// on its own partition and demands.
+Schedule generate_schedule(const net::Topology& topo,
+                           const net::TrafficMatrix& traffic,
+                           const PartitionTable& parts,
+                           const LinkPeriods& periods,
+                           bool distribute_leftover = false);
+
+}  // namespace harp::core

@@ -1,0 +1,132 @@
+#include "mesh/decompose.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+#include "common/error.hpp"
+
+namespace harp::mesh {
+namespace {
+
+/// Primary tree: RPL-like shortest-path extraction minimizing (hops,
+/// then -total quality). Returns the parent vector.
+std::vector<NodeId> extract_primary(const MeshGraph& mesh) {
+  struct Cost {
+    int hops;
+    double neg_quality;
+    bool operator>(const Cost& o) const {
+      if (hops != o.hops) return hops > o.hops;
+      return neg_quality > o.neg_quality;
+    }
+  };
+  const std::size_t n = mesh.size();
+  std::vector<Cost> best(n, {std::numeric_limits<int>::max(), 0.0});
+  std::vector<NodeId> parent(n, kNoNode);
+  using Item = std::pair<Cost, NodeId>;
+  const auto cmp = [](const Item& a, const Item& b) {
+    return a.first > b.first;
+  };
+  std::priority_queue<Item, std::vector<Item>, decltype(cmp)> queue(cmp);
+  best[0] = {0, 0.0};
+  queue.push({best[0], 0});
+
+  while (!queue.empty()) {
+    const auto [cost, v] = queue.top();
+    queue.pop();
+    if (cost.hops != best[v].hops ||
+        cost.neg_quality != best[v].neg_quality) {
+      continue;  // stale entry
+    }
+    for (const auto& nb : mesh.neighbors(v)) {
+      const Cost next{cost.hops + 1, cost.neg_quality - nb.quality};
+      if (best[nb.node] > next) {
+        best[nb.node] = next;
+        parent[nb.node] = v;
+        queue.push({next, nb.node});
+      }
+    }
+  }
+  for (NodeId v = 1; v < n; ++v) HARP_ASSERT(parent[v] != kNoNode);
+  parent[0] = kNoNode;
+  return parent;
+}
+
+/// Hop distance to the gateway over the mesh (BFS).
+std::vector<int> hop_distance(const MeshGraph& mesh) {
+  std::vector<int> dist(mesh.size(), -1);
+  std::vector<NodeId> bfs{0};
+  dist[0] = 0;
+  for (std::size_t i = 0; i < bfs.size(); ++i) {
+    for (const auto& nb : mesh.neighbors(bfs[i])) {
+      if (dist[nb.node] < 0) {
+        dist[nb.node] = dist[bfs[i]] + 1;
+        bfs.push_back(nb.node);
+      }
+    }
+  }
+  return dist;
+}
+
+/// Secondary tree: explicit backup-parent selection. Each node picks, as
+/// its fallback uplink, a neighbor DIFFERENT from its primary parent
+/// whenever one is admissible; admissible parents are strictly smaller in
+/// (hop distance, id) lexicographic order, which makes the parent graph
+/// acyclic by construction (same-depth adoptions are allowed toward
+/// smaller ids only).
+std::vector<NodeId> extract_secondary(const MeshGraph& mesh,
+                                      const std::vector<NodeId>& primary) {
+  const std::vector<int> dist = hop_distance(mesh);
+  std::vector<NodeId> parent(mesh.size(), kNoNode);
+  for (NodeId v = 1; v < mesh.size(); ++v) {
+    NodeId best = kNoNode;
+    double best_quality = -1.0;
+    bool best_diverse = false;
+    for (const auto& nb : mesh.neighbors(v)) {
+      const bool admissible =
+          dist[nb.node] < dist[v] ||
+          (dist[nb.node] == dist[v] && nb.node < v);
+      if (!admissible) continue;
+      const bool diverse = nb.node != primary[v];
+      // Diversity dominates; quality breaks ties.
+      if (best == kNoNode || (diverse && !best_diverse) ||
+          (diverse == best_diverse && nb.quality > best_quality)) {
+        best = nb.node;
+        best_quality = nb.quality;
+        best_diverse = diverse;
+      }
+    }
+    // The primary parent is always admissible (one hop shallower), so a
+    // candidate exists.
+    HARP_ASSERT(best != kNoNode);
+    parent[v] = best;
+  }
+  return parent;
+}
+
+}  // namespace
+
+Decomposition decompose(const MeshGraph& mesh) {
+  if (!mesh.connected()) {
+    throw InvalidArgument("mesh is not connected to the gateway");
+  }
+
+  const std::vector<NodeId> primary_parent = extract_primary(mesh);
+  const std::vector<NodeId> secondary_parent =
+      extract_secondary(mesh, primary_parent);
+
+  Decomposition out{net::TopologyBuilder::build_from(primary_parent),
+                    net::TopologyBuilder::build_from(secondary_parent)};
+
+  std::size_t diverse = 0;
+  for (NodeId v = 1; v < mesh.size(); ++v) {
+    if (primary_parent[v] != secondary_parent[v]) ++diverse;
+  }
+  out.uplink_diversity =
+      mesh.size() > 1
+          ? static_cast<double>(diverse) / static_cast<double>(mesh.size() - 1)
+          : 0.0;
+  return out;
+}
+
+}  // namespace harp::mesh

@@ -1,0 +1,33 @@
+// Mesh-to-trees decomposition (divide and conquer, per the paper's
+// future-work sketch).
+//
+// From the connectivity mesh we extract two spanning trees rooted at the
+// gateway:
+//   * PRIMARY — the routing tree an RPL-like layer would form: each node
+//     picks the parent minimizing (hops to gateway, then -quality);
+//   * SECONDARY — the same construction with every primary link heavily
+//     penalized, yielding a maximally link-disjoint fallback tree.
+// MultiTreeHarp then runs HARP independently on each tree in disjoint
+// slot regions, so a node can fail over to its secondary parent without
+// renegotiating anything in the primary hierarchy.
+#pragma once
+
+#include "mesh/mesh.hpp"
+#include "net/topology.hpp"
+
+namespace harp::mesh {
+
+struct Decomposition {
+  net::Topology primary;
+  net::Topology secondary;
+  /// Fraction of non-gateway nodes whose secondary uplink uses a
+  /// different link than their primary uplink (1.0 = fully link-disjoint
+  /// first hops).
+  double uplink_diversity{0.0};
+};
+
+/// Extracts the two trees. Throws InvalidArgument when the mesh is not
+/// connected. Node ids are shared across mesh and both trees.
+Decomposition decompose(const MeshGraph& mesh);
+
+}  // namespace harp::mesh

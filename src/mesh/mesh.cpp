@@ -1,0 +1,131 @@
+#include "mesh/mesh.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace harp::mesh {
+
+MeshGraph::MeshGraph(std::size_t num_nodes) : adjacency_(num_nodes) {
+  if (num_nodes == 0) throw InvalidArgument("mesh needs at least the gateway");
+}
+
+void MeshGraph::add_link(NodeId a, NodeId b, double quality) {
+  if (a >= size() || b >= size() || a == b) {
+    throw InvalidArgument("invalid link endpoints");
+  }
+  if (quality <= 0.0 || quality > 1.0) {
+    throw InvalidArgument("quality must be in (0,1]");
+  }
+  const auto update = [&](NodeId from, NodeId to) {
+    for (Neighbor& n : adjacency_[from]) {
+      if (n.node == to) {
+        n.quality = quality;
+        return true;
+      }
+    }
+    adjacency_[from].push_back({to, quality});
+    return false;
+  };
+  const bool existed = update(a, b);
+  update(b, a);
+  if (!existed) ++num_links_;
+}
+
+double MeshGraph::quality(NodeId a, NodeId b) const {
+  HARP_ASSERT(a < size() && b < size());
+  for (const Neighbor& n : adjacency_[a]) {
+    if (n.node == b) return n.quality;
+  }
+  return 0.0;
+}
+
+const std::vector<MeshGraph::Neighbor>& MeshGraph::neighbors(
+    NodeId node) const {
+  HARP_ASSERT(node < size());
+  return adjacency_[node];
+}
+
+bool MeshGraph::connected() const {
+  std::vector<bool> seen(size(), false);
+  std::vector<NodeId> stack{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const NodeId v = stack.back();
+    stack.pop_back();
+    for (const Neighbor& n : adjacency_[v]) {
+      if (!seen[n.node]) {
+        seen[n.node] = true;
+        ++reached;
+        stack.push_back(n.node);
+      }
+    }
+  }
+  return reached == size();
+}
+
+MeshGraph random_mesh(std::size_t num_nodes, Rng& rng) {
+  MeshGraph mesh(num_nodes);
+  if (num_nodes == 1) return mesh;
+
+  // Scatter nodes; the gateway sits at the center.
+  std::vector<std::pair<double, double>> pos(num_nodes);
+  pos[0] = {0.5, 0.5};
+  for (std::size_t v = 1; v < num_nodes; ++v) {
+    pos[v] = {rng.uniform(), rng.uniform()};
+  }
+
+  // Radius scaled for average degree ~5: pi r^2 n ~ 5.
+  const double radius = std::sqrt(
+      5.0 / (3.14159265358979 * static_cast<double>(num_nodes)));
+  const auto dist = [&](std::size_t a, std::size_t b) {
+    const double dx = pos[a].first - pos[b].first;
+    const double dy = pos[a].second - pos[b].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  for (std::size_t a = 0; a < num_nodes; ++a) {
+    for (std::size_t b = a + 1; b < num_nodes; ++b) {
+      const double d = dist(a, b);
+      if (d <= radius) {
+        // Quality decays with distance, floor 0.5 at the radius edge.
+        mesh.add_link(static_cast<NodeId>(a), static_cast<NodeId>(b),
+                      1.0 - 0.5 * d / radius);
+      }
+    }
+  }
+
+  // Guarantee connectivity: link every unreached node to its nearest
+  // reached neighbor (long shot, low quality).
+  std::vector<bool> seen(num_nodes, false);
+  const auto flood = [&]() {
+    std::fill(seen.begin(), seen.end(), false);
+    std::vector<NodeId> stack{0};
+    seen[0] = true;
+    while (!stack.empty()) {
+      const NodeId v = stack.back();
+      stack.pop_back();
+      for (const auto& n : mesh.neighbors(v)) {
+        if (!seen[n.node]) {
+          seen[n.node] = true;
+          stack.push_back(n.node);
+        }
+      }
+    }
+  };
+  flood();
+  for (std::size_t v = 1; v < num_nodes; ++v) {
+    if (seen[v]) continue;
+    std::size_t best = 0;
+    for (std::size_t u = 0; u < num_nodes; ++u) {
+      if (seen[u] && dist(v, u) < dist(v, best)) best = u;
+    }
+    mesh.add_link(static_cast<NodeId>(v), static_cast<NodeId>(best), 0.5);
+    flood();
+  }
+  HARP_ASSERT(mesh.connected());
+  return mesh;
+}
+
+}  // namespace harp::mesh

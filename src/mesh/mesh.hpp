@@ -1,0 +1,54 @@
+// Mesh connectivity model (the "non-tree topology" future-work extension).
+//
+// Real deployments are not trees: most nodes hear several potential
+// parents, and the routing layer picks one. The paper scopes HARP to
+// trees and proposes ("future work") decomposing non-tree topologies
+// into multiple trees, applying HARP divide-and-conquer. MeshGraph is the
+// substrate for that: the undirected who-hears-whom graph with link
+// qualities, from which decompose() carves the trees.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace harp::mesh {
+
+/// Undirected connectivity graph. Node 0 is the gateway.
+class MeshGraph {
+ public:
+  explicit MeshGraph(std::size_t num_nodes);
+
+  std::size_t size() const { return adjacency_.size(); }
+  std::size_t num_links() const { return num_links_; }
+
+  /// Declares that `a` and `b` hear each other with the given link
+  /// quality in (0, 1]. Re-adding an existing link updates its quality.
+  void add_link(NodeId a, NodeId b, double quality);
+
+  /// Quality of the a-b link; 0 when they cannot hear each other.
+  double quality(NodeId a, NodeId b) const;
+
+  struct Neighbor {
+    NodeId node;
+    double quality;
+  };
+  const std::vector<Neighbor>& neighbors(NodeId node) const;
+
+  /// True when every node can reach the gateway.
+  bool connected() const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  std::size_t num_links_{0};
+};
+
+/// Random connected mesh: nodes are scattered on a unit square, the
+/// gateway at the center; nodes hear each other within a radius chosen to
+/// keep the graph connected, with quality decaying over distance. Typical
+/// node degree 3-6, like a dense industrial deployment.
+MeshGraph random_mesh(std::size_t num_nodes, Rng& rng);
+
+}  // namespace harp::mesh

@@ -1,0 +1,110 @@
+// MultiTreeHarp: HARP on non-tree topologies, divide and conquer.
+//
+// The data sub-frame is split into two disjoint slot regions, one per
+// decomposed tree; an independent HarpEngine manages each region over its
+// own tree. Because the regions share no slots, the two hierarchies can
+// never collide — even though every node appears in both trees. Each
+// device's traffic is assigned to one tree (primary by default) and can
+// FAIL OVER to the other at runtime: release on one hierarchy, request on
+// the other — no topology renegotiation, no waiting for the routing layer
+// to reconverge. This implements the paper's future-work sketch and gives
+// the system fast reroute under interference.
+#pragma once
+
+#include <vector>
+
+#include "harp/engine.hpp"
+#include "mesh/decompose.hpp"
+#include "mesh/mesh.hpp"
+#include "net/task.hpp"
+
+namespace harp::mesh {
+
+enum class Tree : std::uint8_t { kPrimary = 0, kSecondary = 1 };
+
+const char* to_string(Tree t);
+
+class MultiTreeHarp {
+ public:
+  struct Options {
+    net::SlotframeConfig frame;
+    /// Fraction of the data sub-frame reserved for the secondary region.
+    double secondary_share = 0.35;
+    int own_slack = 0;
+    /// Hot-standby floor: cells pre-reserved on EVERY secondary-tree link
+    /// at bootstrap. 0 = cold standby (first failover pays the full
+    /// hierarchy build-out); 1+ = failovers of modest flows resolve with
+    /// a handful of local messages.
+    int standby_demand = 0;
+  };
+
+  /// Decomposes the mesh and bootstraps both hierarchies: the primary
+  /// carries all tasks, the secondary starts empty (pure standby).
+  /// Throws InfeasibleError when the primary region cannot admit the
+  /// task set.
+  MultiTreeHarp(const MeshGraph& mesh, std::vector<net::Task> tasks,
+                Options options);
+
+  const net::Topology& topology(Tree t) const {
+    return engine(t).topology();
+  }
+  const core::HarpEngine& engine(Tree t) const {
+    return t == Tree::kPrimary ? primary_ : secondary_;
+  }
+  double uplink_diversity() const { return diversity_; }
+
+  /// Which tree currently carries `node`'s traffic.
+  Tree assignment(NodeId node) const;
+
+  /// The slot region [begin, end) of a tree within the global slotframe.
+  std::pair<SlotId, SlotId> region(Tree t) const;
+
+  /// The tree's schedule translated into GLOBAL slotframe coordinates.
+  core::Schedule global_schedule(Tree t) const;
+
+  struct FailoverReport {
+    bool satisfied{false};
+    /// HARP messages exchanged across both hierarchies.
+    std::size_t messages{0};
+    /// Links whose reservation changed.
+    std::size_t links_touched{0};
+  };
+
+  /// Moves `node`'s traffic to the other tree (and back with another
+  /// call). On rejection every change is rolled back and the node stays
+  /// where it was.
+  FailoverReport failover(NodeId node);
+
+  /// Cross-hierarchy validation: both engines' invariants plus region
+  /// disjointness. Returns "" when consistent.
+  std::string validate() const;
+
+ private:
+  MultiTreeHarp(Decomposition d, std::vector<net::Task> tasks,
+                Options options);
+
+  struct Applied {
+    Tree tree;
+    NodeId child;
+    Direction dir;
+    int old_cells;
+  };
+  core::HarpEngine& engine_mut(Tree t) {
+    return t == Tree::kPrimary ? primary_ : secondary_;
+  }
+  net::TrafficMatrix desired_traffic(Tree t) const;
+  bool apply_diff(Tree t, const net::TrafficMatrix& desired,
+                  std::vector<Applied>& undo_log, std::size_t& messages,
+                  std::size_t& links);
+  void rollback(const std::vector<Applied>& undo_log);
+
+  Options options_;
+  double diversity_{0.0};
+  std::vector<net::Task> tasks_;
+  std::vector<Tree> assignment_;
+  SlotId split_{0};  // primary region = [0, split_), secondary after
+  core::HarpEngine primary_;
+  core::HarpEngine secondary_;
+};
+
+}  // namespace harp::mesh

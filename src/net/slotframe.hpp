@@ -1,0 +1,47 @@
+// Slotframe configuration.
+//
+// A 6TiSCH slotframe is a repeating window of `length` time slots across
+// `num_channels` channels. Following the paper's testbed (Sec. VI-A), the
+// slotframe is split into a Data sub-frame — the region HARP partitions
+// hierarchically for application traffic — and a Management sub-frame used
+// for beacons, RPL control and HARP's own signalling.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace harp::net {
+
+struct SlotframeConfig {
+  /// Total slots per slotframe. Paper: 199 (a prime, avoiding beacon
+  /// aliasing), i.e. 1.99 s at the standard 10 ms slot.
+  SlotId length = 199;
+  /// Channels available. IEEE 802.15.4 @2.4 GHz offers 16.
+  ChannelId num_channels = 16;
+  /// Slots [0, data_slots) form the Data sub-frame; the rest is the
+  /// Management sub-frame. Defaults to ~84% data, mirroring a deployment
+  /// that reserves a few tens of slots for control traffic.
+  SlotId data_slots = 167;
+  /// Physical slot duration in seconds (10 ms in 802.15.4e TSCH).
+  double slot_seconds = 0.01;
+
+  SlotId mgmt_slots() const { return length - data_slots; }
+  double frame_seconds() const { return slot_seconds * length; }
+  std::uint64_t data_cells() const {
+    return static_cast<std::uint64_t>(data_slots) * num_channels;
+  }
+
+  /// Throws InvalidArgument when inconsistent.
+  void validate() const {
+    if (length == 0) throw InvalidArgument("slotframe length must be > 0");
+    if (num_channels == 0) throw InvalidArgument("need at least one channel");
+    if (data_slots > length) {
+      throw InvalidArgument("data sub-frame exceeds slotframe");
+    }
+    if (slot_seconds <= 0) throw InvalidArgument("slot duration must be > 0");
+  }
+};
+
+}  // namespace harp::net

@@ -1,0 +1,50 @@
+// Application task (data-flow) model.
+//
+// A task periodically samples at a source node and sends the reading
+// uplink to the gateway; for closed-loop (echo) tasks the gateway replies
+// downlink along the same path (the paper's testbed deploys exactly this
+// end-to-end echo task on every node, period 2 s). Rates are expressed as
+// a period in slots so fractional packets-per-slotframe rates (e.g. the
+// 1.5 pkt/slotframe step in Fig. 10) are exact.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace harp::net {
+
+struct Task {
+  TaskId id{0};
+  /// Node that generates the data (and receives the echo, if any).
+  NodeId source{kNoNode};
+  /// Packet generation period in slots. E.g. period 199 with a 199-slot
+  /// slotframe = 1 packet/slotframe; period 66 ~= 3 packets/slotframe.
+  std::uint32_t period_slots{0};
+  /// First release offset in slots (phase).
+  std::uint32_t phase_slots{0};
+  /// True when the gateway echoes each packet back to the source
+  /// (uplink + downlink legs); false for collect-only tasks (uplink only).
+  bool echo{true};
+  /// Relative end-to-end deadline in slots; 0 means implicit (= period).
+  /// Constrained deadlines (deadline < period) give the task a higher
+  /// Deadline-Monotonic priority when parents order cells in their
+  /// partitions — the paper's "diverse end-to-end deadlines" extension.
+  std::uint32_t deadline_slots{0};
+
+  /// Average packets per slotframe of `slotframe_len` slots.
+  double rate(SlotId slotframe_len) const {
+    HARP_ASSERT(period_slots > 0);
+    return static_cast<double>(slotframe_len) /
+           static_cast<double>(period_slots);
+  }
+
+  /// The deadline used for priority and miss accounting.
+  std::uint32_t effective_deadline() const {
+    HARP_ASSERT(period_slots > 0);
+    return deadline_slots > 0 ? deadline_slots : period_slots;
+  }
+};
+
+}  // namespace harp::net

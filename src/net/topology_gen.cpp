@@ -1,0 +1,146 @@
+#include "net/topology_gen.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::net {
+
+Topology random_tree(const RandomTreeSpec& spec, Rng& rng) {
+  if (spec.num_nodes < static_cast<std::size_t>(spec.num_layers) + 1) {
+    throw InvalidArgument("need at least num_layers+1 nodes");
+  }
+  if (spec.num_layers < 1) throw InvalidArgument("need at least one layer");
+
+  TopologyBuilder b;
+  std::vector<int> layer_of{0};       // gateway at layer 0
+  std::vector<std::size_t> fanout{0};  // children count per node
+
+  // Backbone chain guaranteeing the requested depth.
+  NodeId prev = 0;
+  for (int l = 1; l <= spec.num_layers; ++l) {
+    const NodeId v = b.add_node(prev);
+    ++fanout[prev];
+    layer_of.push_back(l);
+    fanout.push_back(0);
+    prev = v;
+  }
+
+  // Attach the remaining nodes to uniformly chosen eligible parents:
+  // shallower than the deepest layer and below the fanout cap.
+  while (layer_of.size() < spec.num_nodes) {
+    std::vector<NodeId> eligible;
+    for (NodeId v = 0; v < layer_of.size(); ++v) {
+      if (layer_of[v] >= spec.num_layers) continue;
+      if (spec.max_children != 0 && fanout[v] >= spec.max_children) continue;
+      eligible.push_back(v);
+    }
+    if (eligible.empty()) {
+      throw InvalidArgument("fanout cap too tight for requested node count");
+    }
+    const NodeId parent = eligible[rng.index(eligible.size())];
+    b.add_node(parent);
+    ++fanout[parent];
+    layer_of.push_back(layer_of[parent] + 1);
+    fanout.push_back(0);
+  }
+  return b.build();
+}
+
+Topology testbed_tree() {
+  // 50 nodes, 5 layers. Gateway feeds 4 layer-1 relays; branches thin out
+  // with depth, mirroring the hallway deployment of Fig. 7(c): a few long
+  // corridors (reaching layer 5) and many shallow sensor clusters.
+  TopologyBuilder b;
+  // Layer 1: nodes 1-4.
+  const NodeId n1 = b.add_node(0);
+  const NodeId n2 = b.add_node(0);
+  const NodeId n3 = b.add_node(0);
+  const NodeId n4 = b.add_node(0);
+  // Layer 2: nodes 5-14 (n1 and n2 are the big corridors).
+  const NodeId n5 = b.add_node(n1);
+  const NodeId n6 = b.add_node(n1);
+  const NodeId n7 = b.add_node(n1);
+  const NodeId n8 = b.add_node(n2);
+  const NodeId n9 = b.add_node(n2);
+  const NodeId n10 = b.add_node(n3);
+  const NodeId n11 = b.add_node(n3);
+  const NodeId n12 = b.add_node(n4);
+  const NodeId n13 = b.add_node(n4);
+  const NodeId n14 = b.add_node(n4);
+  // Layer 3: nodes 15-29.
+  const NodeId n15 = b.add_node(n5);
+  const NodeId n16 = b.add_node(n5);
+  const NodeId n17 = b.add_node(n6);
+  const NodeId n18 = b.add_node(n6);
+  const NodeId n19 = b.add_node(n7);
+  const NodeId n20 = b.add_node(n8);
+  const NodeId n21 = b.add_node(n8);
+  const NodeId n22 = b.add_node(n9);
+  const NodeId n23 = b.add_node(n10);
+  const NodeId n24 = b.add_node(n11);
+  const NodeId n25 = b.add_node(n12);
+  const NodeId n26 = b.add_node(n13);
+  const NodeId n27 = b.add_node(n14);
+  const NodeId n28 = b.add_node(n14);
+  const NodeId n29 = b.add_node(n9);
+  // Layer 4: nodes 30-42.
+  const NodeId n30 = b.add_node(n15);
+  const NodeId n31 = b.add_node(n15);
+  const NodeId n32 = b.add_node(n16);
+  const NodeId n33 = b.add_node(n17);
+  const NodeId n34 = b.add_node(n18);
+  const NodeId n35 = b.add_node(n19);
+  const NodeId n36 = b.add_node(n20);
+  const NodeId n37 = b.add_node(n21);
+  const NodeId n38 = b.add_node(n22);
+  const NodeId n39 = b.add_node(n23);
+  const NodeId n40 = b.add_node(n24);
+  [[maybe_unused]] const NodeId n41 = b.add_node(n25);
+  [[maybe_unused]] const NodeId n42 = b.add_node(n26);
+  // Layer 5: nodes 43-49.
+  [[maybe_unused]] const NodeId n43 = b.add_node(n30);
+  [[maybe_unused]] const NodeId n44 = b.add_node(n31);
+  [[maybe_unused]] const NodeId n45 = b.add_node(n33);
+  [[maybe_unused]] const NodeId n46 = b.add_node(n35);
+  [[maybe_unused]] const NodeId n47 = b.add_node(n36);
+  [[maybe_unused]] const NodeId n48 = b.add_node(n38);
+  [[maybe_unused]] const NodeId n49 = b.add_node(n40);
+  (void)n27;
+  (void)n28;
+  (void)n29;
+  (void)n32;
+  (void)n34;
+  (void)n37;
+  (void)n39;
+
+  Topology t = b.build();
+  HARP_ASSERT(t.size() == 50);
+  HARP_ASSERT(t.depth() == 5);
+  return t;
+}
+
+Topology fig1_tree() {
+  // Fig. 1(a): gateway V_g with children V_1, V_2, V_3; V_1 has children
+  // V_4, V_5; V_3 has children V_6, V_7; V_7 has children V_8..V_11 is a
+  // 12-node 3-layer tree. We reproduce the structure (ids differ from the
+  // paper's labels; what matters is the shape: 12 nodes, 3 layers).
+  TopologyBuilder b;
+  const NodeId v1 = b.add_node(0);
+  const NodeId v2 = b.add_node(0);
+  const NodeId v3 = b.add_node(0);
+  b.add_node(v1);            // v4
+  b.add_node(v1);            // v5
+  b.add_node(v2);            // v6
+  const NodeId v7 = b.add_node(v3);
+  b.add_node(v3);            // v8
+  b.add_node(v7);            // v9
+  b.add_node(v7);            // v10
+  b.add_node(v7);            // v11
+  Topology t = b.build();
+  HARP_ASSERT(t.size() == 12);
+  HARP_ASSERT(t.depth() == 3);
+  return t;
+}
+
+}  // namespace harp::net

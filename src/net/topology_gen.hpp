@@ -1,0 +1,38 @@
+// Random topology generation matching the paper's simulation setup
+// ("randomly generate 100 network topologies with 5 layers and 50 nodes",
+// Sec. VII-A; 81 nodes / 10 layers in Sec. VII-B), plus the deterministic
+// 50-node 5-hop layout used as the Fig. 7(c) testbed analogue.
+#pragma once
+
+#include "common/rng.hpp"
+#include "net/topology.hpp"
+
+namespace harp::net {
+
+struct RandomTreeSpec {
+  /// Total nodes including the gateway.
+  std::size_t num_nodes = 50;
+  /// Exact tree depth in hops; the generator first lays a backbone chain
+  /// of this length so the depth is achieved, then attaches the remaining
+  /// nodes uniformly at random among nodes shallower than `num_layers`.
+  int num_layers = 5;
+  /// Upper bound on children per node (0 = unlimited). The paper's
+  /// testbed nodes fan out 2-4 ways; bounding fanout keeps generated
+  /// trees realistic.
+  std::size_t max_children = 0;
+};
+
+/// Generates a random tree per `spec`. Throws InvalidArgument when the
+/// spec is unsatisfiable (e.g. fewer nodes than layers).
+Topology random_tree(const RandomTreeSpec& spec, Rng& rng);
+
+/// A fixed 50-node, 5-layer tree shaped like the paper's testbed
+/// (Fig. 7(c)): the gateway with a handful of layer-1 relays, each fanning
+/// out into progressively smaller branches down to layer 5. Deterministic.
+Topology testbed_tree();
+
+/// A small 12-node, 3-layer example matching Fig. 1(a); used in docs,
+/// quickstart and unit tests.
+Topology fig1_tree();
+
+}  // namespace harp::net

@@ -1,0 +1,98 @@
+#include "net/traffic.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace harp::net {
+
+int TrafficMatrix::uplink(NodeId child) const {
+  HARP_ASSERT(child < up_.size());
+  return up_[child];
+}
+
+int TrafficMatrix::downlink(NodeId child) const {
+  HARP_ASSERT(child < down_.size());
+  return down_[child];
+}
+
+void TrafficMatrix::set_uplink(NodeId child, int cells) {
+  HARP_ASSERT(child < up_.size());
+  HARP_ASSERT(cells >= 0);
+  up_[child] = cells;
+}
+
+void TrafficMatrix::set_downlink(NodeId child, int cells) {
+  HARP_ASSERT(child < down_.size());
+  HARP_ASSERT(cells >= 0);
+  down_[child] = cells;
+}
+
+void TrafficMatrix::add_uplink(NodeId child, int cells) {
+  set_uplink(child, uplink(child) + cells);
+}
+
+void TrafficMatrix::add_downlink(NodeId child, int cells) {
+  set_downlink(child, downlink(child) + cells);
+}
+
+std::int64_t TrafficMatrix::total_cells() const {
+  std::int64_t total = 0;
+  for (int c : up_) total += c;
+  for (int c : down_) total += c;
+  return total;
+}
+
+TrafficMatrix derive_traffic(const Topology& topo, std::span<const Task> tasks,
+                             const SlotframeConfig& frame) {
+  frame.validate();
+  // Accumulate fractional rates first so two 0.5-rate tasks on a shared
+  // link need 1 cell, not 2.
+  std::vector<double> up_rate(topo.size(), 0.0);
+  std::vector<double> down_rate(topo.size(), 0.0);
+
+  for (const Task& task : tasks) {
+    if (task.source == kNoNode || task.source >= topo.size()) {
+      throw InvalidArgument("task " + std::to_string(task.id) +
+                            " has invalid source node");
+    }
+    if (task.source == Topology::gateway()) {
+      throw InvalidArgument("task source cannot be the gateway");
+    }
+    if (task.period_slots == 0) {
+      throw InvalidArgument("task " + std::to_string(task.id) +
+                            " has zero period");
+    }
+    const double q = task.rate(frame.length);
+    for (NodeId v : topo.path_to_gateway(task.source)) {
+      if (v == Topology::gateway()) continue;
+      up_rate[v] += q;
+      if (task.echo) down_rate[v] += q;
+    }
+  }
+
+  TrafficMatrix m(topo.size());
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    // Tiny epsilon absorbs floating error in rate sums like 3 * (199/66).
+    constexpr double kEps = 1e-9;
+    m.set_uplink(v, static_cast<int>(std::ceil(up_rate[v] - kEps)));
+    m.set_downlink(v, static_cast<int>(std::ceil(down_rate[v] - kEps)));
+  }
+  return m;
+}
+
+std::vector<Task> uniform_echo_tasks(const Topology& topo,
+                                     std::uint32_t period_slots) {
+  std::vector<Task> tasks;
+  tasks.reserve(topo.size() - 1);
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    tasks.push_back(Task{.id = v,
+                         .source = v,
+                         .period_slots = period_slots,
+                         .phase_slots = 0,
+                         .echo = true});
+  }
+  return tasks;
+}
+
+}  // namespace harp::net

@@ -1,0 +1,76 @@
+// Link-level traffic demand (cell requirements).
+//
+// HARP's input (Sec. II-A) is the number of cells each link needs per
+// slotframe, r(e_{i,j}), already abstracted from the task set. This module
+// holds that matrix and derives it from tasks: a task of rate q
+// packets/slotframe contributes q to every link on its uplink path and —
+// for echo tasks — to every link on the downlink path; per-link demand is
+// the ceiling of the accumulated rate.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "net/slotframe.hpp"
+#include "net/task.hpp"
+#include "net/topology.hpp"
+
+namespace harp::net {
+
+/// Per-link required cells, indexed by the link's child endpoint (in a
+/// tree every link is uniquely identified by its child node plus a
+/// direction).
+class TrafficMatrix {
+ public:
+  TrafficMatrix() = default;
+  explicit TrafficMatrix(std::size_t num_nodes)
+      : up_(num_nodes, 0), down_(num_nodes, 0) {}
+
+  std::size_t num_nodes() const { return up_.size(); }
+
+  /// Grows the matrix for newly joined nodes (zero demand).
+  void resize(std::size_t num_nodes) {
+    HARP_ASSERT(num_nodes >= up_.size());
+    up_.resize(num_nodes, 0);
+    down_.resize(num_nodes, 0);
+  }
+
+  int uplink(NodeId child) const;
+  int downlink(NodeId child) const;
+  void set_uplink(NodeId child, int cells);
+  void set_downlink(NodeId child, int cells);
+  void add_uplink(NodeId child, int cells);
+  void add_downlink(NodeId child, int cells);
+
+  /// Demand of `child`'s link in the given direction.
+  int demand(NodeId child, Direction dir) const {
+    return dir == Direction::kUp ? uplink(child) : downlink(child);
+  }
+  void set_demand(NodeId child, Direction dir, int cells) {
+    dir == Direction::kUp ? set_uplink(child, cells)
+                          : set_downlink(child, cells);
+  }
+
+  /// Sum of all per-link demands (total cells needed per slotframe).
+  std::int64_t total_cells() const;
+
+  friend bool operator==(const TrafficMatrix&, const TrafficMatrix&) = default;
+
+ private:
+  std::vector<int> up_;
+  std::vector<int> down_;
+};
+
+/// Derives per-link cell requirements from a task set. Throws
+/// InvalidArgument if a task references a node outside the topology or has
+/// a zero period.
+TrafficMatrix derive_traffic(const Topology& topo, std::span<const Task> tasks,
+                             const SlotframeConfig& frame);
+
+/// One echo task per device node, all with the same period — the paper's
+/// testbed workload (Sec. VI-B: "an e2e task with a period of 2 seconds on
+/// each individual node"). Task ids equal their source node ids.
+std::vector<Task> uniform_echo_tasks(const Topology& topo,
+                                     std::uint32_t period_slots);
+
+}  // namespace harp::net

@@ -1,0 +1,75 @@
+#include "packing/bottom_left.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::packing {
+namespace {
+
+bool collides(const Placement& cand, const std::vector<Placement>& placed) {
+  for (const Placement& p : placed) {
+    if (cand.overlaps(p)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StripResult pack_bottom_left(std::vector<Rect> rects, Dim strip_width) {
+  if (strip_width <= 0) throw InvalidArgument("strip width must be positive");
+  for (const Rect& r : rects) {
+    if (r.w <= 0 || r.h <= 0) {
+      throw InvalidArgument("rectangle dimensions must be positive: " +
+                            to_string(r));
+    }
+    if (r.w > strip_width) {
+      throw InvalidArgument("rectangle wider than strip: " + to_string(r));
+    }
+  }
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.area() != b.area()) return a.area() > b.area();
+    if (a.h != b.h) return a.h > b.h;
+    return a.id < b.id;
+  });
+
+  StripResult result;
+  for (const Rect& r : rects) {
+    // Candidate x positions: 0 plus the left/right edges of every placed
+    // rectangle; candidate y positions at each x: 0 plus placed tops.
+    std::vector<Dim> xs{0};
+    std::vector<Dim> ys{0};
+    for (const Placement& p : result.placements) {
+      xs.push_back(p.x);
+      xs.push_back(p.right());
+      ys.push_back(p.top());
+    }
+    std::sort(xs.begin(), xs.end());
+    xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+    std::sort(ys.begin(), ys.end());
+    ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+    bool placed_rect = false;
+    Placement best{};
+    for (Dim y : ys) {
+      for (Dim x : xs) {
+        if (x + r.w > strip_width) continue;
+        const Placement cand{x, y, r.w, r.h, r.id};
+        if (collides(cand, result.placements)) continue;
+        if (!placed_rect || cand.y < best.y ||
+            (cand.y == best.y && cand.x < best.x)) {
+          best = cand;
+          placed_rect = true;
+        }
+        break;  // leftmost x at this y found; lower y already checked
+      }
+      if (placed_rect && best.y <= y) break;  // cannot improve further
+    }
+    HARP_ASSERT(placed_rect);  // y grows unboundedly, a slot always exists
+    result.placements.push_back(best);
+    result.height = std::max(result.height, best.top());
+  }
+  return result;
+}
+
+}  // namespace harp::packing

@@ -1,0 +1,177 @@
+#include "packing/maxrects.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace harp::packing {
+
+FixedBinPacker::FixedBinPacker(Dim width, Dim height)
+    : width_(width), height_(height) {
+  if (width <= 0 || height <= 0) {
+    throw InvalidArgument("container dimensions must be positive");
+  }
+  free_.push_back({0, 0, width, height, 0});
+}
+
+void FixedBinPacker::block(const Placement& p) {
+  if (!p.inside(width_, height_)) {
+    throw InvalidArgument("blocked region outside container: " + to_string(p));
+  }
+  split_free(p);
+  prune();
+}
+
+std::optional<Placement> FixedBinPacker::peek(const Rect& r) const {
+  if (r.w <= 0 || r.h <= 0) {
+    throw InvalidArgument("rectangle dimensions must be positive: " +
+                          to_string(r));
+  }
+  // Best-Short-Side-Fit: minimize the smaller leftover side, tie-break on
+  // the larger leftover side, then bottom-left position for determinism.
+  std::optional<Placement> best;
+  Dim best_short = std::numeric_limits<Dim>::max();
+  Dim best_long = std::numeric_limits<Dim>::max();
+  for (const Placement& f : free_) {
+    if (r.w > f.w || r.h > f.h) continue;
+    const Dim leftover_w = f.w - r.w;
+    const Dim leftover_h = f.h - r.h;
+    const Dim short_side = std::min(leftover_w, leftover_h);
+    const Dim long_side = std::max(leftover_w, leftover_h);
+    const Placement cand{f.x, f.y, r.w, r.h, r.id};
+    const bool better =
+        short_side < best_short ||
+        (short_side == best_short && long_side < best_long) ||
+        (short_side == best_short && long_side == best_long && best &&
+         (cand.y < best->y || (cand.y == best->y && cand.x < best->x)));
+    if (better) {
+      best = cand;
+      best_short = short_side;
+      best_long = long_side;
+    }
+  }
+  return best;
+}
+
+std::optional<Placement> FixedBinPacker::insert(const Rect& r) {
+  auto placed = peek(r);
+  if (!placed) return std::nullopt;
+  split_free(*placed);
+  prune();
+  return placed;
+}
+
+std::optional<std::vector<Placement>> FixedBinPacker::try_pack(
+    std::vector<Rect> rects) {
+  // Decreasing area is the standard order for greedy MaxRects; id as the
+  // tie-break keeps runs deterministic.
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.area() != b.area()) return a.area() > b.area();
+    if (a.h != b.h) return a.h > b.h;
+    return a.id < b.id;
+  });
+
+  const std::vector<Placement> saved_free = free_;
+  std::vector<Placement> placements;
+  placements.reserve(rects.size());
+  for (const Rect& r : rects) {
+    auto placed = insert(r);
+    if (!placed) {
+      free_ = saved_free;  // roll back: all-or-nothing contract
+      return std::nullopt;
+    }
+    placements.push_back(*placed);
+  }
+  return placements;
+}
+
+Dim FixedBinPacker::free_area() const {
+  // The maximal free rectangles overlap, so integrate column by column via
+  // a sweep: for each x-interval, union the y-intervals of rects covering
+  // it. Container dimensions are small (<= slotframe length), so an O(n^2)
+  // sweep is more than fast enough.
+  std::vector<Dim> xs;
+  for (const Placement& f : free_) {
+    xs.push_back(f.x);
+    xs.push_back(f.right());
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+
+  Dim area = 0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const Dim x0 = xs[i];
+    const Dim strip_w = xs[i + 1] - x0;
+    // Collect y-intervals of free rects spanning this x strip and union.
+    std::vector<std::pair<Dim, Dim>> spans;
+    for (const Placement& f : free_) {
+      if (f.x <= x0 && f.right() >= xs[i + 1]) spans.emplace_back(f.y, f.top());
+    }
+    std::sort(spans.begin(), spans.end());
+    Dim covered = 0;
+    bool open = false;
+    Dim cur_lo = 0, cur_hi = 0;
+    for (auto [lo, hi] : spans) {
+      if (!open) {
+        cur_lo = lo;
+        cur_hi = hi;
+        open = true;
+      } else if (lo > cur_hi) {
+        covered += cur_hi - cur_lo;
+        cur_lo = lo;
+        cur_hi = hi;
+      } else {
+        cur_hi = std::max(cur_hi, hi);
+      }
+    }
+    if (open) covered += cur_hi - cur_lo;
+    area += covered * strip_w;
+  }
+  return area;
+}
+
+void FixedBinPacker::split_free(const Placement& used) {
+  std::vector<Placement> next;
+  next.reserve(free_.size() + 4);
+  for (const Placement& f : free_) {
+    if (!f.overlaps(used)) {
+      next.push_back(f);
+      continue;
+    }
+    // Up to four maximal sub-rectangles of f survive around `used`.
+    if (used.x > f.x) next.push_back({f.x, f.y, used.x - f.x, f.h, 0});
+    if (used.right() < f.right()) {
+      next.push_back({used.right(), f.y, f.right() - used.right(), f.h, 0});
+    }
+    if (used.y > f.y) next.push_back({f.x, f.y, f.w, used.y - f.y, 0});
+    if (used.top() < f.top()) {
+      next.push_back({f.x, used.top(), f.w, f.top() - used.top(), 0});
+    }
+  }
+  free_ = std::move(next);
+}
+
+void FixedBinPacker::prune() {
+  // Drop free rectangles fully contained in another (they are not maximal).
+  std::vector<Placement> pruned;
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    const Placement& a = free_[i];
+    bool contained = false;
+    for (std::size_t j = 0; j < free_.size() && !contained; ++j) {
+      if (i == j) continue;
+      const Placement& b = free_[j];
+      const bool same = a.x == b.x && a.y == b.y && a.w == b.w && a.h == b.h;
+      if (same && j < i) {
+        contained = true;  // deduplicate identical rects, keep the first
+      } else if (!same && a.x >= b.x && a.y >= b.y && a.right() <= b.right() &&
+                 a.top() <= b.top()) {
+        contained = true;
+      }
+    }
+    if (!contained) pruned.push_back(a);
+  }
+  free_ = std::move(pruned);
+}
+
+}  // namespace harp::packing

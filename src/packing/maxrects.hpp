@@ -1,0 +1,70 @@
+// MaxRects packer for fixed containers with pre-occupied regions.
+//
+// Two HARP problems need packing into a container whose BOTH dimensions are
+// fixed and where some area may already be taken:
+//   * Problem 2 (Feasibility Test): can the sibling components plus an
+//     enlarged one still fit inside the parent partition?
+//   * Alg. 2 (Partition Adjustment): pack the displaced partitions into the
+//     idle rectangular areas left by the partitions that stay put.
+// The MaxRects scheme (Jylanki 2010) represents free space as the set of
+// maximal free rectangles, which handles obstacles naturally: blocking a
+// region simply splits every intersecting free rectangle. Placement uses
+// the Best-Short-Side-Fit rule, a strong default for this family.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "packing/rect.hpp"
+
+namespace harp::packing {
+
+/// Free-space tracker and greedy packer over a W x H container.
+class FixedBinPacker {
+ public:
+  /// Creates an empty container of the given dimensions (both > 0).
+  FixedBinPacker(Dim width, Dim height);
+
+  /// Marks `p` as occupied. `p` must lie inside the container; it may
+  /// overlap previously blocked regions (the union is occupied).
+  void block(const Placement& p);
+
+  /// Attempts to place one rectangle using Best-Short-Side-Fit without
+  /// modifying the packer state. Returns the placement or nullopt.
+  std::optional<Placement> peek(const Rect& r) const;
+
+  /// Places one rectangle (Best-Short-Side-Fit) and commits it as
+  /// occupied. Returns nullopt and leaves the state untouched on failure.
+  std::optional<Placement> insert(const Rect& r);
+
+  /// Greedily packs all of `rects` (processed in decreasing-area order)
+  /// and commits them. Returns the placements on success; on failure
+  /// returns nullopt and leaves the packer state untouched.
+  /// Note: as a heuristic this can miss feasible packings; HARP treats a
+  /// failure as "escalate to the parent", matching the paper's use of a
+  /// heuristic RPP solver.
+  std::optional<std::vector<Placement>> try_pack(std::vector<Rect> rects);
+
+  /// Total free area remaining (sum over disjoint free cells, not the sum
+  /// of the overlapping maximal rectangles).
+  Dim free_area() const;
+
+  /// True if a single rectangle of the given size could be placed now.
+  bool fits(Dim w, Dim h) const { return peek({w, h, 0}).has_value(); }
+
+  Dim width() const { return width_; }
+  Dim height() const { return height_; }
+
+  /// Exposed for tests: current maximal free rectangles.
+  const std::vector<Placement>& free_rects() const { return free_; }
+
+ private:
+  void split_free(const Placement& used);
+  void prune();
+
+  Dim width_;
+  Dim height_;
+  std::vector<Placement> free_;
+};
+
+}  // namespace harp::packing

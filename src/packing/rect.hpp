@@ -1,0 +1,88 @@
+// Geometry primitives for the 2-D packing algorithms.
+//
+// HARP's resource components are axis-aligned rectangles on the
+// (time-slot, channel) grid; all packing code works on abstract integer
+// rectangles and is agnostic to which axis is time and which is channel
+// (harp/compose.cpp performs the paper's "double mapping" by transposing).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace harp::packing {
+
+/// Dimension type for the packing plane. Values are small (slotframe
+/// lengths in the hundreds) but arithmetic may accumulate, so use 64-bit.
+using Dim = std::int64_t;
+
+/// An unplaced rectangle to pack. `id` is an opaque caller tag (HARP uses
+/// the subtree root's NodeId) carried through to the resulting placement.
+struct Rect {
+  Dim w{0};
+  Dim h{0};
+  std::uint64_t id{0};
+
+  Dim area() const { return w * h; }
+  friend auto operator<=>(const Rect&, const Rect&) = default;
+};
+
+/// A rectangle placed at (x, y) with its lower-left corner; the occupied
+/// cells are [x, x+w) x [y, y+h).
+struct Placement {
+  Dim x{0};
+  Dim y{0};
+  Dim w{0};
+  Dim h{0};
+  std::uint64_t id{0};
+
+  Dim right() const { return x + w; }
+  Dim top() const { return y + h; }
+  Dim area() const { return w * h; }
+
+  /// True if the open interiors intersect (shared edges do not overlap).
+  bool overlaps(const Placement& o) const {
+    return x < o.right() && o.x < right() && y < o.top() && o.y < top();
+  }
+
+  /// True if this placement lies fully inside a W x H container at origin.
+  bool inside(Dim container_w, Dim container_h) const {
+    return x >= 0 && y >= 0 && right() <= container_w && top() <= container_h;
+  }
+
+  friend auto operator<=>(const Placement&, const Placement&) = default;
+};
+
+/// Result of a strip-packing run: the achieved strip height and one
+/// placement per input rectangle (same ids, arbitrary order).
+struct StripResult {
+  Dim height{0};
+  std::vector<Placement> placements;
+};
+
+/// Mirrors a placement set across the main diagonal (swap x/y and w/h).
+/// Used by the double-mapping composition to convert between the
+/// "channels fixed" and "slots fixed" orientations.
+std::vector<Placement> transpose(std::vector<Placement> placements);
+
+inline std::string to_string(const Rect& r) {
+  return std::to_string(r.w) + "x" + std::to_string(r.h) + "#" +
+         std::to_string(r.id);
+}
+
+inline std::string to_string(const Placement& p) {
+  return "[" + std::to_string(p.x) + "," + std::to_string(p.y) + " " +
+         std::to_string(p.w) + "x" + std::to_string(p.h) + "#" +
+         std::to_string(p.id) + "]";
+}
+
+inline std::vector<Placement> transpose(std::vector<Placement> placements) {
+  for (auto& p : placements) {
+    std::swap(p.x, p.y);
+    std::swap(p.w, p.h);
+  }
+  return placements;
+}
+
+}  // namespace harp::packing

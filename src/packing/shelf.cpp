@@ -1,0 +1,83 @@
+#include "packing/shelf.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::packing {
+namespace {
+
+struct Shelf {
+  Dim y;       // bottom of the shelf
+  Dim height;  // height of the tallest rectangle on it
+  Dim used;    // occupied width
+};
+
+void check_inputs(const std::vector<Rect>& rects, Dim strip_width) {
+  if (strip_width <= 0) throw InvalidArgument("strip width must be positive");
+  for (const Rect& r : rects) {
+    if (r.w <= 0 || r.h <= 0) {
+      throw InvalidArgument("rectangle dimensions must be positive: " +
+                            to_string(r));
+    }
+    if (r.w > strip_width) {
+      throw InvalidArgument("rectangle wider than strip: " + to_string(r));
+    }
+  }
+}
+
+void sort_decreasing_height(std::vector<Rect>& rects) {
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.h != b.h) return a.h > b.h;
+    if (a.w != b.w) return a.w > b.w;
+    return a.id < b.id;
+  });
+}
+
+StripResult pack_shelves(std::vector<Rect> rects, Dim strip_width,
+                         bool first_fit) {
+  check_inputs(rects, strip_width);
+  sort_decreasing_height(rects);
+
+  StripResult result;
+  std::vector<Shelf> shelves;
+  for (const Rect& r : rects) {
+    Shelf* target = nullptr;
+    if (first_fit) {
+      for (Shelf& s : shelves) {
+        if (s.used + r.w <= strip_width) {
+          target = &s;
+          break;
+        }
+      }
+    } else if (!shelves.empty() &&
+               shelves.back().used + r.w <= strip_width) {
+      target = &shelves.back();
+    }
+    if (target == nullptr) {
+      const Dim y = shelves.empty()
+                        ? 0
+                        : shelves.back().y + shelves.back().height;
+      shelves.push_back({y, r.h, 0});
+      target = &shelves.back();
+    }
+    result.placements.push_back({target->used, target->y, r.w, r.h, r.id});
+    target->used += r.w;
+    // Heights are non-increasing within a pass, so the first rectangle on
+    // a shelf fixes its height.
+    result.height = std::max(result.height, target->y + target->height);
+  }
+  return result;
+}
+
+}  // namespace
+
+StripResult pack_ffdh(std::vector<Rect> rects, Dim strip_width) {
+  return pack_shelves(std::move(rects), strip_width, /*first_fit=*/true);
+}
+
+StripResult pack_nfdh(std::vector<Rect> rects, Dim strip_width) {
+  return pack_shelves(std::move(rects), strip_width, /*first_fit=*/false);
+}
+
+}  // namespace harp::packing

@@ -1,0 +1,21 @@
+// Shelf-based strip packing heuristics (FFDH / NFDH).
+//
+// Classic level algorithms used as ablation baselines against the best-fit
+// skyline heuristic: the paper picks skyline for its quality/efficiency
+// balance, and bench/ablation_packing quantifies that choice.
+#pragma once
+
+#include "packing/rect.hpp"
+
+namespace harp::packing {
+
+/// First-Fit Decreasing Height: sort by decreasing height, place each
+/// rectangle on the first shelf with room, opening a new shelf on top when
+/// none fits. 1.7·OPT asymptotic guarantee (Coffman et al. 1980).
+StripResult pack_ffdh(std::vector<Rect> rects, Dim strip_width);
+
+/// Next-Fit Decreasing Height: like FFDH but only the topmost shelf is
+/// considered. Weaker (2·OPT) but O(n log n) with one pass.
+StripResult pack_nfdh(std::vector<Rect> rects, Dim strip_width);
+
+}  // namespace harp::packing

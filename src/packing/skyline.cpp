@@ -1,0 +1,200 @@
+#include "packing/skyline.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace harp::packing {
+namespace {
+
+/// One maximal horizontal segment of the skyline: the region
+/// [x, x+w) currently topped at height y.
+struct Segment {
+  Dim x;
+  Dim w;
+  Dim y;
+};
+
+class Skyline {
+ public:
+  explicit Skyline(Dim width) : width_(width) {
+    segments_.push_back({0, width, 0});
+  }
+
+  /// Index of the lowest segment (leftmost on ties).
+  std::size_t lowest() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < segments_.size(); ++i) {
+      if (segments_[i].y < segments_[best].y) best = i;
+    }
+    return best;
+  }
+
+  const Segment& at(std::size_t i) const { return segments_[i]; }
+  std::size_t size() const { return segments_.size(); }
+
+  /// Height of the segment left of i (infinite at the strip wall).
+  Dim left_wall(std::size_t i) const {
+    return i == 0 ? std::numeric_limits<Dim>::max() : segments_[i - 1].y;
+  }
+
+  /// Height of the segment right of i (infinite at the strip wall).
+  Dim right_wall(std::size_t i) const {
+    return i + 1 >= segments_.size() ? std::numeric_limits<Dim>::max()
+                                     : segments_[i + 1].y;
+  }
+
+  /// Places a w x h rectangle into segment i. It is put against the taller
+  /// of the two walls (Burke et al.'s placement policy), which tends to
+  /// leave one larger gap instead of two small ones. Returns the placement
+  /// x coordinate.
+  Dim place(std::size_t i, Dim w, Dim h) {
+    Segment seg = segments_[i];
+    HARP_ASSERT(w <= seg.w);
+    const bool against_left = left_wall(i) >= right_wall(i);
+    const Dim px = against_left ? seg.x : seg.x + seg.w - w;
+    const Dim new_y = seg.y + h;
+
+    std::vector<Segment> replacement;
+    if (px > seg.x) replacement.push_back({seg.x, px - seg.x, seg.y});
+    replacement.push_back({px, w, new_y});
+    if (px + w < seg.x + seg.w) {
+      replacement.push_back({px + w, seg.x + seg.w - (px + w), seg.y});
+    }
+    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(i));
+    segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(i),
+                     replacement.begin(), replacement.end());
+    merge();
+    return px;
+  }
+
+  /// No rectangle fits segment i: raise it to the lower neighboring wall,
+  /// conceding that area as waste, and merge.
+  void lift(std::size_t i) {
+    const Dim target = std::min(left_wall(i), right_wall(i));
+    HARP_ASSERT(target < std::numeric_limits<Dim>::max());
+    segments_[i].y = target;
+    merge();
+  }
+
+ private:
+  void merge() {
+    std::vector<Segment> merged;
+    for (const Segment& s : segments_) {
+      if (!merged.empty() && merged.back().y == s.y) {
+        merged.back().w += s.w;
+      } else {
+        merged.push_back(s);
+      }
+    }
+    segments_ = std::move(merged);
+  }
+
+  Dim width_;
+  std::vector<Segment> segments_;
+};
+
+void check_inputs(const std::vector<Rect>& rects, Dim strip_width) {
+  if (strip_width <= 0) {
+    throw InvalidArgument("strip width must be positive");
+  }
+  for (const Rect& r : rects) {
+    if (r.w <= 0 || r.h <= 0) {
+      throw InvalidArgument("rectangle dimensions must be positive: " +
+                            to_string(r));
+    }
+    if (r.w > strip_width) {
+      throw InvalidArgument("rectangle wider than strip: " + to_string(r));
+    }
+  }
+}
+
+}  // namespace
+
+StripResult pack_strip(std::vector<Rect> rects, Dim strip_width) {
+  check_inputs(rects, strip_width);
+
+  StripResult result;
+  result.placements.reserve(rects.size());
+
+  // Presorting by decreasing height (width as tie-break) improves the
+  // best-fit policy's packing density; the per-step choice below still
+  // re-examines every unplaced rectangle.
+  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+    if (a.h != b.h) return a.h > b.h;
+    if (a.w != b.w) return a.w > b.w;
+    return a.id < b.id;
+  });
+  std::vector<bool> placed(rects.size(), false);
+  std::size_t remaining = rects.size();
+
+  Skyline skyline(strip_width);
+  while (remaining > 0) {
+    const std::size_t seg_idx = skyline.lowest();
+    const Segment seg{skyline.at(seg_idx)};
+
+    // Best fit: among rectangles that fit the gap width, prefer the one
+    // filling it exactly; otherwise the widest, then the tallest. Exact
+    // width fills eliminate the gap, keeping the skyline flat.
+    std::size_t best = rects.size();
+    for (std::size_t i = 0; i < rects.size(); ++i) {
+      if (placed[i] || rects[i].w > seg.w) continue;
+      if (best == rects.size()) {
+        best = i;
+        continue;
+      }
+      const Rect& cand = rects[i];
+      const Rect& cur = rects[best];
+      const bool cand_exact = cand.w == seg.w;
+      const bool cur_exact = cur.w == seg.w;
+      if (cand_exact != cur_exact) {
+        if (cand_exact) best = i;
+        continue;
+      }
+      if (cand.w != cur.w) {
+        if (cand.w > cur.w) best = i;
+        continue;
+      }
+      if (cand.h > cur.h) best = i;
+    }
+
+    if (best == rects.size()) {
+      skyline.lift(seg_idx);
+      continue;
+    }
+
+    const Rect& r = rects[best];
+    const Dim px = skyline.place(seg_idx, r.w, r.h);
+    result.placements.push_back({px, seg.y, r.w, r.h, r.id});
+    result.height = std::max(result.height, seg.y + r.h);
+    placed[best] = true;
+    --remaining;
+  }
+  return result;
+}
+
+std::optional<StripResult> pack_strip_bounded(std::vector<Rect> rects,
+                                              Dim strip_width,
+                                              Dim max_height) {
+  for (const Rect& r : rects) {
+    if (r.h > max_height) return std::nullopt;
+  }
+  StripResult result = pack_strip(std::move(rects), strip_width);
+  if (result.height > max_height) return std::nullopt;
+  return result;
+}
+
+Dim strip_height_lower_bound(const std::vector<Rect>& rects, Dim strip_width) {
+  HARP_ASSERT(strip_width > 0);
+  Dim area = 0;
+  Dim tallest = 0;
+  for (const Rect& r : rects) {
+    area += r.area();
+    tallest = std::max(tallest, r.h);
+  }
+  const Dim by_area = (area + strip_width - 1) / strip_width;
+  return std::max(by_area, tallest);
+}
+
+}  // namespace harp::packing

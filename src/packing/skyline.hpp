@@ -1,0 +1,36 @@
+// Best-fit skyline heuristic for the 2-D Strip Packing Problem (SPP).
+//
+// This is the solver the paper deploys for Resource Component Composition
+// (Alg. 1): given rectangles and a strip of fixed width, find an
+// overlap-free packing minimizing the strip height. The heuristic follows
+// the best-fit skyline family (Burke et al. 2004; Wei et al. 2017 [24]):
+// it maintains the skyline of placed rectangles, repeatedly fills the
+// lowest gap with the best-fitting remaining rectangle, and lifts gaps
+// that fit nothing. Complexity O(n^2) worst case with tiny constants --
+// cheap enough for the paper's target class of devices (n is the number
+// of child subtrees, single digits in practice).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "packing/rect.hpp"
+
+namespace harp::packing {
+
+/// Packs `rects` into a strip of width `strip_width`, minimizing height.
+/// Every rectangle must satisfy 0 < w <= strip_width and h > 0.
+/// Throws InvalidArgument otherwise. Deterministic.
+StripResult pack_strip(std::vector<Rect> rects, Dim strip_width);
+
+/// Same as pack_strip but fails (nullopt) if the achieved height would
+/// exceed `max_height`. Used for feasibility checks where the container
+/// has both dimensions fixed.
+std::optional<StripResult> pack_strip_bounded(std::vector<Rect> rects,
+                                              Dim strip_width, Dim max_height);
+
+/// Simple lower bounds on the optimal strip height: max(total area /
+/// width, tallest rectangle). Useful for tests and benchmark reporting.
+Dim strip_height_lower_bound(const std::vector<Rect>& rects, Dim strip_width);
+
+}  // namespace harp::packing

@@ -1,0 +1,58 @@
+#include "packing/validate.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace harp::packing {
+
+std::string validate_packing(const std::vector<Placement>& placements,
+                             Dim width, Dim height,
+                             const std::vector<Rect>* expected) {
+  for (const Placement& p : placements) {
+    if (p.w <= 0 || p.h <= 0) {
+      return "non-positive placement dimensions: " + to_string(p);
+    }
+    if (p.x < 0 || p.y < 0 || p.right() > width ||
+        (height >= 0 && p.top() > height)) {
+      return "placement out of bounds: " + to_string(p);
+    }
+  }
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    for (std::size_t j = i + 1; j < placements.size(); ++j) {
+      if (placements[i].overlaps(placements[j])) {
+        return "overlap between " + to_string(placements[i]) + " and " +
+               to_string(placements[j]);
+      }
+    }
+  }
+  if (expected != nullptr) {
+    if (expected->size() != placements.size()) {
+      return "placement count mismatch: got " +
+             std::to_string(placements.size()) + ", expected " +
+             std::to_string(expected->size());
+    }
+    auto key = [](Dim w, Dim h, std::uint64_t id) {
+      return std::tuple(w, h, id);
+    };
+    std::vector<std::tuple<Dim, Dim, std::uint64_t>> got, want;
+    got.reserve(placements.size());
+    want.reserve(expected->size());
+    for (const Placement& p : placements) got.push_back(key(p.w, p.h, p.id));
+    for (const Rect& r : *expected) want.push_back(key(r.w, r.h, r.id));
+    std::sort(got.begin(), got.end());
+    std::sort(want.begin(), want.end());
+    if (got != want) return "placed rectangles do not match the input set";
+  }
+  return {};
+}
+
+bool placements_disjoint(const std::vector<Placement>& placements) {
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    for (std::size_t j = i + 1; j < placements.size(); ++j) {
+      if (placements[i].overlaps(placements[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace harp::packing

@@ -1,0 +1,24 @@
+// Packing validators: the test oracle for every packing algorithm.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "packing/rect.hpp"
+
+namespace harp::packing {
+
+/// Checks that placements are pairwise non-overlapping, have positive
+/// dimensions, lie within [0, width) x [0, height) (height < 0 means
+/// unbounded above), and — when `expected` is given — exactly cover the
+/// multiset of input rectangles (by id and dimensions).
+/// Returns an empty string when valid, otherwise a description of the
+/// first violation found.
+std::string validate_packing(const std::vector<Placement>& placements,
+                             Dim width, Dim height,
+                             const std::vector<Rect>* expected = nullptr);
+
+/// True if no two placements overlap.
+bool placements_disjoint(const std::vector<Placement>& placements);
+
+}  // namespace harp::packing

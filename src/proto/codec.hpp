@@ -1,0 +1,32 @@
+// Compact binary encoding of HARP messages.
+//
+// The paper's overhead arguments rest on interfaces being small (a few
+// bytes per layer) so they can ride single 802.15.4 frames (127-byte MTU).
+// This codec makes that concrete: messages serialize to a fixed 11-byte
+// header plus 4-7 bytes per item, and every encode/decode pair
+// round-trips exactly (fuzzed in tests). encoded_size() is what the
+// benchmarks report as per-message byte overhead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "proto/messages.hpp"
+
+namespace harp::proto {
+
+/// Serializes to a self-contained byte string (little-endian fields).
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Parses a byte string produced by encode(). Throws harp::Error on
+/// malformed input (truncation, unknown type, trailing bytes).
+Message decode(const std::vector<std::uint8_t>& bytes);
+
+/// Size in bytes that encode() would produce, without allocating.
+std::size_t encoded_size(const Message& msg);
+
+/// True when the message fits a single IEEE 802.15.4 frame after the
+/// 6LoWPAN/UDP/CoAP headers (~81 bytes of application payload budget).
+bool fits_single_frame(const Message& msg);
+
+}  // namespace harp::proto

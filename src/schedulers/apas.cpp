@@ -1,0 +1,68 @@
+#include "schedulers/apas.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::sched {
+namespace {
+
+/// Hops along the tree path from `from` up to `to` (an ancestor), or down
+/// when `downward` is true.
+void add_path_hops(const net::Topology& topo, NodeId node, bool downward,
+                   std::vector<Hop>& hops) {
+  std::vector<NodeId> path = topo.path_to_gateway(node);  // node..gateway
+  if (downward) {
+    for (std::size_t i = path.size(); i-- > 1;) {
+      hops.push_back({path[i], path[i - 1]});
+    }
+  } else {
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      hops.push_back({path[i], path[i + 1]});
+    }
+  }
+}
+
+}  // namespace
+
+ApasScheduler::ApasScheduler(net::Topology topo, net::TrafficMatrix traffic,
+                             net::SlotframeConfig frame)
+    : engine_(std::move(topo), std::move(traffic), frame) {}
+
+ApasScheduler::Report ApasScheduler::request_demand(NodeId child,
+                                                    Direction dir,
+                                                    int new_cells) {
+  const net::Topology& topo = engine_.topology();
+  if (child == net::Topology::gateway() || child >= topo.size()) {
+    throw InvalidArgument("demand requests address a non-gateway node");
+  }
+  Report report;
+  const int old_cells = engine_.traffic().demand(child, dir);
+  if (new_cells == old_cells) {
+    report.satisfied = true;  // nothing to do, nothing travels
+    return report;
+  }
+
+  // Request: child -> gateway (l hops). In APaS even a purely local change
+  // must consult the root; that is the cost HARP eliminates.
+  add_path_hops(topo, child, /*downward=*/false, report.hops);
+
+  const auto result = engine_.request_demand(child, dir, new_cells);
+  if (!result.satisfied) {
+    // Denial travels back to the requester: gateway -> child (l hops).
+    add_path_hops(topo, child, /*downward=*/true, report.hops);
+    report.satisfied = false;
+    return report;
+  }
+
+  // Schedule update to the affected node: gateway -> child (l hops).
+  add_path_hops(topo, child, /*downward=*/true, report.hops);
+  // Schedule update to its parent: gateway -> parent (l-1 hops).
+  if (topo.parent(child) != net::Topology::gateway()) {
+    add_path_hops(topo, topo.parent(child), /*downward=*/true, report.hops);
+  }
+  report.satisfied = true;
+  return report;
+}
+
+}  // namespace harp::sched

@@ -1,0 +1,58 @@
+// APaS baseline (Wang et al., RTAS 2021 [19]): the CENTRALIZED adaptive
+// partition-based scheduler HARP descends from, used in the Fig. 12
+// adjustment-overhead comparison.
+//
+// Statically, APaS computes a routing-compliant, collision-free schedule
+// at the gateway from global information; functionally this matches the
+// result of HARP's static phase (HARP's contribution is WHERE the
+// computation happens, not the static layout), so the static schedule is
+// produced by the same allocation machinery. The evaluated difference is
+// the dynamic path: every demand change must round-trip through the root —
+//   * request: affected node -> gateway,          l hops
+//   * schedule update: gateway -> affected node,  l hops
+//   * schedule update: gateway -> its parent,     l-1 hops
+// for 3l-1 management packet transmissions (Sec. VII-B), enumerated here
+// hop by hop so benchmarks count concrete messages, not a formula.
+#pragma once
+
+#include <vector>
+
+#include "harp/engine.hpp"
+
+namespace harp::sched {
+
+/// One management-packet hop (a single parent<->child transmission).
+struct Hop {
+  NodeId from{kNoNode};
+  NodeId to{kNoNode};
+};
+
+class ApasScheduler {
+ public:
+  /// Builds the static centralized schedule. Throws InfeasibleError when
+  /// the task set cannot be admitted.
+  ApasScheduler(net::Topology topo, net::TrafficMatrix traffic,
+                net::SlotframeConfig frame);
+
+  const net::Topology& topology() const { return engine_.topology(); }
+  const core::Schedule& schedule() const { return engine_.schedule(); }
+  const net::TrafficMatrix& traffic() const { return engine_.traffic(); }
+
+  struct Report {
+    bool satisfied{false};
+    /// Every management-packet hop exchanged, in order.
+    std::vector<Hop> hops;
+    int packets() const { return static_cast<int>(hops.size()); }
+  };
+
+  /// Centralized dynamic adjustment: recomputes the schedule at the root
+  /// and enumerates the 3l-1 hop pattern above. On infeasible demands the
+  /// request is rejected after the round trip to the root (2l hops: the
+  /// denial still travels back).
+  Report request_demand(NodeId child, Direction dir, int new_cells);
+
+ private:
+  core::HarpEngine engine_;
+};
+
+}  // namespace harp::sched

@@ -1,0 +1,91 @@
+// LDSF baseline (Kotsiou et al. [30]): the slotframe is divided into
+// blocks assigned to layers so that a packet can ripple gateway-ward
+// within one slotframe (low latency), but the cell choice WITHIN a block
+// stays random/autonomous — so links of the same layer still collide.
+//
+// Block layout mirrors HARP's compliant ordering for a fair latency
+// comparison: uplink blocks (deep layers first) in the left half of the
+// data sub-frame, downlink blocks (shallow first) in the right half, each
+// block spanning all channels.
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace harp::sched {
+namespace {
+
+class LdsfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "LDSF"; }
+
+  core::Schedule build(const net::Topology& topo,
+                       const net::TrafficMatrix& traffic,
+                       const net::SlotframeConfig& frame,
+                       Rng& rng) const override {
+    frame.validate();
+    const int depth = std::max(topo.depth(), 1);
+
+    // 2*depth equal blocks over the data sub-frame: indices 0..depth-1 for
+    // uplink layers depth..1, then depth..2*depth-1 for downlink 1..depth.
+    const SlotId block_len =
+        std::max<SlotId>(1, frame.data_slots / (2 * static_cast<SlotId>(depth)));
+    const auto block_range = [&](Direction dir, int layer) {
+      const int index = dir == Direction::kUp
+                            ? depth - layer
+                            : depth + layer - 1;
+      const SlotId begin = std::min<SlotId>(
+          static_cast<SlotId>(index) * block_len, frame.data_slots - 1);
+      SlotId end = begin + block_len;
+      // The last block absorbs the rounding remainder.
+      if (index == 2 * depth - 1) end = frame.data_slots;
+      return std::pair<SlotId, SlotId>(begin, std::min(end, frame.data_slots));
+    };
+
+    core::Schedule schedule(topo.size());
+    for (NodeId child = 1; child < topo.size(); ++child) {
+      const int layer = topo.node_layer(child);
+      for (Direction dir : {Direction::kUp, Direction::kDown}) {
+        const int demand = traffic.demand(child, dir);
+        if (demand <= 0) continue;
+        const auto [begin, end] = block_range(dir, layer);
+        const std::uint64_t capacity =
+            static_cast<std::uint64_t>(end - begin) * frame.num_channels;
+        std::vector<Cell> cells;
+        if (static_cast<std::uint64_t>(demand) >= capacity) {
+          // Block saturated: take every cell (they will collide heavily),
+          // then spill the rest randomly over the block again.
+          for (SlotId s = begin; s < end; ++s) {
+            for (ChannelId ch = 0; ch < frame.num_channels; ++ch) {
+              cells.push_back({s, ch});
+            }
+          }
+          while (cells.size() < static_cast<std::size_t>(demand)) {
+            cells.push_back(
+                {begin + static_cast<SlotId>(rng.below(end - begin)),
+                 static_cast<ChannelId>(rng.below(frame.num_channels))});
+          }
+        } else {
+          std::set<Cell> picked;
+          while (picked.size() < static_cast<std::size_t>(demand)) {
+            picked.insert(
+                {begin + static_cast<SlotId>(rng.below(end - begin)),
+                 static_cast<ChannelId>(rng.below(frame.num_channels))});
+          }
+          cells.assign(picked.begin(), picked.end());
+        }
+        schedule.set_cells(child, dir, std::move(cells));
+      }
+    }
+    return schedule;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_ldsf_scheduler() {
+  return std::make_unique<LdsfScheduler>();
+}
+
+}  // namespace harp::sched

@@ -1,0 +1,63 @@
+// MSF baseline (RFC 9033, [10]): autonomous cells derived from a hash of
+// the node identifier. We follow the RFC's construction: the slot and
+// channel offsets of a link's cells come from the SAX (shift-add-xor)
+// hash of the target node's identifier, so both endpoints compute the
+// same cell without negotiation — and two unrelated links whose hashes
+// coincide collide, which is exactly the effect Fig. 11 measures.
+#include "schedulers/scheduler.hpp"
+
+namespace harp::sched {
+namespace {
+
+/// SAX hash over a byte string (h_i+1 = h_i ^ (h<<L + h>>R + c)), the
+/// function RFC 9033 Appendix A prescribes for autonomous cells.
+std::uint32_t sax(std::uint64_t key, std::uint32_t bound) {
+  std::uint32_t h = 0;
+  for (int i = 0; i < 8; ++i) {
+    const auto byte = static_cast<std::uint8_t>(key >> (8 * i));
+    h ^= (h << 5) + (h >> 2) + byte;
+  }
+  return bound == 0 ? 0 : h % bound;
+}
+
+class MsfScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "MSF"; }
+
+  core::Schedule build(const net::Topology& topo,
+                       const net::TrafficMatrix& traffic,
+                       const net::SlotframeConfig& frame,
+                       Rng& /*rng*/) const override {
+    frame.validate();
+    core::Schedule schedule(topo.size());
+    for (NodeId child = 1; child < topo.size(); ++child) {
+      for (Direction dir : {Direction::kUp, Direction::kDown}) {
+        const int demand = traffic.demand(child, dir);
+        std::vector<Cell> cells;
+        cells.reserve(static_cast<std::size_t>(demand));
+        for (int k = 0; k < demand; ++k) {
+          // Key mixes the link identity (child, direction) and the cell
+          // index, mirroring MSF's per-negotiated-cell hash chaining.
+          const std::uint64_t key =
+              (static_cast<std::uint64_t>(child) << 20) |
+              (static_cast<std::uint64_t>(dir == Direction::kUp ? 0 : 1)
+               << 16) |
+              static_cast<std::uint64_t>(k + 1);
+          cells.push_back(
+              Cell{sax(key * 0x9e3779b1ULL, frame.data_slots),
+                   sax(key * 0x85ebca77ULL + 1, frame.num_channels)});
+        }
+        schedule.set_cells(child, dir, std::move(cells));
+      }
+    }
+    return schedule;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_msf_scheduler() {
+  return std::make_unique<MsfScheduler>();
+}
+
+}  // namespace harp::sched

@@ -1,0 +1,52 @@
+// The random baseline of Sec. VII-A: "lets each node randomly select
+// cell(s) in the slotframe for transmissions". Every link draws its cells
+// uniformly (without replacement per link — a node does not double-book
+// its own link) from the data sub-frame; different links draw
+// independently, so cross-link collisions are frequent.
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "schedulers/scheduler.hpp"
+
+namespace harp::sched {
+namespace {
+
+class RandomScheduler final : public Scheduler {
+ public:
+  std::string name() const override { return "Random"; }
+
+  core::Schedule build(const net::Topology& topo,
+                       const net::TrafficMatrix& traffic,
+                       const net::SlotframeConfig& frame,
+                       Rng& rng) const override {
+    frame.validate();
+    core::Schedule schedule(topo.size());
+    for (NodeId child = 1; child < topo.size(); ++child) {
+      for (Direction dir : {Direction::kUp, Direction::kDown}) {
+        const int demand = traffic.demand(child, dir);
+        if (demand <= 0) continue;
+        if (static_cast<std::uint64_t>(demand) > frame.data_cells()) {
+          throw InfeasibleError("link demand exceeds the whole sub-frame");
+        }
+        std::set<Cell> picked;
+        while (picked.size() < static_cast<std::size_t>(demand)) {
+          picked.insert(Cell{
+              static_cast<SlotId>(rng.below(frame.data_slots)),
+              static_cast<ChannelId>(rng.below(frame.num_channels))});
+        }
+        schedule.set_cells(child, dir,
+                           std::vector<Cell>(picked.begin(), picked.end()));
+      }
+    }
+    return schedule;
+  }
+};
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_random_scheduler() {
+  return std::make_unique<RandomScheduler>();
+}
+
+}  // namespace harp::sched

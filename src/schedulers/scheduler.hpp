@@ -1,0 +1,49 @@
+// Common interface for the distributed schedulers compared in Sec. VII-A.
+//
+// Each baseline assigns exactly the demanded number of cells per link the
+// way its protocol would — autonomously at each node, without global
+// coordination — so the resulting schedule may contain collisions. HARP's
+// entry in the comparison goes through the same interface via
+// HarpScheduler, which wraps the engine (and degrades gracefully when the
+// demands exceed what isolation can admit, mirroring the <=4-channel
+// regime of Fig. 11(b)).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "harp/schedule.hpp"
+#include "net/slotframe.hpp"
+#include "net/topology.hpp"
+#include "net/traffic.hpp"
+
+namespace harp::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable name for benchmark tables ("Random", "MSF", ...).
+  virtual std::string name() const = 0;
+
+  /// Builds a complete cell assignment for the demands. `rng` drives any
+  /// stochastic choices; deterministic schedulers ignore it.
+  virtual core::Schedule build(const net::Topology& topo,
+                               const net::TrafficMatrix& traffic,
+                               const net::SlotframeConfig& frame,
+                               Rng& rng) const = 0;
+};
+
+/// Fraction of scheduled transmissions that collide (exact-cell conflicts
+/// plus half-duplex conflicts) — the metric of Fig. 11. Returns 0 for an
+/// empty schedule.
+double collision_probability(const net::Topology& topo,
+                             const core::Schedule& schedule);
+
+std::unique_ptr<Scheduler> make_random_scheduler();
+std::unique_ptr<Scheduler> make_msf_scheduler();
+std::unique_ptr<Scheduler> make_ldsf_scheduler();
+std::unique_ptr<Scheduler> make_harp_scheduler();
+
+}  // namespace harp::sched

@@ -1,0 +1,288 @@
+#include "sim/data_plane.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::sim {
+
+DataPlane::DataPlane(const net::Topology& topo, std::vector<net::Task> tasks,
+                     SimConfig config, std::uint64_t seed)
+    : topo_(topo),
+      config_(config),
+      rng_(seed),
+      metrics_(topo.size()),
+      up_queue_(topo.size()),
+      down_queue_(topo.size()),
+      by_slot_(config.frame.length) {
+  config_.frame.validate();
+  if (config_.pdr < 0.0 || config_.pdr > 1.0) {
+    throw InvalidArgument("pdr must be in [0,1]");
+  }
+  tasks_.reserve(tasks.size());
+  for (net::Task& t : tasks) {
+    if (t.period_slots == 0) throw InvalidArgument("task period must be > 0");
+    if (t.source == kNoNode || t.source >= topo.size() ||
+        t.source == net::Topology::gateway()) {
+      throw InvalidArgument("task source invalid");
+    }
+    tasks_.push_back({t, t.phase_slots});
+  }
+}
+
+void DataPlane::set_schedule(const core::Schedule& schedule) {
+  for (auto& v : by_slot_) v.clear();
+  for (const core::ScheduleEntry& e : schedule.entries()) {
+    HARP_ASSERT(e.cell.slot < config_.frame.length);
+    by_slot_[e.cell.slot].push_back({e.child, e.dir, e.cell});
+  }
+}
+
+void DataPlane::run_slots(AbsoluteSlot n) {
+  for (AbsoluteSlot i = 0; i < n; ++i) {
+    generate(now_);
+    transmit(now_);
+    ++now_;
+  }
+}
+
+void DataPlane::resize_for_topology() {
+  const std::size_t n = topo_.size();
+  HARP_ASSERT(n >= up_queue_.size());
+  up_queue_.resize(n);
+  down_queue_.resize(n);
+  metrics_.resize(n);
+}
+
+void DataPlane::add_task(net::Task task) {
+  if (task.period_slots == 0) throw InvalidArgument("task period must be > 0");
+  if (task.source == kNoNode || task.source >= topo_.size() ||
+      task.source == net::Topology::gateway()) {
+    throw InvalidArgument("task source invalid");
+  }
+  // First release at the next on-grid point from now.
+  AbsoluteSlot release = task.phase_slots;
+  while (release < now_) release += task.period_slots;
+  tasks_.push_back({task, release});
+}
+
+void DataPlane::remove_tasks_from(NodeId node) {
+  std::vector<TaskId> removed;
+  std::erase_if(tasks_, [&](const TaskState& t) {
+    if (t.spec.source == node) {
+      removed.push_back(t.spec.id);
+      return true;
+    }
+    return false;
+  });
+  const auto gone = [&](const Packet& p) {
+    for (TaskId id : removed) {
+      if (p.task == id) return true;
+    }
+    return false;
+  };
+  for (auto& q : up_queue_) std::erase_if(q, gone);
+  for (auto& q : down_queue_) std::erase_if(q, gone);
+}
+
+void DataPlane::add_interference(ChannelId channel, AbsoluteSlot from,
+                                 AbsoluteSlot until, double success_factor) {
+  if (channel >= config_.frame.num_channels) {
+    throw InvalidArgument("interference channel out of range");
+  }
+  if (success_factor < 0.0 || success_factor > 1.0) {
+    throw InvalidArgument("success factor must be in [0,1]");
+  }
+  if (until <= from) throw InvalidArgument("empty interference window");
+  interference_.push_back({channel, from, until, success_factor});
+}
+
+double DataPlane::success_probability(ChannelId channel,
+                                      AbsoluteSlot t) const {
+  double p = config_.pdr;
+  for (const Interference& burst : interference_) {
+    if (burst.channel == channel && t >= burst.from && t < burst.until) {
+      p *= burst.factor;
+    }
+  }
+  return p;
+}
+
+void DataPlane::set_task_period(TaskId task, std::uint32_t period_slots) {
+  if (period_slots == 0) throw InvalidArgument("task period must be > 0");
+  for (TaskState& t : tasks_) {
+    if (t.spec.id != task) continue;
+    t.spec.period_slots = period_slots;
+    // Keep the already-scheduled next release; subsequent releases follow
+    // the new period from there.
+    return;
+  }
+  throw InvalidArgument("unknown task " + std::to_string(task));
+}
+
+std::size_t DataPlane::backlog() const {
+  std::size_t total = 0;
+  for (const auto& q : up_queue_) total += q.size();
+  for (const auto& q : down_queue_) total += q.size();
+  return total;
+}
+
+std::size_t DataPlane::backlog_of_task(TaskId task) const {
+  std::size_t total = 0;
+  for (const auto& q : up_queue_) {
+    total += static_cast<std::size_t>(
+        std::count_if(q.begin(), q.end(),
+                      [&](const Packet& p) { return p.task == task; }));
+  }
+  for (const auto& q : down_queue_) {
+    total += static_cast<std::size_t>(
+        std::count_if(q.begin(), q.end(),
+                      [&](const Packet& p) { return p.task == task; }));
+  }
+  return total;
+}
+
+void DataPlane::generate(AbsoluteSlot t) {
+  for (TaskState& task : tasks_) {
+    while (task.next_release <= t) {
+      if (task.next_release == t) {
+        metrics_.on_generated(task.spec.source);
+        enqueue(up_queue_[task.spec.source],
+                Packet{task.spec.id, task.spec.source,
+                       net::Topology::gateway(), t});
+      }
+      task.next_release += task.spec.period_slots;
+    }
+  }
+}
+
+void DataPlane::enqueue(std::deque<Packet>& queue, Packet pkt) {
+  if (queue.size() >= config_.queue_capacity) {
+    metrics_.on_dropped(pkt.source);
+    return;
+  }
+  queue.push_back(pkt);
+}
+
+NodeId DataPlane::next_hop_down(NodeId from, NodeId destination) const {
+  NodeId hop = destination;
+  while (hop != kNoNode && topo_.parent(hop) != from) {
+    hop = topo_.parent(hop);
+  }
+  // kNoNode: `from` is no longer on the path (the destination roamed
+  // while this packet was in flight); the caller drops the packet.
+  return hop;
+}
+
+void DataPlane::deliver_up(Packet pkt, AbsoluteSlot t) {
+  // Reached the gateway. Echo tasks turn around and descend to their
+  // source; collect-only tasks complete here.
+  const net::Task* spec = nullptr;
+  for (const TaskState& task : tasks_) {
+    if (task.spec.id == pkt.task) {
+      spec = &task.spec;
+      break;
+    }
+  }
+  HARP_ASSERT(spec != nullptr);
+  if (spec->echo) {
+    pkt.destination = pkt.source;
+    const NodeId hop =
+        next_hop_down(net::Topology::gateway(), pkt.destination);
+    if (hop == kNoNode) {
+      metrics_.on_dropped(pkt.source);  // destination roamed mid-flight
+      return;
+    }
+    enqueue(down_queue_[hop], pkt);
+    return;
+  }
+  metrics_.record({pkt.task, pkt.source, pkt.created, t,
+                   static_cast<double>(t - pkt.created + 1) *
+                       config_.frame.slot_seconds,
+                   t - pkt.created + 1 <= spec->effective_deadline()});
+}
+
+void DataPlane::deliver_down(NodeId at, Packet pkt, AbsoluteSlot t) {
+  if (at == pkt.destination) {
+    std::uint32_t deadline = ~0u;
+    for (const TaskState& task : tasks_) {
+      if (task.spec.id == pkt.task) {
+        deadline = task.spec.effective_deadline();
+        break;
+      }
+    }
+    metrics_.record({pkt.task, pkt.source, pkt.created, t,
+                     static_cast<double>(t - pkt.created + 1) *
+                         config_.frame.slot_seconds,
+                     t - pkt.created + 1 <= deadline});
+    return;
+  }
+  const NodeId hop = next_hop_down(at, pkt.destination);
+  if (hop == kNoNode) {
+    metrics_.on_dropped(pkt.source);  // destination roamed mid-flight
+    return;
+  }
+  enqueue(down_queue_[hop], pkt);
+}
+
+void DataPlane::transmit(AbsoluteSlot t) {
+  const SlotId slot = static_cast<SlotId>(t % config_.frame.length);
+  const auto& entries = by_slot_[slot];
+  if (entries.empty()) return;
+
+  // Identify which entries actually have a packet to send, then detect
+  // conflicts among the ACTIVE transmissions only (an idle cell cannot
+  // collide).
+  struct Active {
+    const Entry* entry;
+    NodeId sender;
+    NodeId receiver;
+  };
+  std::vector<Active> active;
+  active.reserve(entries.size());
+  for (const Entry& e : entries) {
+    const NodeId parent = topo_.parent(e.child);
+    if (e.dir == Direction::kUp) {
+      if (!up_queue_[e.child].empty()) active.push_back({&e, e.child, parent});
+    } else {
+      if (!down_queue_[e.child].empty()) {
+        active.push_back({&e, parent, e.child});
+      }
+    }
+  }
+  if (active.empty()) return;
+
+  std::map<Cell, int> cell_use;
+  std::map<NodeId, int> node_use;
+  for (const Active& a : active) {
+    ++cell_use[a.entry->cell];
+    ++node_use[a.sender];
+    ++node_use[a.receiver];
+  }
+
+  for (const Active& a : active) {
+    const bool collided =
+        cell_use[a.entry->cell] > 1 || node_use[a.sender] > 1 ||
+        node_use[a.receiver] > 1;
+    if (collided ||
+        !rng_.chance(success_probability(a.entry->cell.channel, t))) {
+      continue;  // retry in the link's next cell
+    }
+
+    if (a.entry->dir == Direction::kUp) {
+      Packet pkt = up_queue_[a.entry->child].front();
+      up_queue_[a.entry->child].pop_front();
+      if (a.receiver == net::Topology::gateway()) {
+        deliver_up(pkt, t);
+      } else {
+        enqueue(up_queue_[a.receiver], pkt);
+      }
+    } else {
+      Packet pkt = down_queue_[a.entry->child].front();
+      down_queue_[a.entry->child].pop_front();
+      deliver_down(a.entry->child, pkt, t);
+    }
+  }
+}
+
+}  // namespace harp::sim

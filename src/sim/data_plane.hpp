@@ -1,0 +1,139 @@
+// Slot-stepped TSCH data-plane simulator.
+//
+// Substitutes for the paper's CC2650 testbed radios (see DESIGN.md): time
+// advances one slot at a time; in every slot the installed schedule says
+// which links may transmit on which channels. A transmission succeeds iff
+//   * no other transmission uses the same (slot, channel) cell,
+//   * neither endpoint is engaged by another transmission in the slot
+//     (half-duplex), and
+//   * the Bernoulli link-quality draw succeeds (configurable PDR,
+//     modelling the environmental interference the paper reports).
+// Failed packets stay at the head of their queue and retry in the link's
+// next cell, exactly like TSCH retransmissions.
+//
+// Routing follows the tree: uplink packets climb to the gateway; packets
+// of echo tasks then descend to their source, and end-to-end latency is
+// measured from generation to final delivery.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harp/schedule.hpp"
+#include "net/task.hpp"
+#include "net/topology.hpp"
+#include "sim/metrics.hpp"
+
+namespace harp::sim {
+
+struct SimConfig {
+  net::SlotframeConfig frame;
+  /// Per-transmission delivery probability (1.0 = clean channel).
+  double pdr = 1.0;
+  /// Per-queue capacity; packets arriving at a full queue are dropped.
+  std::size_t queue_capacity = 128;
+};
+
+class DataPlane {
+ public:
+  DataPlane(const net::Topology& topo, std::vector<net::Task> tasks,
+            SimConfig config, std::uint64_t seed);
+
+  /// Installs (or replaces) the cell assignment; takes effect next slot.
+  void set_schedule(const core::Schedule& schedule);
+
+  /// Runs `n` slots of network time.
+  void run_slots(AbsoluteSlot n);
+  void run_frames(AbsoluteSlot frames) {
+    run_slots(frames * config_.frame.length);
+  }
+
+  AbsoluteSlot now() const { return now_; }
+  double now_seconds() const {
+    return static_cast<double>(now_) * config_.frame.slot_seconds;
+  }
+
+  /// Changes a task's period at runtime (takes effect immediately);
+  /// the next release keeps the task's phase grid.
+  void set_task_period(TaskId task, std::uint32_t period_slots);
+
+  /// Topology dynamics: extends the per-node queues/metrics after nodes
+  /// joined (the facade keeps the Topology object it handed us updated).
+  void resize_for_topology();
+
+  /// Registers a task at runtime (releases start from the current slot's
+  /// phase grid).
+  void add_task(net::Task task);
+
+  /// Drops every task sourced at `node` (device left the network). Any
+  /// queued packets of those tasks are discarded from the queues.
+  void remove_tasks_from(NodeId node);
+
+  /// Injects narrowband interference: transmissions on `channel` during
+  /// absolute slots [from, until) have their success probability scaled
+  /// by `success_factor` (0 = fully jammed). Multiple overlapping bursts
+  /// multiply. Models the paper's "environmental interference".
+  void add_interference(ChannelId channel, AbsoluteSlot from,
+                        AbsoluteSlot until, double success_factor);
+
+  const LatencyRecorder& metrics() const { return metrics_; }
+  LatencyRecorder& metrics() { return metrics_; }
+
+  /// Total packets currently queued anywhere in the network (backlog).
+  std::size_t backlog() const;
+  /// Backlog attributable to a single task.
+  std::size_t backlog_of_task(TaskId task) const;
+
+ private:
+  struct Packet {
+    TaskId task{0};
+    NodeId source{kNoNode};
+    NodeId destination{kNoNode};
+    AbsoluteSlot created{0};
+  };
+  struct TaskState {
+    net::Task spec;
+    AbsoluteSlot next_release{0};
+  };
+
+  struct Interference {
+    ChannelId channel;
+    AbsoluteSlot from;
+    AbsoluteSlot until;
+    double factor;
+  };
+  double success_probability(ChannelId channel, AbsoluteSlot t) const;
+
+  void generate(AbsoluteSlot t);
+  void transmit(AbsoluteSlot t);
+  void deliver_up(Packet pkt, AbsoluteSlot t);
+  void deliver_down(NodeId at, Packet pkt, AbsoluteSlot t);
+  NodeId next_hop_down(NodeId from, NodeId destination) const;
+  void enqueue(std::deque<Packet>& queue, Packet pkt);
+
+  const net::Topology& topo_;
+  SimConfig config_;
+  Rng rng_;
+  std::vector<TaskState> tasks_;
+  LatencyRecorder metrics_;
+  AbsoluteSlot now_{0};
+
+  /// Uplink FIFO per node (next hop is always the parent).
+  std::vector<std::deque<Packet>> up_queue_;
+  /// Downlink FIFO per link, keyed by the child endpoint: packets waiting
+  /// at the parent to cross that link.
+  std::vector<std::deque<Packet>> down_queue_;
+
+  /// Transmission opportunities per slot-in-frame.
+  struct Entry {
+    NodeId child;
+    Direction dir;
+    Cell cell;
+  };
+  std::vector<std::vector<Entry>> by_slot_;
+  std::vector<Interference> interference_;
+};
+
+}  // namespace harp::sim

@@ -1,0 +1,201 @@
+#include "sim/harp_sim.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "net/traffic.hpp"
+#include "proto/network.hpp"
+
+namespace harp::sim {
+
+HarpSimulation::HarpSimulation(net::Topology topo,
+                               std::vector<net::Task> tasks, Options options)
+    : topo_(std::move(topo)),
+      options_(options),
+      tasks_(std::move(tasks)),
+      mgmt_(topo_, options.frame),
+      data_(topo_, tasks_,
+            SimConfig{options.frame, options.pdr, options.queue_capacity},
+            options.seed) {
+  const auto traffic = net::derive_traffic(topo_, tasks_, options_.frame);
+  for (proto::AgentConfig& cfg : proto::make_agent_configs(
+           topo_, traffic, options_.frame, tasks_, options_.own_slack)) {
+    agents_.push_back(std::make_unique<proto::HarpAgent>(std::move(cfg)));
+  }
+  agent_ptrs_.reserve(agents_.size());
+  for (auto& a : agents_) agent_ptrs_.push_back(a.get());
+}
+
+void HarpSimulation::refresh_schedule() {
+  if (mgmt_.log().size() == installed_log_size_) return;
+  installed_log_size_ = mgmt_.log().size();
+  data_.set_schedule(current_schedule());
+}
+
+core::Schedule HarpSimulation::current_schedule() const {
+  core::Schedule schedule(topo_.size());
+  for (NodeId v = 0; v < topo_.size(); ++v) {
+    for (NodeId c : topo_.children(v)) {
+      for (Direction dir : {Direction::kUp, Direction::kDown}) {
+        schedule.set_cells(c, dir, agents_[v]->child_cells(c, dir));
+      }
+    }
+  }
+  return schedule;
+}
+
+void HarpSimulation::step(bool run_data) {
+  mgmt_.on_slot(now_, agent_ptrs_);
+  if (run_data) {
+    refresh_schedule();
+    data_.run_slots(1);
+  }
+  ++now_;
+}
+
+void HarpSimulation::run_to_mgmt_idle(AbsoluteSlot timeout_slots,
+                                      bool run_data) {
+  const AbsoluteSlot deadline = now_ + timeout_slots;
+  while (mgmt_.busy()) {
+    if (now_ >= deadline) {
+      throw Error("management plane did not quiesce within the timeout");
+    }
+    step(run_data);
+  }
+}
+
+AbsoluteSlot HarpSimulation::bootstrap(AbsoluteSlot timeout_frames) {
+  HARP_ASSERT(!bootstrapped_);
+  const AbsoluteSlot start = now_;
+  for (NodeId v : topo_.nodes_bottom_up()) agents_[v]->start(mgmt_);
+  run_to_mgmt_idle(timeout_frames * options_.frame.length,
+                   /*run_data=*/false);
+  for (NodeId v = 0; v < topo_.size(); ++v) {
+    if (!topo_.is_leaf(v)) HARP_ASSERT(agents_[v]->ready());
+  }
+  data_.set_schedule(current_schedule());
+  installed_log_size_ = mgmt_.log().size();
+  bootstrapped_ = true;
+  return now_ - start;
+}
+
+void HarpSimulation::run_slots(AbsoluteSlot slots) {
+  HARP_ASSERT(bootstrapped_);
+  for (AbsoluteSlot i = 0; i < slots; ++i) step(/*run_data=*/true);
+}
+
+void HarpSimulation::run_frames(AbsoluteSlot frames) {
+  run_slots(frames * options_.frame.length);
+}
+
+MgmtPlane::Summary HarpSimulation::change_link_demand(
+    NodeId child, Direction dir, int cells, AbsoluteSlot timeout_frames) {
+  HARP_ASSERT(bootstrapped_);
+  mgmt_.clear_log();
+  agents_[topo_.parent(child)]->change_demand(child, dir, cells, mgmt_);
+  run_to_mgmt_idle(timeout_frames * options_.frame.length, /*run_data=*/true);
+  return mgmt_.summarize(topo_);
+}
+
+HarpSimulation::JoinResult HarpSimulation::join_node(
+    NodeId parent, int up_cells, int down_cells,
+    std::uint32_t echo_period_slots, AbsoluteSlot timeout_frames) {
+  HARP_ASSERT(bootstrapped_);
+  HARP_ASSERT(parent < topo_.size());
+  topo_ = topo_.with_leaf(parent);
+  const NodeId node = static_cast<NodeId>(topo_.size() - 1);
+  mgmt_.resize_for_topology();
+  data_.resize_for_topology();
+
+  proto::AgentConfig cfg;
+  cfg.id = node;
+  cfg.parent = parent;
+  cfg.link_layer = topo_.link_layer(node);
+  cfg.frame = options_.frame;
+  cfg.own_slack = options_.own_slack;
+  agents_.push_back(std::make_unique<proto::HarpAgent>(std::move(cfg)));
+  agent_ptrs_.push_back(agents_.back().get());
+
+  const std::uint32_t rm_period =
+      echo_period_slots > 0 ? echo_period_slots : ~0u;
+  mgmt_.clear_log();
+  agents_[node]->start(mgmt_);
+  agents_[parent]->add_child(
+      proto::ChildLink{node, true, up_cells, down_cells, rm_period,
+                       rm_period},
+      mgmt_);
+  run_to_mgmt_idle(timeout_frames * options_.frame.length, /*run_data=*/true);
+
+  if (echo_period_slots > 0) {
+    net::Task task{node, node, echo_period_slots, 0, true};
+    tasks_.push_back(task);
+    data_.add_task(task);
+  }
+  return {node, mgmt_.summarize(topo_)};
+}
+
+MgmtPlane::Summary HarpSimulation::leave_node(NodeId leaf,
+                                              AbsoluteSlot timeout_frames) {
+  HARP_ASSERT(bootstrapped_);
+  HARP_ASSERT(leaf != net::Topology::gateway() && leaf < topo_.size());
+  std::erase_if(tasks_,
+                [&](const net::Task& t) { return t.source == leaf; });
+  data_.remove_tasks_from(leaf);
+  mgmt_.clear_log();
+  agents_[topo_.parent(leaf)]->remove_child(leaf, mgmt_);
+  run_to_mgmt_idle(timeout_frames * options_.frame.length, /*run_data=*/true);
+  return mgmt_.summarize(topo_);
+}
+
+MgmtPlane::Summary HarpSimulation::roam_node(NodeId leaf, NodeId new_parent,
+                                             AbsoluteSlot timeout_frames) {
+  HARP_ASSERT(bootstrapped_);
+  HARP_ASSERT(leaf != net::Topology::gateway() && leaf < topo_.size());
+  const NodeId old_parent = topo_.parent(leaf);
+  const int up = agents_[old_parent]->child_demand(leaf, Direction::kUp);
+  const int down = agents_[old_parent]->child_demand(leaf, Direction::kDown);
+
+  mgmt_.clear_log();
+  agents_[old_parent]->remove_child(leaf, mgmt_);
+  run_to_mgmt_idle(timeout_frames * options_.frame.length, /*run_data=*/true);
+
+  topo_ = topo_.with_parent(leaf, new_parent);  // validates against cycles
+  agents_[leaf]->rehome(new_parent, topo_.link_layer(leaf));
+  agents_[new_parent]->add_child(
+      proto::ChildLink{leaf, true, up, down, ~0u, ~0u}, mgmt_);
+  run_to_mgmt_idle(timeout_frames * options_.frame.length, /*run_data=*/true);
+  return mgmt_.summarize(topo_);
+}
+
+MgmtPlane::Summary HarpSimulation::change_task_rate(
+    TaskId task, std::uint32_t period_slots, AbsoluteSlot timeout_frames) {
+  HARP_ASSERT(bootstrapped_);
+  auto it = std::find_if(tasks_.begin(), tasks_.end(),
+                         [&](const net::Task& t) { return t.id == task; });
+  if (it == tasks_.end()) throw InvalidArgument("unknown task");
+  it->period_slots = period_slots;
+  data_.set_task_period(task, period_slots);
+
+  // New per-link reservations along the task's path.
+  const auto traffic = net::derive_traffic(topo_, tasks_, options_.frame);
+  mgmt_.clear_log();
+  MgmtPlane::Summary total;
+
+  // Deepest link first: grow the leaf edge before the links that must
+  // also carry the forwarded load.
+  const std::vector<NodeId> path = topo_.path_to_gateway(it->source);
+  for (NodeId v : path) {
+    if (v == net::Topology::gateway()) continue;
+    const NodeId parent = topo_.parent(v);
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      const int want = traffic.demand(v, dir);
+      if (agents_[parent]->child_demand(v, dir) == want) continue;
+      agents_[parent]->change_demand(v, dir, want, mgmt_);
+      run_to_mgmt_idle(timeout_frames * options_.frame.length,
+                       /*run_data=*/true);
+    }
+  }
+  return mgmt_.summarize(topo_);
+}
+
+}  // namespace harp::sim

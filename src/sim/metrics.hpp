@@ -1,0 +1,94 @@
+// Measurement containers for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace harp::sim {
+
+/// One packet that reached its final destination.
+struct Delivery {
+  TaskId task{0};
+  NodeId source{kNoNode};
+  AbsoluteSlot created{0};
+  AbsoluteSlot delivered{0};
+  /// End-to-end latency in seconds (slots * slot duration).
+  double latency_s{0.0};
+  /// True when delivery happened within the task's effective deadline.
+  bool met_deadline{true};
+};
+
+/// Aggregates per-source latency and loss statistics.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t num_nodes)
+      : per_node_(num_nodes),
+        generated_(num_nodes, 0),
+        dropped_(num_nodes, 0),
+        missed_(num_nodes, 0) {}
+
+  /// Grows the per-node tables for newly joined nodes.
+  void resize(std::size_t num_nodes) {
+    if (num_nodes > per_node_.size()) {
+      per_node_.resize(num_nodes);
+      generated_.resize(num_nodes, 0);
+      dropped_.resize(num_nodes, 0);
+      missed_.resize(num_nodes, 0);
+    }
+  }
+
+  void record(const Delivery& d) {
+    deliveries_.push_back(d);
+    per_node_[d.source].add(d.latency_s);
+    if (!d.met_deadline) ++missed_[d.source];
+  }
+  void on_generated(NodeId source) { ++generated_[source]; }
+  void on_dropped(NodeId source) { ++dropped_[source]; }
+
+  /// Deliveries of `source` that blew their task's deadline.
+  std::uint64_t deadline_misses(NodeId source) const {
+    return missed_[source];
+  }
+  std::uint64_t total_deadline_misses() const {
+    std::uint64_t n = 0;
+    for (auto m : missed_) n += m;
+    return n;
+  }
+
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  const Stats& node_latency(NodeId source) const { return per_node_[source]; }
+  std::uint64_t generated(NodeId source) const { return generated_[source]; }
+  std::uint64_t dropped(NodeId source) const { return dropped_[source]; }
+
+  std::uint64_t total_generated() const {
+    std::uint64_t n = 0;
+    for (auto g : generated_) n += g;
+    return n;
+  }
+  std::uint64_t total_delivered() const { return deliveries_.size(); }
+  std::uint64_t total_dropped() const {
+    std::uint64_t n = 0;
+    for (auto d : dropped_) n += d;
+    return n;
+  }
+
+  void clear() {
+    deliveries_.clear();
+    for (auto& s : per_node_) s.clear();
+    std::fill(generated_.begin(), generated_.end(), 0);
+    std::fill(dropped_.begin(), dropped_.end(), 0);
+    std::fill(missed_.begin(), missed_.end(), 0);
+  }
+
+ private:
+  std::vector<Delivery> deliveries_;
+  std::vector<Stats> per_node_;
+  std::vector<std::uint64_t> generated_;
+  std::vector<std::uint64_t> dropped_;
+  std::vector<std::uint64_t> missed_;
+};
+
+}  // namespace harp::sim

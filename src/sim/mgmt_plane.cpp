@@ -1,0 +1,70 @@
+#include "sim/mgmt_plane.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::sim {
+
+MgmtPlane::MgmtPlane(const net::Topology& topo, net::SlotframeConfig frame)
+    : topo_(topo), frame_(frame), queues_(topo.size()) {
+  frame_.validate();
+  if (frame_.mgmt_slots() == 0) {
+    throw InvalidArgument("management sub-frame is empty");
+  }
+}
+
+SlotId MgmtPlane::tx_slot(NodeId node) const {
+  return frame_.data_slots + (node % frame_.mgmt_slots());
+}
+
+void MgmtPlane::send(proto::Message msg) {
+  HARP_ASSERT(msg.src < queues_.size());
+  queues_[msg.src].push_back({std::move(msg), now_});
+  ++queued_;
+}
+
+void MgmtPlane::on_slot(AbsoluteSlot t,
+                        std::vector<proto::HarpAgent*>& agents) {
+  now_ = t;
+  if (queued_ == 0) return;
+  const SlotId slot = static_cast<SlotId>(t % frame_.length);
+  if (slot < frame_.data_slots) return;
+
+  for (NodeId node = 0; node < queues_.size(); ++node) {
+    if (queues_[node].empty() || tx_slot(node) != slot) continue;
+    Queued q = std::move(queues_[node].front());
+    queues_[node].pop_front();
+    --queued_;
+    log_.push_back({q.msg.type, q.msg.src, q.msg.dst, q.sent, t,
+                    proto::encoded_size(q.msg)});
+    HARP_ASSERT(q.msg.dst < agents.size());
+    agents[q.msg.dst]->on_message(q.msg, *this);
+  }
+}
+
+MgmtPlane::Summary MgmtPlane::summarize(const net::Topology& topo) const {
+  Summary s;
+  if (log_.empty()) return s;
+  s.first_sent = log_.front().sent;
+  int lo = 1 << 30, hi = 0;
+  for (const Record& r : log_) {
+    ++s.all_messages;
+    if (proto::counts_as_harp_overhead(r.type)) ++s.harp_messages;
+    s.bytes += r.bytes;
+    s.nodes.insert(r.from);
+    s.nodes.insert(r.to);
+    s.last_delivered = std::max(s.last_delivered, r.delivered);
+    for (NodeId v : {r.from, r.to}) {
+      lo = std::min(lo, topo.node_layer(v));
+      hi = std::max(hi, topo.node_layer(v));
+    }
+  }
+  s.layers = std::max(hi - lo, 1);
+  const AbsoluteSlot span = s.last_delivered - s.first_sent + 1;
+  s.elapsed_seconds = static_cast<double>(span) * frame_.slot_seconds;
+  s.elapsed_slotframes = (span + frame_.length - 1) / frame_.length;
+  return s;
+}
+
+}  // namespace harp::sim

@@ -1,0 +1,89 @@
+// Management plane: delivers HARP protocol messages over dedicated cells
+// in the Management sub-frame, with real slot timing.
+//
+// Mirrors the testbed setup of Sec. VI-A: when a node joins it receives
+// collision-free management cells; HARP messages travel in those cells.
+// Each node owns one TX cell per slotframe at
+//   slot    = data_slots + (id mod mgmt_slots)
+//   channel = (id / mgmt_slots) mod num_channels
+// One queued message departs per TX cell (one hop per slotframe per node
+// under backlog), which is what makes multi-hop adjustments take multiple
+// slotframes — the "Time(s)" and "SF" columns of Table II.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "net/slotframe.hpp"
+#include "net/topology.hpp"
+#include "proto/agent.hpp"
+#include "proto/codec.hpp"
+
+namespace harp::sim {
+
+class MgmtPlane : public proto::Transport {
+ public:
+  MgmtPlane(const net::Topology& topo, net::SlotframeConfig frame);
+
+  /// Queues a message at its source node (Transport interface; called by
+  /// agents while they process deliveries).
+  void send(proto::Message msg) override;
+
+  /// Advances to slot `t`: if some node's TX cell falls on this slot, its
+  /// oldest queued message is delivered. `agents` receive messages and may
+  /// send follow-ups (which queue for later cells).
+  void on_slot(AbsoluteSlot t, std::vector<proto::HarpAgent*>& agents);
+
+  /// True while any management message is still queued.
+  bool busy() const { return queued_ > 0; }
+
+  /// Topology dynamics: extends the per-node queues after nodes joined.
+  void resize_for_topology() {
+    if (topo_.size() > queues_.size()) queues_.resize(topo_.size());
+  }
+
+  // ------------------------------------------------------- accounting
+  struct Record {
+    proto::MsgType type;
+    NodeId from;
+    NodeId to;
+    AbsoluteSlot sent;       // when queued
+    AbsoluteSlot delivered;  // when the TX cell fired
+    std::size_t bytes;
+  };
+  const std::vector<Record>& log() const { return log_; }
+  void clear_log() { log_.clear(); }
+
+  /// Aggregate over the log: HARP messages (intf/part), nodes touched,
+  /// layer span, and elapsed slots from first send to last delivery.
+  struct Summary {
+    std::size_t harp_messages{0};
+    std::size_t all_messages{0};
+    std::size_t bytes{0};
+    std::set<NodeId> nodes;
+    int layers{0};
+    AbsoluteSlot first_sent{0};
+    AbsoluteSlot last_delivered{0};
+    double elapsed_seconds{0.0};
+    AbsoluteSlot elapsed_slotframes{0};
+  };
+  Summary summarize(const net::Topology& topo) const;
+
+  SlotId tx_slot(NodeId node) const;
+
+ private:
+  struct Queued {
+    proto::Message msg;
+    AbsoluteSlot sent;
+  };
+  const net::Topology& topo_;
+  net::SlotframeConfig frame_;
+  std::vector<std::deque<Queued>> queues_;  // per source node
+  std::size_t queued_{0};
+  std::vector<Record> log_;
+  AbsoluteSlot now_{0};
+};
+
+}  // namespace harp::sim

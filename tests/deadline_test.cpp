@@ -1,0 +1,114 @@
+// Tests for the diverse-deadlines extension (paper future work):
+// Deadline-Monotonic in-partition priority and deadline-miss accounting.
+#include <gtest/gtest.h>
+
+#include "harp/engine.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "sim/harp_sim.hpp"
+
+namespace harp {
+namespace {
+
+TEST(Deadline, EffectiveDeadlineDefaultsToPeriod) {
+  net::Task t{.id = 1, .source = 1, .period_slots = 200};
+  EXPECT_EQ(t.effective_deadline(), 200u);
+  t.deadline_slots = 80;
+  EXPECT_EQ(t.effective_deadline(), 80u);
+}
+
+TEST(Deadline, LinkPrioritiesUseDeadlinesNotPeriods) {
+  // Two tasks share the relay link: the long-period one has the TIGHTER
+  // deadline and must win the priority (Deadline Monotonic).
+  const auto topo = net::TopologyBuilder::from_parents({0, 1, 1});
+  const std::vector<net::Task> tasks{
+      {.id = 1, .source = 2, .period_slots = 100, .echo = false},
+      {.id = 2,
+       .source = 3,
+       .period_slots = 400,
+       .echo = false,
+       .deadline_slots = 50},
+  };
+  const auto lp = core::link_periods(topo, tasks);
+  EXPECT_EQ(lp.up[2], 100u);
+  EXPECT_EQ(lp.up[3], 50u);  // deadline, not period
+  EXPECT_EQ(lp.up[1], 50u);  // relay carries both; tightest wins
+}
+
+TEST(Deadline, TightDeadlineTaskGetsEarlierCells) {
+  // Sibling links under one parent: the constrained-deadline task's link
+  // must receive the partition's earliest cells.
+  const auto topo = net::TopologyBuilder::from_parents({0, 1, 1});
+  net::SlotframeConfig frame;
+  const std::vector<net::Task> tasks{
+      {.id = 1, .source = 2, .period_slots = 100, .echo = false},
+      {.id = 2,
+       .source = 3,
+       .period_slots = 100,
+       .echo = false,
+       .deadline_slots = 40},
+  };
+  core::HarpEngine engine(topo, tasks, frame);
+  const auto& tight = engine.schedule().cells(3, Direction::kUp);
+  const auto& loose = engine.schedule().cells(2, Direction::kUp);
+  ASSERT_FALSE(tight.empty());
+  ASSERT_FALSE(loose.empty());
+  EXPECT_LT(tight.front().slot, loose.front().slot);
+}
+
+TEST(Deadline, SimCountsMisses) {
+  // One-hop network, task deadline 10 slots but its only cell sits at
+  // slot 50: every packet released at slot 0 mod 199 misses.
+  const auto topo = net::TopologyBuilder::from_parents({0});
+  net::SlotframeConfig frame;
+  const std::vector<net::Task> tasks{{.id = 1,
+                                      .source = 1,
+                                      .period_slots = 199,
+                                      .echo = false,
+                                      .deadline_slots = 10}};
+  sim::DataPlane sim(topo, tasks, {frame, 1.0, 64}, 1);
+  core::Schedule s(topo.size());
+  s.add_cell(1, Direction::kUp, {50, 0});
+  sim.set_schedule(s);
+  sim.run_frames(5);
+  EXPECT_EQ(sim.metrics().total_delivered(), 5u);
+  EXPECT_EQ(sim.metrics().total_deadline_misses(), 5u);
+  EXPECT_EQ(sim.metrics().deadline_misses(1), 5u);
+}
+
+TEST(Deadline, SimCountsHits) {
+  const auto topo = net::TopologyBuilder::from_parents({0});
+  net::SlotframeConfig frame;
+  const std::vector<net::Task> tasks{{.id = 1,
+                                      .source = 1,
+                                      .period_slots = 199,
+                                      .echo = false,
+                                      .deadline_slots = 60}};
+  sim::DataPlane sim(topo, tasks, {frame, 1.0, 64}, 1);
+  core::Schedule s(topo.size());
+  s.add_cell(1, Direction::kUp, {50, 0});
+  sim.set_schedule(s);
+  sim.run_frames(5);
+  EXPECT_EQ(sim.metrics().total_deadline_misses(), 0u);
+}
+
+TEST(Deadline, EchoTasksMeasureRoundTrip) {
+  // Full testbed with implicit (= period) deadlines: the compliant
+  // schedule keeps e2e within one slotframe, so misses are rare.
+  const auto topo = net::testbed_tree();
+  auto tasks = net::uniform_echo_tasks(topo, 199);
+  for (auto& t : tasks) t.deadline_slots = 2 * 199;  // 2 slotframes
+  net::SlotframeConfig frame;
+  frame.data_slots = 190;
+  sim::HarpSimulation::Options opts{frame};
+  opts.own_slack = 1;
+  sim::HarpSimulation sim(topo, tasks, opts);
+  sim.bootstrap();
+  sim.run_frames(40);
+  const auto& m = sim.metrics();
+  EXPECT_GT(m.total_delivered(), 0u);
+  EXPECT_LE(m.total_deadline_misses(), m.total_delivered() / 20);
+}
+
+}  // namespace
+}  // namespace harp

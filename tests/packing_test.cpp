@@ -1,0 +1,346 @@
+// Unit + property tests for the 2-D packing algorithms: best-fit skyline
+// strip packing, MaxRects fixed-bin packing with obstacles, shelf and
+// bottom-left ablation heuristics, and the validator oracle itself.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "packing/bottom_left.hpp"
+#include "packing/maxrects.hpp"
+#include "packing/rect.hpp"
+#include "packing/shelf.hpp"
+#include "packing/skyline.hpp"
+#include "packing/validate.hpp"
+
+namespace harp::packing {
+namespace {
+
+std::vector<Rect> random_rects(Rng& rng, std::size_t n, Dim max_w, Dim max_h) {
+  std::vector<Rect> rects;
+  rects.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rects.push_back({static_cast<Dim>(rng.between(1, max_w)),
+                     static_cast<Dim>(rng.between(1, max_h)), i});
+  }
+  return rects;
+}
+
+// ---------------------------------------------------------------- skyline
+
+TEST(Skyline, EmptyInputZeroHeight) {
+  const auto result = pack_strip({}, 10);
+  EXPECT_EQ(result.height, 0);
+  EXPECT_TRUE(result.placements.empty());
+}
+
+TEST(Skyline, SingleRect) {
+  const auto result = pack_strip({{4, 3, 7}}, 10);
+  EXPECT_EQ(result.height, 3);
+  ASSERT_EQ(result.placements.size(), 1u);
+  EXPECT_EQ(result.placements[0].id, 7u);
+  EXPECT_EQ(result.placements[0].w, 4);
+  EXPECT_EQ(result.placements[0].h, 3);
+}
+
+TEST(Skyline, PerfectRowPacksFlat) {
+  // Three rects exactly filling one row of width 10.
+  const auto result = pack_strip({{5, 2, 0}, {3, 2, 1}, {2, 2, 2}}, 10);
+  EXPECT_EQ(result.height, 2);
+  EXPECT_TRUE(validate_packing(result.placements, 10, 2).empty());
+}
+
+TEST(Skyline, StacksWhenTooWide) {
+  const auto result = pack_strip({{8, 1, 0}, {8, 1, 1}}, 10);
+  EXPECT_EQ(result.height, 2);
+}
+
+TEST(Skyline, FullWidthColumnsStack) {
+  const auto result = pack_strip({{10, 3, 0}, {10, 2, 1}, {10, 1, 2}}, 10);
+  EXPECT_EQ(result.height, 6);
+  EXPECT_TRUE(validate_packing(result.placements, 10, 6).empty());
+}
+
+TEST(Skyline, RejectsZeroDimension) {
+  EXPECT_THROW(pack_strip({{0, 3, 0}}, 10), InvalidArgument);
+  EXPECT_THROW(pack_strip({{3, 0, 0}}, 10), InvalidArgument);
+}
+
+TEST(Skyline, RejectsTooWideRect) {
+  EXPECT_THROW(pack_strip({{11, 1, 0}}, 10), InvalidArgument);
+}
+
+TEST(Skyline, RejectsNonPositiveStrip) {
+  EXPECT_THROW(pack_strip({{1, 1, 0}}, 0), InvalidArgument);
+}
+
+TEST(Skyline, ReachesLowerBoundOnUniformSquares) {
+  // 25 unit squares in width 5 -> optimal height 5.
+  std::vector<Rect> rects;
+  for (std::size_t i = 0; i < 25; ++i) rects.push_back({1, 1, i});
+  const auto result = pack_strip(rects, 5);
+  EXPECT_EQ(result.height, 5);
+}
+
+TEST(Skyline, BoundedVariantRespectsLimit) {
+  std::vector<Rect> rects{{4, 4, 0}, {4, 4, 1}};
+  EXPECT_FALSE(pack_strip_bounded(rects, 4, 7).has_value());
+  const auto fit = pack_strip_bounded(rects, 4, 8);
+  ASSERT_TRUE(fit.has_value());
+  EXPECT_LE(fit->height, 8);
+}
+
+TEST(Skyline, BoundedRejectsTallRectEarly) {
+  EXPECT_FALSE(pack_strip_bounded({{1, 9, 0}}, 4, 8).has_value());
+}
+
+TEST(Skyline, LowerBoundHelper) {
+  // Area bound: 3 rects of 4x2 = 24 area in width 5 -> ceil(24/5) = 5.
+  EXPECT_EQ(strip_height_lower_bound({{4, 2, 0}, {4, 2, 1}, {4, 2, 2}}, 5), 5);
+  // Tallest-rect bound dominates.
+  EXPECT_EQ(strip_height_lower_bound({{1, 9, 0}}, 5), 9);
+  EXPECT_EQ(strip_height_lower_bound({}, 5), 0);
+}
+
+struct StripCase {
+  std::size_t n;
+  Dim width;
+  Dim max_w;
+  Dim max_h;
+  std::uint64_t seed;
+};
+
+class SkylineProperty : public ::testing::TestWithParam<StripCase> {};
+
+TEST_P(SkylineProperty, ValidAndWithinTwiceLowerBound) {
+  const auto& p = GetParam();
+  Rng rng(p.seed);
+  const auto rects = random_rects(rng, p.n, p.max_w, p.max_h);
+  const auto result = pack_strip(rects, p.width);
+  EXPECT_EQ(validate_packing(result.placements, p.width, result.height, &rects),
+            "");
+  const Dim lb = strip_height_lower_bound(rects, p.width);
+  EXPECT_GE(result.height, lb);
+  // Best-fit skyline stays well under 3x the area/height lower bound on
+  // random instances; we assert a loose factor as a regression tripwire.
+  EXPECT_LE(result.height, 3 * lb + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, SkylineProperty,
+    ::testing::Values(StripCase{10, 16, 16, 10, 1}, StripCase{30, 16, 8, 8, 2},
+                      StripCase{100, 16, 4, 6, 3}, StripCase{50, 7, 7, 9, 4},
+                      StripCase{200, 32, 10, 3, 5}, StripCase{5, 3, 2, 50, 6},
+                      StripCase{64, 16, 1, 1, 7}, StripCase{40, 199, 40, 4, 8},
+                      StripCase{120, 16, 16, 1, 9},
+                      StripCase{25, 10, 10, 10, 10}));
+
+// --------------------------------------------------------------- maxrects
+
+TEST(MaxRects, RejectsBadContainer) {
+  EXPECT_THROW(FixedBinPacker(0, 5), InvalidArgument);
+  EXPECT_THROW(FixedBinPacker(5, -1), InvalidArgument);
+}
+
+TEST(MaxRects, InsertIntoEmpty) {
+  FixedBinPacker bin(10, 10);
+  const auto p = bin.insert({4, 5, 1});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->inside(10, 10));
+  EXPECT_EQ(bin.free_area(), 100 - 20);
+}
+
+TEST(MaxRects, PeekDoesNotMutate) {
+  FixedBinPacker bin(10, 10);
+  ASSERT_TRUE(bin.peek({4, 5, 1}).has_value());
+  EXPECT_EQ(bin.free_area(), 100);
+}
+
+TEST(MaxRects, InsertTooLargeFails) {
+  FixedBinPacker bin(10, 10);
+  EXPECT_FALSE(bin.insert({11, 1, 0}).has_value());
+  EXPECT_FALSE(bin.insert({1, 11, 0}).has_value());
+}
+
+TEST(MaxRects, BlockReducesFreeArea) {
+  FixedBinPacker bin(10, 10);
+  bin.block({0, 0, 10, 4, 0});
+  EXPECT_EQ(bin.free_area(), 60);
+  EXPECT_FALSE(bin.fits(10, 7));
+  EXPECT_TRUE(bin.fits(10, 6));
+}
+
+TEST(MaxRects, BlockOutsideThrows) {
+  FixedBinPacker bin(10, 10);
+  EXPECT_THROW(bin.block({8, 8, 4, 4, 0}), InvalidArgument);
+}
+
+TEST(MaxRects, OverlappingBlocksUnion) {
+  FixedBinPacker bin(10, 10);
+  bin.block({0, 0, 6, 6, 0});
+  bin.block({3, 3, 6, 6, 0});
+  EXPECT_EQ(bin.free_area(), 100 - 36 - 36 + 9);
+}
+
+TEST(MaxRects, PacksAroundObstacle) {
+  FixedBinPacker bin(10, 4);
+  bin.block({4, 0, 2, 4, 0});  // vertical wall splits the bin in two
+  const auto result = bin.try_pack({{4, 4, 1}, {4, 4, 2}});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(placements_disjoint(*result));
+  for (const auto& p : *result) {
+    EXPECT_FALSE(p.overlaps(Placement{4, 0, 2, 4, 0}));
+  }
+}
+
+TEST(MaxRects, TryPackAllOrNothing) {
+  FixedBinPacker bin(4, 4);
+  const auto before = bin.free_area();
+  // Second rect cannot fit; state must roll back.
+  EXPECT_FALSE(bin.try_pack({{4, 4, 1}, {1, 1, 2}}).has_value());
+  EXPECT_EQ(bin.free_area(), before);
+  EXPECT_TRUE(bin.try_pack({{4, 4, 1}}).has_value());
+}
+
+TEST(MaxRects, ExactTiling) {
+  FixedBinPacker bin(6, 6);
+  const auto result =
+      bin.try_pack({{3, 3, 0}, {3, 3, 1}, {3, 3, 2}, {3, 3, 3}});
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(bin.free_area(), 0);
+  EXPECT_EQ(validate_packing(*result, 6, 6), "");
+}
+
+TEST(MaxRects, RejectsNonPositiveRect) {
+  FixedBinPacker bin(5, 5);
+  EXPECT_THROW(bin.peek({0, 1, 0}), InvalidArgument);
+}
+
+class MaxRectsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MaxRectsProperty, PackedResultsAreAlwaysValid) {
+  Rng rng(GetParam());
+  FixedBinPacker bin(16, 199);
+  // A few random obstacles.
+  std::vector<Placement> obstacles;
+  for (int i = 0; i < 3; ++i) {
+    const Dim w = rng.between(1, 5), h = rng.between(1, 30);
+    const Dim x = rng.between(0, 16 - w), y = rng.between(0, 199 - h);
+    const Placement obs{x, y, w, h, 0};
+    bin.block(obs);
+    obstacles.push_back(obs);
+  }
+  const auto rects = random_rects(rng, 12, 6, 25);
+  auto result = bin.try_pack(rects);
+  if (!result) return;  // heuristic failure is allowed; validity is not
+  EXPECT_EQ(validate_packing(*result, 16, 199, &rects), "");
+  for (const auto& p : *result) {
+    for (const auto& obs : obstacles) EXPECT_FALSE(p.overlaps(obs));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxRectsProperty,
+                         ::testing::Range<std::uint64_t>(0, 20));
+
+// ------------------------------------------------------- shelf heuristics
+
+TEST(Shelf, FfdhPacksValidly) {
+  Rng rng(17);
+  const auto rects = random_rects(rng, 40, 10, 8);
+  const auto result = pack_ffdh(rects, 12);
+  EXPECT_EQ(validate_packing(result.placements, 12, result.height, &rects),
+            "");
+}
+
+TEST(Shelf, NfdhPacksValidly) {
+  Rng rng(18);
+  const auto rects = random_rects(rng, 40, 10, 8);
+  const auto result = pack_nfdh(rects, 12);
+  EXPECT_EQ(validate_packing(result.placements, 12, result.height, &rects),
+            "");
+}
+
+TEST(Shelf, FfdhNeverWorseThanNfdh) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    Rng rng(seed);
+    const auto rects = random_rects(rng, 30, 9, 9);
+    EXPECT_LE(pack_ffdh(rects, 10).height, pack_nfdh(rects, 10).height)
+        << "seed " << seed;
+  }
+}
+
+TEST(Shelf, EmptyInput) {
+  EXPECT_EQ(pack_ffdh({}, 5).height, 0);
+  EXPECT_EQ(pack_nfdh({}, 5).height, 0);
+}
+
+TEST(Shelf, RejectsInvalid) {
+  EXPECT_THROW(pack_ffdh({{6, 1, 0}}, 5), InvalidArgument);
+  EXPECT_THROW(pack_nfdh({{1, 0, 0}}, 5), InvalidArgument);
+}
+
+// ------------------------------------------------------------ bottom-left
+
+TEST(BottomLeft, PacksValidly) {
+  Rng rng(21);
+  const auto rects = random_rects(rng, 25, 8, 8);
+  const auto result = pack_bottom_left(rects, 10);
+  EXPECT_EQ(validate_packing(result.placements, 10, result.height, &rects),
+            "");
+}
+
+TEST(BottomLeft, SingleColumn) {
+  const auto result = pack_bottom_left({{5, 2, 0}, {5, 3, 1}}, 5);
+  EXPECT_EQ(result.height, 5);
+}
+
+TEST(BottomLeft, RejectsInvalid) {
+  EXPECT_THROW(pack_bottom_left({{6, 1, 0}}, 5), InvalidArgument);
+}
+
+// ------------------------------------------------------------- transpose
+
+TEST(Transpose, SwapsAxes) {
+  const auto out = transpose({{1, 2, 3, 4, 9}});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].x, 2);
+  EXPECT_EQ(out[0].y, 1);
+  EXPECT_EQ(out[0].w, 4);
+  EXPECT_EQ(out[0].h, 3);
+  EXPECT_EQ(out[0].id, 9u);
+}
+
+TEST(Transpose, Involution) {
+  const std::vector<Placement> in{{1, 2, 3, 4, 0}, {5, 6, 7, 8, 1}};
+  EXPECT_EQ(transpose(transpose(in)), in);
+}
+
+// -------------------------------------------------------------- validator
+
+TEST(Validator, DetectsOverlap) {
+  const std::vector<Placement> p{{0, 0, 4, 4, 0}, {3, 3, 4, 4, 1}};
+  EXPECT_NE(validate_packing(p, 10, 10), "");
+  EXPECT_FALSE(placements_disjoint(p));
+}
+
+TEST(Validator, SharedEdgeIsNotOverlap) {
+  const std::vector<Placement> p{{0, 0, 4, 4, 0}, {4, 0, 4, 4, 1}};
+  EXPECT_EQ(validate_packing(p, 10, 10), "");
+  EXPECT_TRUE(placements_disjoint(p));
+}
+
+TEST(Validator, DetectsOutOfBounds) {
+  EXPECT_NE(validate_packing({{8, 0, 4, 4, 0}}, 10, 10), "");
+  EXPECT_NE(validate_packing({{0, 8, 4, 4, 0}}, 10, 10), "");
+  EXPECT_EQ(validate_packing({{0, 8, 4, 4, 0}}, 10, -1), "");  // unbounded
+}
+
+TEST(Validator, DetectsSetMismatch) {
+  const std::vector<Rect> rects{{4, 4, 0}, {2, 2, 1}};
+  const std::vector<Placement> missing{{0, 0, 4, 4, 0}};
+  EXPECT_NE(validate_packing(missing, 10, 10, &rects), "");
+  const std::vector<Placement> wrong_dims{{0, 0, 4, 4, 0}, {4, 0, 3, 2, 1}};
+  EXPECT_NE(validate_packing(wrong_dims, 10, 10, &rects), "");
+}
+
+}  // namespace
+}  // namespace harp::packing

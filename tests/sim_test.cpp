@@ -1,0 +1,346 @@
+// Tests for the TSCH data plane, management plane, and the combined
+// HarpSimulation facade (the software testbed).
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "harp/engine.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "sim/harp_sim.hpp"
+
+namespace harp::sim {
+namespace {
+
+net::SlotframeConfig frame() { return net::SlotframeConfig{}; }
+
+// ------------------------------------------------------------- data plane
+
+// A 2-hop chain 0 <- 1 <- 2 with a hand-built schedule.
+struct Chain {
+  net::Topology topo = net::TopologyBuilder::from_parents({0, 1});
+  std::vector<net::Task> tasks;
+  Chain() {
+    tasks.push_back({.id = 2, .source = 2, .period_slots = 199, .echo = false});
+  }
+};
+
+TEST(DataPlane, DeliversCollectTaskAlongChain) {
+  Chain c;
+  DataPlane sim(c.topo, c.tasks, {frame(), 1.0, 128}, 1);
+  core::Schedule s(c.topo.size());
+  s.add_cell(2, Direction::kUp, {5, 0});   // 2 -> 1 at slot 5
+  s.add_cell(1, Direction::kUp, {10, 0});  // 1 -> 0 at slot 10
+  sim.set_schedule(s);
+  sim.run_frames(3);
+  // One packet per frame, delivered within the same frame (gen at slot 0,
+  // hop at 5, delivered at 10 -> latency 11 slots = 0.11 s).
+  EXPECT_EQ(sim.metrics().total_delivered(), 3u);
+  EXPECT_NEAR(sim.metrics().node_latency(2).mean(), 0.11, 1e-9);
+}
+
+TEST(DataPlane, EchoTaskRoundTrips) {
+  Chain c;
+  c.tasks[0].echo = true;
+  DataPlane sim(c.topo, c.tasks, {frame(), 1.0, 128}, 1);
+  core::Schedule s(c.topo.size());
+  s.add_cell(2, Direction::kUp, {5, 0});
+  s.add_cell(1, Direction::kUp, {10, 0});
+  s.add_cell(1, Direction::kDown, {20, 1});
+  s.add_cell(2, Direction::kDown, {30, 1});
+  sim.set_schedule(s);
+  sim.run_frames(2);
+  EXPECT_EQ(sim.metrics().total_delivered(), 2u);
+  EXPECT_NEAR(sim.metrics().node_latency(2).mean(), 0.31, 1e-9);
+}
+
+TEST(DataPlane, OutOfOrderCellsAddOneFrame) {
+  // Uplink cell of hop 2 comes BEFORE hop 1's cell in the frame: the
+  // packet needs a second frame (non-compliant schedule penalty).
+  Chain c;
+  DataPlane sim(c.topo, c.tasks, {frame(), 1.0, 128}, 1);
+  core::Schedule s(c.topo.size());
+  s.add_cell(2, Direction::kUp, {50, 0});
+  s.add_cell(1, Direction::kUp, {10, 0});  // earlier than hop 1!
+  sim.set_schedule(s);
+  sim.run_frames(3);
+  ASSERT_GE(sim.metrics().total_delivered(), 2u);
+  // Latency = 199 + 11 - 50... exactly: gen at 0, hop at 50, next frame
+  // hop at 199+10=209 -> 210 slots -> 2.10 s.
+  EXPECT_NEAR(sim.metrics().node_latency(2).mean(), 2.10, 1e-9);
+}
+
+TEST(DataPlane, CollidingCellsBlockDelivery) {
+  // Two children of the gateway scheduled in the SAME cell: both always
+  // fail, nothing is ever delivered, queues build up.
+  auto topo = net::TopologyBuilder::from_parents({0, 0});
+  std::vector<net::Task> tasks{
+      {.id = 1, .source = 1, .period_slots = 199, .echo = false},
+      {.id = 2, .source = 2, .period_slots = 199, .echo = false}};
+  DataPlane sim(topo, tasks, {frame(), 1.0, 128}, 1);
+  core::Schedule s(topo.size());
+  s.add_cell(1, Direction::kUp, {5, 0});
+  s.add_cell(2, Direction::kUp, {5, 0});
+  sim.set_schedule(s);
+  sim.run_frames(5);
+  EXPECT_EQ(sim.metrics().total_delivered(), 0u);
+  EXPECT_EQ(sim.backlog(), 10u);
+}
+
+TEST(DataPlane, HalfDuplexConflictBlocksBothLinks) {
+  // Chain: cells for (2->1) and (1->0) in the same slot on different
+  // channels share node 1 -> neither may proceed.
+  Chain c;
+  DataPlane sim(c.topo, c.tasks, {frame(), 1.0, 128}, 1);
+  core::Schedule s(c.topo.size());
+  s.add_cell(2, Direction::kUp, {5, 0});
+  s.add_cell(1, Direction::kUp, {5, 3});
+  sim.set_schedule(s);
+  sim.run_frames(4);
+  EXPECT_EQ(sim.metrics().total_delivered(), 0u);
+}
+
+TEST(DataPlane, IdleCellDoesNotConflict) {
+  // Node 1's uplink cell shares the slot with node 2's, but node 1 has no
+  // traffic of its own until node 2's packet arrives — since node 2's
+  // packet arrives in a LATER frame slot, slot sharing is harmless only
+  // when one of them is idle. Here node 1 queue is empty in slot 5 of the
+  // first frame... but receives the packet in the same slot, so in frame 2
+  // both are active -> both blocked. Verify the subtle semantics: with
+  // demand only from node 2 and node 1 forwarding, a shared slot
+  // deadlocks from frame 2 onward.
+  Chain c;
+  DataPlane sim(c.topo, c.tasks, {frame(), 1.0, 128}, 1);
+  core::Schedule s(c.topo.size());
+  s.add_cell(2, Direction::kUp, {5, 0});
+  s.add_cell(1, Direction::kUp, {5, 1});
+  sim.set_schedule(s);
+  sim.run_frames(1);
+  EXPECT_EQ(sim.metrics().total_delivered(), 0u);  // pkt sits at node 1
+  sim.run_frames(3);
+  EXPECT_EQ(sim.metrics().total_delivered(), 0u);  // deadlocked
+  EXPECT_GE(sim.backlog(), 4u);
+}
+
+TEST(DataPlane, LossyLinkRetries) {
+  Chain c;
+  DataPlane sim(c.topo, c.tasks, {frame(), 0.5, 128}, 42);
+  core::Schedule s(c.topo.size());
+  // Several cells per hop so retries can happen within a frame.
+  for (SlotId k = 0; k < 8; ++k) s.add_cell(2, Direction::kUp, {5 + k, 0});
+  for (SlotId k = 0; k < 8; ++k) s.add_cell(1, Direction::kUp, {50 + k, 0});
+  sim.set_schedule(s);
+  sim.run_frames(20);
+  // With PDR 0.5 and 8 tries per hop per frame, virtually everything gets
+  // through, just later.
+  EXPECT_GE(sim.metrics().total_delivered(), 18u);
+  EXPECT_GT(sim.metrics().node_latency(2).mean(), 0.0);
+}
+
+TEST(DataPlane, QueueOverflowDrops) {
+  Chain c;
+  c.tasks[0].period_slots = 10;  // ~20 pkts per frame, no schedule at all
+  DataPlane sim(c.topo, c.tasks, {frame(), 1.0, 4}, 1);
+  sim.set_schedule(core::Schedule(c.topo.size()));
+  sim.run_frames(2);
+  EXPECT_GT(sim.metrics().dropped(2), 0u);
+  EXPECT_LE(sim.backlog(), 4u);
+}
+
+TEST(DataPlane, BacklogOfTaskFiltersCorrectly) {
+  auto topo = net::TopologyBuilder::from_parents({0, 0});
+  std::vector<net::Task> tasks{
+      {.id = 1, .source = 1, .period_slots = 199, .echo = false},
+      {.id = 2, .source = 2, .period_slots = 199, .echo = false}};
+  DataPlane sim(topo, tasks, {frame(), 1.0, 128}, 1);
+  sim.set_schedule(core::Schedule(topo.size()));  // nothing moves
+  sim.run_frames(3);
+  EXPECT_EQ(sim.backlog_of_task(1), 3u);
+  EXPECT_EQ(sim.backlog_of_task(2), 3u);
+  EXPECT_EQ(sim.backlog(), 6u);
+}
+
+TEST(DataPlane, RejectsBadConfig) {
+  Chain c;
+  EXPECT_THROW(DataPlane(c.topo, c.tasks, {frame(), 1.5, 128}, 1),
+               InvalidArgument);
+  auto bad_tasks = c.tasks;
+  bad_tasks[0].period_slots = 0;
+  EXPECT_THROW(DataPlane(c.topo, bad_tasks, {frame(), 1.0, 128}, 1),
+               InvalidArgument);
+  bad_tasks = c.tasks;
+  bad_tasks[0].source = 0;
+  EXPECT_THROW(DataPlane(c.topo, bad_tasks, {frame(), 1.0, 128}, 1),
+               InvalidArgument);
+}
+
+// ------------------------------------------------------------- mgmt plane
+
+TEST(MgmtPlane, DeliversOverOwnTxCell) {
+  const auto topo = net::fig1_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  HarpSimulation sim(topo, tasks, {frame(), 1.0, 1});
+  const AbsoluteSlot took = sim.bootstrap();
+  // Bootstrap requires several management exchanges; it cannot be
+  // instantaneous but must finish within a couple dozen slotframes.
+  EXPECT_GT(took, 0u);
+  EXPECT_LE(took, 20u * frame().length);
+  EXPECT_FALSE(sim.mgmt().busy());
+  EXPECT_GT(sim.mgmt().log().size(), 0u);
+  for (const auto& r : sim.mgmt().log()) {
+    EXPECT_GE(r.delivered, r.sent);
+    // Deliveries happen in the management sub-frame only.
+    EXPECT_GE(r.delivered % frame().length, frame().data_slots);
+  }
+}
+
+TEST(MgmtPlane, TxSlotsAreInMgmtSubframe) {
+  const auto topo = net::testbed_tree();
+  MgmtPlane mgmt(topo, frame());
+  for (NodeId v = 0; v < topo.size(); ++v) {
+    EXPECT_GE(mgmt.tx_slot(v), frame().data_slots);
+    EXPECT_LT(mgmt.tx_slot(v), frame().length);
+  }
+}
+
+TEST(MgmtPlane, RejectsEmptyMgmtSubframe) {
+  const auto topo = net::fig1_tree();
+  net::SlotframeConfig f = frame();
+  f.data_slots = f.length;
+  EXPECT_THROW(MgmtPlane(topo, f), InvalidArgument);
+}
+
+// ----------------------------------------------------------- harp_sim e2e
+
+TEST(HarpSimulation, StaticLatencyStaysNearOneSlotframe) {
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  HarpSimulation sim(topo, tasks, {frame(), 1.0, 7});
+  sim.bootstrap();
+  sim.run_frames(60);
+  // Every node's echo task must be flowing with latency around one
+  // slotframe (1.99 s); allow up to two frames for deep nodes.
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    const auto& lat = sim.metrics().node_latency(v);
+    ASSERT_GT(lat.count(), 40u) << "node " << v;
+    EXPECT_LE(lat.mean(), 2 * frame().frame_seconds()) << "node " << v;
+  }
+  // No systematic queue growth in a feasible static network.
+  EXPECT_LE(sim.data().backlog(), topo.size());
+}
+
+TEST(HarpSimulation, ScheduleMatchesEngineAfterBootstrap) {
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  HarpSimulation sim(topo, tasks, {frame(), 1.0, 7});
+  sim.bootstrap();
+  core::HarpEngine engine(topo, tasks, frame());
+  const auto sim_sched = sim.current_schedule();
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      EXPECT_EQ(sim_sched.cells(v, dir), engine.schedule().cells(v, dir));
+    }
+  }
+}
+
+TEST(HarpSimulation, LocalAdjustmentIsFastAndQuiet) {
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  HarpSimulation sim(topo, tasks, {frame(), 1.0, 7});
+  sim.bootstrap();
+  sim.run_frames(5);
+  // Decrease = local release: zero HARP messages.
+  const auto s = sim.change_link_demand(49, Direction::kUp, 0);
+  EXPECT_EQ(s.harp_messages, 0u);
+}
+
+TEST(HarpSimulation, EscalatedAdjustmentTakesSlotframes) {
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  HarpSimulation sim(topo, tasks, {frame(), 1.0, 7});
+  sim.bootstrap();
+  sim.run_frames(5);
+  const auto s = sim.change_link_demand(49, Direction::kUp, 3);
+  EXPECT_GE(s.harp_messages, 2u);        // at least PUT-intf + PUT-part
+  EXPECT_GE(s.elapsed_slotframes, 1u);   // real management latency
+  EXPECT_GE(s.nodes.size(), 2u);
+  EXPECT_GT(s.bytes, 0u);
+  // The new reservation is live in the data plane.
+  const auto sched = sim.current_schedule();
+  EXPECT_GE(sched.cells(49, Direction::kUp).size(), 3u);
+}
+
+TEST(HarpSimulation, RateIncreaseCausesSpikeThenRecovery) {
+  // A roomy slotframe so tripling one deep task's rate stays admissible
+  // (in the default 167-slot data sub-frame this exact scenario is
+  // correctly REJECTED — covered by the next test).
+  net::SlotframeConfig f;
+  f.length = 399;
+  f.data_slots = 350;
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 399);
+  HarpSimulation::Options opts{f, 1.0, 64};
+  opts.own_slack = 2;  // idle cells per partition: growth resolves locally
+                       // and the backlog built during adjustment drains
+  HarpSimulation sim(topo, tasks, opts);
+  sim.bootstrap();
+  sim.run_frames(30);
+
+  // Raise node 49's task to ~2.5 packets/slotframe (period 399 -> 160).
+  // The fractional rate means ceil'd reservations leave spare service,
+  // like the paper's 1.5 pkt/sf step, so the transient backlog drains.
+  // (An exactly-integral rate would plateau: arrival == service.)
+  sim.change_task_rate(49, 160);
+  // Let the backlog built during the adjustment window drain, then
+  // measure steady state.
+  sim.run_frames(120);
+  sim.data().metrics().clear();
+  sim.run_frames(40);
+  const double after = sim.metrics().node_latency(49).median();
+  // After the adjustment settles, the higher-rate task still meets
+  // roughly slotframe-scale latency (no unbounded queueing).
+  EXPECT_LE(after, 3 * f.frame_seconds());
+  EXPECT_GT(sim.metrics().node_latency(49).count(), 60u);  // ~3x packets
+  // Reservations along the whole path grew to carry the extra load.
+  const auto sched = sim.current_schedule();
+  for (NodeId v : topo.path_to_gateway(49)) {
+    if (v == 0) continue;
+    EXPECT_GE(sched.cells(v, Direction::kUp).size(), 2u) << v;
+  }
+}
+
+TEST(HarpSimulation, InadmissibleRateIncreaseIsRejectedConsistently) {
+  // With the default tight data sub-frame, tripling a layer-5 task's rate
+  // cannot be fully admitted: HARP must deny the overflowing link
+  // reservations, roll its control state back, and keep operating.
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  HarpSimulation sim(topo, tasks, {frame(), 1.0, 64});
+  sim.bootstrap();
+  sim.run_frames(5);
+  const auto summary = sim.change_task_rate(49, 66);
+  EXPECT_GT(summary.harp_messages, 0u);
+  // The leaf link itself was granted; some upstream link was denied, so
+  // at least one reservation is below the ceil'd demand. Control plane
+  // must be quiescent and consistent regardless.
+  EXPECT_FALSE(sim.mgmt().busy());
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    EXPECT_FALSE(sim.agent(v).adjustment_pending()) << v;
+  }
+  sim.run_frames(5);  // still ticking
+}
+
+TEST(HarpSimulation, LossyNetworkStillDelivers) {
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 398);  // light load
+  HarpSimulation sim(topo, tasks, {frame(), 0.9, 64, 9});
+  sim.bootstrap();
+  sim.run_frames(40);
+  const auto& m = sim.metrics();
+  EXPECT_GT(m.total_delivered(), 0u);
+  // With PDR 0.9 and retries, deep nodes still deliver the vast majority.
+  EXPECT_GE(static_cast<double>(m.total_delivered()),
+            0.7 * static_cast<double>(m.total_generated()) - 50);
+}
+
+}  // namespace
+}  // namespace harp::sim

@@ -1,0 +1,153 @@
+// Unit tests for task -> per-link cell requirement derivation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+
+namespace harp::net {
+namespace {
+
+Topology chain3() {
+  // 0 <- 1 <- 2 <- 3
+  return TopologyBuilder::from_parents({0, 1, 2});
+}
+
+SlotframeConfig frame() { return SlotframeConfig{}; }
+
+TEST(Traffic, SingleEchoTaskLoadsWholePath) {
+  const auto t = chain3();
+  const Task task{.id = 1, .source = 3, .period_slots = 199, .echo = true};
+  const auto m = derive_traffic(t, std::span(&task, 1), frame());
+  for (NodeId v : {1u, 2u, 3u}) {
+    EXPECT_EQ(m.uplink(v), 1) << v;
+    EXPECT_EQ(m.downlink(v), 1) << v;
+  }
+  EXPECT_EQ(m.total_cells(), 6);
+}
+
+TEST(Traffic, CollectOnlyTaskHasNoDownlink) {
+  const auto t = chain3();
+  const Task task{.id = 1, .source = 2, .period_slots = 199, .echo = false};
+  const auto m = derive_traffic(t, std::span(&task, 1), frame());
+  EXPECT_EQ(m.uplink(1), 1);
+  EXPECT_EQ(m.uplink(2), 1);
+  EXPECT_EQ(m.uplink(3), 0);
+  EXPECT_EQ(m.downlink(1), 0);
+  EXPECT_EQ(m.downlink(2), 0);
+}
+
+TEST(Traffic, RatesAccumulateBeforeCeiling) {
+  // Two tasks at half rate on the same relay need 1 cell there, not 2.
+  TopologyBuilder b;
+  const NodeId relay = b.add_node(0);
+  const NodeId s1 = b.add_node(relay);
+  const NodeId s2 = b.add_node(relay);
+  const auto t = b.build();
+  const std::vector<Task> tasks{
+      {.id = 1, .source = s1, .period_slots = 398, .echo = false},
+      {.id = 2, .source = s2, .period_slots = 398, .echo = false},
+  };
+  const auto m = derive_traffic(t, tasks, frame());
+  EXPECT_EQ(m.uplink(relay), 1);
+  EXPECT_EQ(m.uplink(s1), 1);  // ceil(0.5)
+  EXPECT_EQ(m.uplink(s2), 1);
+}
+
+TEST(Traffic, FastTaskNeedsMultipleCells) {
+  const auto t = chain3();
+  // period 66 -> 199/66 ~= 3.015 packets per slotframe -> 4 cells.
+  const Task task{.id = 1, .source = 1, .period_slots = 66, .echo = false};
+  const auto m = derive_traffic(t, std::span(&task, 1), frame());
+  EXPECT_EQ(m.uplink(1), 4);
+}
+
+TEST(Traffic, ExactIntegerRateNoOvershoot) {
+  SlotframeConfig f;
+  f.length = 200;
+  f.data_slots = 160;
+  const auto t = chain3();
+  // period 100 with 200-slot frame = exactly 2 packets/slotframe.
+  const Task task{.id = 1, .source = 1, .period_slots = 100, .echo = false};
+  const auto m = derive_traffic(t, std::span(&task, 1), f);
+  EXPECT_EQ(m.uplink(1), 2);
+}
+
+TEST(Traffic, UniformEchoTasksMatchSubtreeSizes) {
+  const auto t = testbed_tree();
+  const auto tasks = uniform_echo_tasks(t, 199);
+  EXPECT_EQ(tasks.size(), t.size() - 1);
+  const auto m = derive_traffic(t, tasks, frame());
+  // With 1 pkt/slotframe per node, a link's demand equals the number of
+  // tasks routed through it = subtree size of its child endpoint
+  // (Sec. VI-B: "data rates ... equal to the size of their subtrees").
+  for (NodeId v = 1; v < t.size(); ++v) {
+    EXPECT_EQ(m.uplink(v), static_cast<int>(t.subtree_size(v))) << v;
+    EXPECT_EQ(m.downlink(v), static_cast<int>(t.subtree_size(v))) << v;
+  }
+}
+
+TEST(Traffic, InvalidTasksRejected) {
+  const auto t = chain3();
+  const SlotframeConfig f = frame();
+  const Task bad_source{.id = 1, .source = 99, .period_slots = 199};
+  EXPECT_THROW(derive_traffic(t, std::span(&bad_source, 1), f),
+               InvalidArgument);
+  const Task gw_source{.id = 1, .source = 0, .period_slots = 199};
+  EXPECT_THROW(derive_traffic(t, std::span(&gw_source, 1), f),
+               InvalidArgument);
+  const Task zero_period{.id = 1, .source = 1, .period_slots = 0};
+  EXPECT_THROW(derive_traffic(t, std::span(&zero_period, 1), f),
+               InvalidArgument);
+}
+
+TEST(TrafficMatrix, SettersAndTotal) {
+  TrafficMatrix m(4);
+  m.set_uplink(1, 3);
+  m.set_downlink(1, 2);
+  m.add_uplink(1, 1);
+  m.set_demand(2, Direction::kUp, 5);
+  m.set_demand(2, Direction::kDown, 1);
+  EXPECT_EQ(m.uplink(1), 4);
+  EXPECT_EQ(m.demand(1, Direction::kUp), 4);
+  EXPECT_EQ(m.demand(1, Direction::kDown), 2);
+  EXPECT_EQ(m.demand(2, Direction::kUp), 5);
+  EXPECT_EQ(m.total_cells(), 4 + 2 + 5 + 1);
+}
+
+TEST(TrafficMatrix, Equality) {
+  TrafficMatrix a(3), b(3);
+  EXPECT_EQ(a, b);
+  a.set_uplink(1, 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(Task, RateComputation) {
+  const Task t{.id = 0, .source = 1, .period_slots = 199};
+  EXPECT_DOUBLE_EQ(t.rate(199), 1.0);
+  const Task fast{.id = 0, .source = 1, .period_slots = 100};
+  EXPECT_DOUBLE_EQ(fast.rate(200), 2.0);
+}
+
+TEST(Slotframe, ValidationAndDerived) {
+  SlotframeConfig f;
+  EXPECT_NO_THROW(f.validate());
+  EXPECT_EQ(f.mgmt_slots(), 199u - 167u);
+  EXPECT_DOUBLE_EQ(f.frame_seconds(), 1.99);
+  EXPECT_EQ(f.data_cells(), 167u * 16u);
+
+  f.data_slots = 300;
+  EXPECT_THROW(f.validate(), InvalidArgument);
+  f = SlotframeConfig{};
+  f.num_channels = 0;
+  EXPECT_THROW(f.validate(), InvalidArgument);
+  f = SlotframeConfig{};
+  f.length = 0;
+  EXPECT_THROW(f.validate(), InvalidArgument);
+  f = SlotframeConfig{};
+  f.slot_seconds = 0;
+  EXPECT_THROW(f.validate(), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace harp::net
