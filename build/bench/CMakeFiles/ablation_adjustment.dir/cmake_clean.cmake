@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_adjustment.dir/ablation_adjustment.cpp.o"
+  "CMakeFiles/ablation_adjustment.dir/ablation_adjustment.cpp.o.d"
+  "ablation_adjustment"
+  "ablation_adjustment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_adjustment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

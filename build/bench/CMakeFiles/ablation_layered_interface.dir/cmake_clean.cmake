@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_layered_interface.dir/ablation_layered_interface.cpp.o"
+  "CMakeFiles/ablation_layered_interface.dir/ablation_layered_interface.cpp.o.d"
+  "ablation_layered_interface"
+  "ablation_layered_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_layered_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mgmt_subframe.dir/ablation_mgmt_subframe.cpp.o"
+  "CMakeFiles/ablation_mgmt_subframe.dir/ablation_mgmt_subframe.cpp.o.d"
+  "ablation_mgmt_subframe"
+  "ablation_mgmt_subframe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mgmt_subframe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

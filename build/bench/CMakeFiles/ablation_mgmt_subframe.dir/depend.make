@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_mgmt_subframe.
+# This may be replaced when dependencies are built.

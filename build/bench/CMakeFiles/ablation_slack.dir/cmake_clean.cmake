@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_slack.dir/ablation_slack.cpp.o"
+  "CMakeFiles/ablation_slack.dir/ablation_slack.cpp.o.d"
+  "ablation_slack"
+  "ablation_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11a_collision_vs_rate.dir/fig11a_collision_vs_rate.cpp.o"
+  "CMakeFiles/fig11a_collision_vs_rate.dir/fig11a_collision_vs_rate.cpp.o.d"
+  "fig11a_collision_vs_rate"
+  "fig11a_collision_vs_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11a_collision_vs_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11a_collision_vs_rate.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11b_collision_vs_channels.dir/fig11b_collision_vs_channels.cpp.o"
+  "CMakeFiles/fig11b_collision_vs_channels.dir/fig11b_collision_vs_channels.cpp.o.d"
+  "fig11b_collision_vs_channels"
+  "fig11b_collision_vs_channels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11b_collision_vs_channels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_adjustment_vs_layer.dir/fig12_adjustment_vs_layer.cpp.o"
+  "CMakeFiles/fig12_adjustment_vs_layer.dir/fig12_adjustment_vs_layer.cpp.o.d"
+  "fig12_adjustment_vs_layer"
+  "fig12_adjustment_vs_layer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_adjustment_vs_layer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

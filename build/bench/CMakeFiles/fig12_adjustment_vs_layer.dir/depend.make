@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_adjustment_vs_layer.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_packing.dir/micro_packing.cpp.o"
+  "CMakeFiles/micro_packing.dir/micro_packing.cpp.o.d"
+  "micro_packing"
+  "micro_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_adjustment_overhead.dir/table2_adjustment_overhead.cpp.o"
+  "CMakeFiles/table2_adjustment_overhead.dir/table2_adjustment_overhead.cpp.o.d"
+  "table2_adjustment_overhead"
+  "table2_adjustment_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_adjustment_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

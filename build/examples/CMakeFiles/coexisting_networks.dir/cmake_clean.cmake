@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexisting_networks.dir/coexisting_networks.cpp.o"
+  "CMakeFiles/coexisting_networks.dir/coexisting_networks.cpp.o.d"
+  "coexisting_networks"
+  "coexisting_networks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexisting_networks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

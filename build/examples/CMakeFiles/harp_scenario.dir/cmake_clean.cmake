@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_scenario.dir/harp_scenario.cpp.o"
+  "CMakeFiles/harp_scenario.dir/harp_scenario.cpp.o.d"
+  "harp_scenario"
+  "harp_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/mesh_failover.cpp" "examples/CMakeFiles/mesh_failover.dir/mesh_failover.cpp.o" "gcc" "examples/CMakeFiles/mesh_failover.dir/mesh_failover.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mesh/CMakeFiles/harp_mesh.dir/DependInfo.cmake"
+  "/root/repo/build/src/harp/CMakeFiles/harp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/harp_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mesh_failover.dir/mesh_failover.cpp.o"
+  "CMakeFiles/mesh_failover.dir/mesh_failover.cpp.o.d"
+  "mesh_failover"
+  "mesh_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mesh_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

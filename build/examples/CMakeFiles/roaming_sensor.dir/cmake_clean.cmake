@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roaming_sensor.dir/roaming_sensor.cpp.o"
+  "CMakeFiles/roaming_sensor.dir/roaming_sensor.cpp.o.d"
+  "roaming_sensor"
+  "roaming_sensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roaming_sensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_coexist.dir/channel_broker.cpp.o"
+  "CMakeFiles/harp_coexist.dir/channel_broker.cpp.o.d"
+  "libharp_coexist.a"
+  "libharp_coexist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_coexist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

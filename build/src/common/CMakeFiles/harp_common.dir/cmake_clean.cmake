@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_common.dir/logging.cpp.o"
+  "CMakeFiles/harp_common.dir/logging.cpp.o.d"
+  "CMakeFiles/harp_common.dir/rng.cpp.o"
+  "CMakeFiles/harp_common.dir/rng.cpp.o.d"
+  "CMakeFiles/harp_common.dir/stats.cpp.o"
+  "CMakeFiles/harp_common.dir/stats.cpp.o.d"
+  "libharp_common.a"
+  "libharp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

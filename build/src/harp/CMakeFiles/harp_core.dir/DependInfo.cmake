@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/harp/adjustment.cpp" "src/harp/CMakeFiles/harp_core.dir/adjustment.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/adjustment.cpp.o.d"
+  "/root/repo/src/harp/compose.cpp" "src/harp/CMakeFiles/harp_core.dir/compose.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/compose.cpp.o.d"
+  "/root/repo/src/harp/engine.cpp" "src/harp/CMakeFiles/harp_core.dir/engine.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/engine.cpp.o.d"
+  "/root/repo/src/harp/interface_gen.cpp" "src/harp/CMakeFiles/harp_core.dir/interface_gen.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/interface_gen.cpp.o.d"
+  "/root/repo/src/harp/partition_alloc.cpp" "src/harp/CMakeFiles/harp_core.dir/partition_alloc.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/partition_alloc.cpp.o.d"
+  "/root/repo/src/harp/resource.cpp" "src/harp/CMakeFiles/harp_core.dir/resource.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/resource.cpp.o.d"
+  "/root/repo/src/harp/rm_scheduler.cpp" "src/harp/CMakeFiles/harp_core.dir/rm_scheduler.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/rm_scheduler.cpp.o.d"
+  "/root/repo/src/harp/schedule.cpp" "src/harp/CMakeFiles/harp_core.dir/schedule.cpp.o" "gcc" "src/harp/CMakeFiles/harp_core.dir/schedule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/harp_packing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_core.dir/adjustment.cpp.o"
+  "CMakeFiles/harp_core.dir/adjustment.cpp.o.d"
+  "CMakeFiles/harp_core.dir/compose.cpp.o"
+  "CMakeFiles/harp_core.dir/compose.cpp.o.d"
+  "CMakeFiles/harp_core.dir/engine.cpp.o"
+  "CMakeFiles/harp_core.dir/engine.cpp.o.d"
+  "CMakeFiles/harp_core.dir/interface_gen.cpp.o"
+  "CMakeFiles/harp_core.dir/interface_gen.cpp.o.d"
+  "CMakeFiles/harp_core.dir/partition_alloc.cpp.o"
+  "CMakeFiles/harp_core.dir/partition_alloc.cpp.o.d"
+  "CMakeFiles/harp_core.dir/resource.cpp.o"
+  "CMakeFiles/harp_core.dir/resource.cpp.o.d"
+  "CMakeFiles/harp_core.dir/rm_scheduler.cpp.o"
+  "CMakeFiles/harp_core.dir/rm_scheduler.cpp.o.d"
+  "CMakeFiles/harp_core.dir/schedule.cpp.o"
+  "CMakeFiles/harp_core.dir/schedule.cpp.o.d"
+  "libharp_core.a"
+  "libharp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

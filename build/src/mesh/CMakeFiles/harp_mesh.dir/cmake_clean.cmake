@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_mesh.dir/decompose.cpp.o"
+  "CMakeFiles/harp_mesh.dir/decompose.cpp.o.d"
+  "CMakeFiles/harp_mesh.dir/mesh.cpp.o"
+  "CMakeFiles/harp_mesh.dir/mesh.cpp.o.d"
+  "CMakeFiles/harp_mesh.dir/multi_tree.cpp.o"
+  "CMakeFiles/harp_mesh.dir/multi_tree.cpp.o.d"
+  "libharp_mesh.a"
+  "libharp_mesh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_mesh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_net.dir/topology.cpp.o"
+  "CMakeFiles/harp_net.dir/topology.cpp.o.d"
+  "CMakeFiles/harp_net.dir/topology_gen.cpp.o"
+  "CMakeFiles/harp_net.dir/topology_gen.cpp.o.d"
+  "CMakeFiles/harp_net.dir/traffic.cpp.o"
+  "CMakeFiles/harp_net.dir/traffic.cpp.o.d"
+  "libharp_net.a"
+  "libharp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

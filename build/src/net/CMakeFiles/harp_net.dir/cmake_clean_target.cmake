@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libharp_net.a"
+)

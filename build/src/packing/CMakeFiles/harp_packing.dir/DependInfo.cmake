@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/packing/bottom_left.cpp" "src/packing/CMakeFiles/harp_packing.dir/bottom_left.cpp.o" "gcc" "src/packing/CMakeFiles/harp_packing.dir/bottom_left.cpp.o.d"
+  "/root/repo/src/packing/maxrects.cpp" "src/packing/CMakeFiles/harp_packing.dir/maxrects.cpp.o" "gcc" "src/packing/CMakeFiles/harp_packing.dir/maxrects.cpp.o.d"
+  "/root/repo/src/packing/shelf.cpp" "src/packing/CMakeFiles/harp_packing.dir/shelf.cpp.o" "gcc" "src/packing/CMakeFiles/harp_packing.dir/shelf.cpp.o.d"
+  "/root/repo/src/packing/skyline.cpp" "src/packing/CMakeFiles/harp_packing.dir/skyline.cpp.o" "gcc" "src/packing/CMakeFiles/harp_packing.dir/skyline.cpp.o.d"
+  "/root/repo/src/packing/validate.cpp" "src/packing/CMakeFiles/harp_packing.dir/validate.cpp.o" "gcc" "src/packing/CMakeFiles/harp_packing.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_packing.dir/bottom_left.cpp.o"
+  "CMakeFiles/harp_packing.dir/bottom_left.cpp.o.d"
+  "CMakeFiles/harp_packing.dir/maxrects.cpp.o"
+  "CMakeFiles/harp_packing.dir/maxrects.cpp.o.d"
+  "CMakeFiles/harp_packing.dir/shelf.cpp.o"
+  "CMakeFiles/harp_packing.dir/shelf.cpp.o.d"
+  "CMakeFiles/harp_packing.dir/skyline.cpp.o"
+  "CMakeFiles/harp_packing.dir/skyline.cpp.o.d"
+  "CMakeFiles/harp_packing.dir/validate.cpp.o"
+  "CMakeFiles/harp_packing.dir/validate.cpp.o.d"
+  "libharp_packing.a"
+  "libharp_packing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_packing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

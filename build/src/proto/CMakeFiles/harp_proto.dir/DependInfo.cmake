@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proto/agent.cpp" "src/proto/CMakeFiles/harp_proto.dir/agent.cpp.o" "gcc" "src/proto/CMakeFiles/harp_proto.dir/agent.cpp.o.d"
+  "/root/repo/src/proto/codec.cpp" "src/proto/CMakeFiles/harp_proto.dir/codec.cpp.o" "gcc" "src/proto/CMakeFiles/harp_proto.dir/codec.cpp.o.d"
+  "/root/repo/src/proto/messages.cpp" "src/proto/CMakeFiles/harp_proto.dir/messages.cpp.o" "gcc" "src/proto/CMakeFiles/harp_proto.dir/messages.cpp.o.d"
+  "/root/repo/src/proto/network.cpp" "src/proto/CMakeFiles/harp_proto.dir/network.cpp.o" "gcc" "src/proto/CMakeFiles/harp_proto.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harp/CMakeFiles/harp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/harp_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_proto.dir/agent.cpp.o"
+  "CMakeFiles/harp_proto.dir/agent.cpp.o.d"
+  "CMakeFiles/harp_proto.dir/codec.cpp.o"
+  "CMakeFiles/harp_proto.dir/codec.cpp.o.d"
+  "CMakeFiles/harp_proto.dir/messages.cpp.o"
+  "CMakeFiles/harp_proto.dir/messages.cpp.o.d"
+  "CMakeFiles/harp_proto.dir/network.cpp.o"
+  "CMakeFiles/harp_proto.dir/network.cpp.o.d"
+  "libharp_proto.a"
+  "libharp_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schedulers/apas.cpp" "src/schedulers/CMakeFiles/harp_schedulers.dir/apas.cpp.o" "gcc" "src/schedulers/CMakeFiles/harp_schedulers.dir/apas.cpp.o.d"
+  "/root/repo/src/schedulers/harp_scheduler.cpp" "src/schedulers/CMakeFiles/harp_schedulers.dir/harp_scheduler.cpp.o" "gcc" "src/schedulers/CMakeFiles/harp_schedulers.dir/harp_scheduler.cpp.o.d"
+  "/root/repo/src/schedulers/ldsf_scheduler.cpp" "src/schedulers/CMakeFiles/harp_schedulers.dir/ldsf_scheduler.cpp.o" "gcc" "src/schedulers/CMakeFiles/harp_schedulers.dir/ldsf_scheduler.cpp.o.d"
+  "/root/repo/src/schedulers/msf_scheduler.cpp" "src/schedulers/CMakeFiles/harp_schedulers.dir/msf_scheduler.cpp.o" "gcc" "src/schedulers/CMakeFiles/harp_schedulers.dir/msf_scheduler.cpp.o.d"
+  "/root/repo/src/schedulers/random_scheduler.cpp" "src/schedulers/CMakeFiles/harp_schedulers.dir/random_scheduler.cpp.o" "gcc" "src/schedulers/CMakeFiles/harp_schedulers.dir/random_scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harp/CMakeFiles/harp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/harp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/packing/CMakeFiles/harp_packing.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/harp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_schedulers.dir/apas.cpp.o"
+  "CMakeFiles/harp_schedulers.dir/apas.cpp.o.d"
+  "CMakeFiles/harp_schedulers.dir/harp_scheduler.cpp.o"
+  "CMakeFiles/harp_schedulers.dir/harp_scheduler.cpp.o.d"
+  "CMakeFiles/harp_schedulers.dir/ldsf_scheduler.cpp.o"
+  "CMakeFiles/harp_schedulers.dir/ldsf_scheduler.cpp.o.d"
+  "CMakeFiles/harp_schedulers.dir/msf_scheduler.cpp.o"
+  "CMakeFiles/harp_schedulers.dir/msf_scheduler.cpp.o.d"
+  "CMakeFiles/harp_schedulers.dir/random_scheduler.cpp.o"
+  "CMakeFiles/harp_schedulers.dir/random_scheduler.cpp.o.d"
+  "libharp_schedulers.a"
+  "libharp_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/harp_sim.dir/data_plane.cpp.o"
+  "CMakeFiles/harp_sim.dir/data_plane.cpp.o.d"
+  "CMakeFiles/harp_sim.dir/harp_sim.cpp.o"
+  "CMakeFiles/harp_sim.dir/harp_sim.cpp.o.d"
+  "CMakeFiles/harp_sim.dir/mgmt_plane.cpp.o"
+  "CMakeFiles/harp_sim.dir/mgmt_plane.cpp.o.d"
+  "libharp_sim.a"
+  "libharp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/harp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexist_test.dir/coexist_test.cpp.o"
+  "CMakeFiles/coexist_test.dir/coexist_test.cpp.o.d"
+  "coexist_test"
+  "coexist_test.pdb"
+  "coexist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

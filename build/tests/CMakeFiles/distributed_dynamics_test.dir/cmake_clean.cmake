@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_dynamics_test.dir/distributed_dynamics_test.cpp.o"
+  "CMakeFiles/distributed_dynamics_test.dir/distributed_dynamics_test.cpp.o.d"
+  "distributed_dynamics_test"
+  "distributed_dynamics_test.pdb"
+  "distributed_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formation_test.dir/formation_test.cpp.o"
+  "CMakeFiles/formation_test.dir/formation_test.cpp.o.d"
+  "formation_test"
+  "formation_test.pdb"
+  "formation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

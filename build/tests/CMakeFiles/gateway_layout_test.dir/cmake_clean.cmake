@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gateway_layout_test.dir/gateway_layout_test.cpp.o"
+  "CMakeFiles/gateway_layout_test.dir/gateway_layout_test.cpp.o.d"
+  "gateway_layout_test"
+  "gateway_layout_test.pdb"
+  "gateway_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gateway_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

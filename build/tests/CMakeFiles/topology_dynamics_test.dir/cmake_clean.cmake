@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topology_dynamics_test.dir/topology_dynamics_test.cpp.o"
+  "CMakeFiles/topology_dynamics_test.dir/topology_dynamics_test.cpp.o.d"
+  "topology_dynamics_test"
+  "topology_dynamics_test.pdb"
+  "topology_dynamics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topology_dynamics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validators_test.dir/validators_test.cpp.o"
+  "CMakeFiles/validators_test.dir/validators_test.cpp.o.d"
+  "validators_test"
+  "validators_test.pdb"
+  "validators_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validators_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

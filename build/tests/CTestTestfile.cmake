@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/packing_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_test[1]_include.cmake")
+include("/root/repo/build/tests/traffic_test[1]_include.cmake")
+include("/root/repo/build/tests/compose_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/schedulers_test[1]_include.cmake")
+include("/root/repo/build/tests/proto_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/topology_dynamics_test[1]_include.cmake")
+include("/root/repo/build/tests/gateway_layout_test[1]_include.cmake")
+include("/root/repo/build/tests/interference_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_dynamics_test[1]_include.cmake")
+include("/root/repo/build/tests/deadline_test[1]_include.cmake")
+include("/root/repo/build/tests/formation_test[1]_include.cmake")
+include("/root/repo/build/tests/mesh_test[1]_include.cmake")
+include("/root/repo/build/tests/coexist_test[1]_include.cmake")
+include("/root/repo/build/tests/validators_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
