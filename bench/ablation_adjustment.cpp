@@ -78,7 +78,8 @@ core::AdjustOutcome full_repack(const Scenario& s) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
   constexpr int kTrials = 300;
 
   std::printf("Ablation: Alg. 2 neighbor-first adjustment vs full repack\n");
@@ -127,5 +128,8 @@ int main() {
                bench::pct(static_cast<double>(naive_ok) / considered)});
   }
   table.print();
+  harp::bench::JsonReport report("ablation_adjustment", args);
+  report.results()["table"] = table.to_json();
+  report.write();
   return 0;
 }

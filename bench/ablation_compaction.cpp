@@ -20,7 +20,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
   net::SlotframeConfig frame;
   frame.length = 397;
   frame.data_slots = 360;
@@ -66,5 +67,12 @@ int main() {
   std::printf("validation after recompaction: %s\n",
               engine.validate().empty() ? "collision-free, isolated"
                                         : engine.validate().c_str());
+  harp::bench::JsonReport json("ablation_compaction", args);
+  json.results()["table"] = table.to_json();
+  json.results()["recompaction"]["reserved_before"] = report.reserved_before;
+  json.results()["recompaction"]["reserved_after"] = report.reserved_after;
+  json.results()["recompaction"]["partitions_changed"] =
+      report.partitions_changed;
+  json.write();
   return 0;
 }

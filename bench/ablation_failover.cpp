@@ -20,7 +20,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
   net::SlotframeConfig frame;
   frame.length = 397;   // roomy split: both hierarchies stay admissible
   frame.data_slots = 360;
@@ -81,5 +82,8 @@ int main() {
   table.print();
   std::printf("\nstandby = hot-standby cells per secondary link; msgs = "
               "HARP messages per interference response.\n");
+  harp::bench::JsonReport report("ablation_failover", args);
+  report.results()["table"] = table.to_json();
+  report.write();
   return 0;
 }

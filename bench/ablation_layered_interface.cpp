@@ -72,7 +72,8 @@ Cost monolithic_cost(const net::Topology& topo,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
   std::printf("Ablation (Fig. 3): layered interfaces vs monolithic blocks\n");
   std::printf("(uplink super-partition cost at the gateway; 20 random "
               "topologies per row; demand = subtree sizes)\n\n");
@@ -111,5 +112,8 @@ int main() {
   table.print();
   std::printf("\nwaste = fraction of reserved cells no link needs.\n");
   std::printf("[%0.1f s]\n", timer.seconds());
+  harp::bench::JsonReport report("ablation_layered_interface", args);
+  report.results()["table"] = table.to_json();
+  report.write();
   return 0;
 }

@@ -46,7 +46,8 @@ double max_admissible_rate(const net::SlotframeConfig& frame) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
   std::printf("Ablation: management sub-frame sizing\n");
   std::printf("(50-node testbed; admissible rate = max uniform echo "
               "pkt/slotframe; event = +2 cells on a layer-5 link at half "
@@ -87,5 +88,8 @@ int main() {
   table.print();
   std::printf("\ncontrol latency is flat (every node owns a management TX "
               "cell); the split's real cost is admissible data rate.\n");
+  harp::bench::JsonReport report("ablation_mgmt_subframe", args);
+  report.results()["table"] = table.to_json();
+  report.write();
   return 0;
 }

@@ -41,7 +41,8 @@ struct Instance {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
   const Algo algos[] = {
       {"skyline", packing::pack_strip},
       {"FFDH", packing::pack_ffdh},
@@ -87,5 +88,8 @@ int main() {
     }
   }
   table.print();
+  harp::bench::JsonReport report("ablation_packing", args);
+  report.results()["table"] = table.to_json();
+  report.write();
   return 0;
 }

@@ -19,7 +19,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
   net::SlotframeConfig frame;
   frame.length = 397;  // roomy frame so every slack level bootstraps
   frame.data_slots = 360;
@@ -70,5 +71,8 @@ int main() {
   table.print();
   std::printf("\nlocal = events absorbed with zero HARP messages; reserved "
               "= scheduling-partition cells vs true demand.\n");
+  harp::bench::JsonReport report("ablation_slack", args);
+  report.results()["table"] = table.to_json();
+  report.write();
   return 0;
 }

@@ -1,13 +1,22 @@
-// Shared helpers for the experiment harnesses: aligned table printing and
-// simple timing. Each bench binary regenerates one table or figure of the
-// paper (see DESIGN.md's experiment index) and prints the series to
-// stdout; EXPERIMENTS.md records paper-vs-measured.
+// Shared helpers for the experiment harnesses: aligned table printing,
+// simple timing, and the machine-readable --json/--trace output contract.
+// Each bench binary regenerates one table or figure of the paper (see
+// DESIGN.md's experiment index) and prints the series to stdout;
+// EXPERIMENTS.md records paper-vs-measured. With `--json <path>` the same
+// series is written as a harp-obs/1 JSON report (including a metrics
+// registry snapshot); with `--trace <path>` the raw trace events go out
+// as JSON Lines. Formats: docs/OBSERVABILITY.md.
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace harp::bench {
 
@@ -34,6 +43,21 @@ class Table {
       for (const auto& cell : r) std::printf("%-*s", width_, cell.c_str());
       std::printf("\n");
     }
+  }
+
+  /// {"headers": [...], "rows": [[...], ...]} — cells stay strings, as
+  /// printed (ablation tables; the figure benches emit typed series).
+  obs::Json to_json() const {
+    obs::Json out;
+    obs::Json& headers = out["headers"];
+    for (const auto& h : headers_) headers.push_back(h);
+    obs::Json& rows = out["rows"];
+    for (const auto& r : rows_) {
+      obs::Json row;
+      for (const auto& cell : r) row.push_back(cell);
+      rows.push_back(std::move(row));
+    }
+    return out;
   }
 
  private:
@@ -65,6 +89,108 @@ class Timer {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// Command-line contract shared by every experiment binary:
+///   --json <path>    write the harp-obs/1 JSON report
+///   --trace <path>   write captured trace events as JSON Lines
+///   --minutes <m>    override the simulated duration (binaries that
+///                    simulate wall-clock time; others ignore it)
+/// Requesting --json or --trace turns the observability layer on
+/// (trace sink + phase timers) before the experiment runs.
+struct Args {
+  std::string json_path;
+  std::string trace_path;
+  double minutes = 0.0;
+
+  bool machine_output() const {
+    return !json_path.empty() || !trace_path.empty();
+  }
+
+  static Args parse(int argc, char** argv) {
+    Args args;
+    for (int i = 1; i < argc; ++i) {
+      const auto need_value = [&](const char* flag) -> const char* {
+        if (i + 1 >= argc) {
+          std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (std::strcmp(argv[i], "--json") == 0) {
+        args.json_path = need_value("--json");
+      } else if (std::strcmp(argv[i], "--trace") == 0) {
+        args.trace_path = need_value("--trace");
+      } else if (std::strcmp(argv[i], "--minutes") == 0) {
+        const char* value = need_value("--minutes");
+        char* end = nullptr;
+        args.minutes = std::strtod(value, &end);
+        if (end == value || *end != '\0' || args.minutes < 0.0) {
+          std::fprintf(stderr, "%s: --minutes expects a non-negative number, "
+                       "got '%s'\n", argv[0], value);
+          std::exit(2);
+        }
+      } else {
+        std::fprintf(stderr,
+                     "usage: %s [--json <path>] [--trace <path>]"
+                     " [--minutes <m>]\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    }
+    if (args.machine_output()) obs::enable();
+    return args;
+  }
+};
+
+/// Assembles and writes the machine-readable result document
+/// (docs/OBSERVABILITY.md "Bench report format"):
+///   {"schema": "harp-obs/1", "experiment": ..., "results": ...,
+///    "metrics": <registry snapshot>}
+/// `results()` is the binary-specific payload (series arrays, summary
+/// scalars, paper-reference values). `write()` emits --json and --trace
+/// if requested and is a no-op otherwise.
+class JsonReport {
+ public:
+  JsonReport(std::string experiment, Args args)
+      : experiment_(std::move(experiment)), args_(std::move(args)) {}
+
+  obs::Json& results() { return results_; }
+
+  void write() {
+    if (!args_.json_path.empty()) {
+      obs::Json doc;
+      doc["schema"] = "harp-obs/1";
+      doc["experiment"] = experiment_;
+      doc["results"] = std::move(results_);
+      doc["metrics"] = obs::MetricsRegistry::global().to_json();
+      std::ofstream out(args_.json_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", args_.json_path.c_str());
+        std::exit(1);
+      }
+      doc.dump(out);
+      out << "\n";
+      std::printf("[json report: %s]\n", args_.json_path.c_str());
+    }
+    if (!args_.trace_path.empty()) {
+      std::ofstream out(args_.trace_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write %s\n", args_.trace_path.c_str());
+        std::exit(1);
+      }
+      obs::TraceSink::global().write_jsonl(out);
+      std::printf("[trace: %s, %zu events, %llu overwritten]\n",
+                  args_.trace_path.c_str(), obs::TraceSink::global().size(),
+                  static_cast<unsigned long long>(
+                      obs::TraceSink::global().overwritten()));
+    }
+  }
+
+ private:
+  std::string experiment_;
+  Args args_;
+  obs::Json results_;
 };
 
 }  // namespace harp::bench

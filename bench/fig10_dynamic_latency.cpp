@@ -22,7 +22,7 @@ namespace {
 
 /// Runs `frames` slotframes and prints one latency sample per bucket.
 void trace(sim::HarpSimulation& sim, NodeId node, int frames, int bucket,
-           bench::Table& table, const char* phase) {
+           bench::Table& table, obs::Json& series, const char* phase) {
   for (int f = 0; f < frames; f += bucket) {
     sim.data().metrics().clear();
     sim.run_frames(static_cast<AbsoluteSlot>(bucket));
@@ -31,12 +31,22 @@ void trace(sim::HarpSimulation& sim, NodeId node, int frames, int bucket,
                lat.empty() ? "-" : bench::fmt(lat.mean()),
                lat.empty() ? "-" : bench::fmt(lat.max()),
                std::to_string(lat.count()), phase});
+    obs::Json point;
+    point["time_s"] = sim.now_seconds();
+    if (!lat.empty()) {
+      point["avg_latency_s"] = lat.mean();
+      point["max_latency_s"] = lat.max();
+    }
+    point["packets"] = lat.count();
+    point["phase"] = phase;
+    series.push_back(std::move(point));
   }
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   const net::Topology topo = net::testbed_tree();
   net::SlotframeConfig frame;
   frame.data_slots = 190;
@@ -54,15 +64,17 @@ int main() {
   std::printf("(rate 1 -> 1.5 -> 3 pkt/slotframe; slotframe %.2f s)\n\n",
               frame.frame_seconds());
   bench::Table table({"time(s)", "avg-lat(s)", "max-lat(s)", "pkts", "phase"});
+  bench::JsonReport report("fig10_dynamic_latency", args);
+  obs::Json& series = report.results()["series"];
 
   bench::Timer timer;
-  trace(sim, kNode, 24, 4, table, "rate=1");
+  trace(sim, kNode, 24, 4, table, series, "rate=1");
 
   const auto s1 = sim.change_task_rate(kNode, 133);  // 1.5 pkt/slotframe
-  trace(sim, kNode, 24, 4, table, "rate=1.5");
+  trace(sim, kNode, 24, 4, table, series, "rate=1.5");
 
   const auto s2 = sim.change_task_rate(kNode, 66);  // ~3 pkt/slotframe
-  trace(sim, kNode, 144, 8, table, "rate=3");
+  trace(sim, kNode, 144, 8, table, series, "rate=3");
 
   table.print();
   std::printf("\nstep 1 (1 -> 1.5): %zu HARP msgs, %.2f s, %llu slotframes"
@@ -74,5 +86,16 @@ int main() {
               s2.harp_messages, s2.elapsed_seconds,
               static_cast<unsigned long long>(s2.elapsed_slotframes));
   std::printf("[%0.1f s]\n", timer.seconds());
+
+  const auto step_json = [&](const char* name,
+                             const sim::MgmtPlane::Summary& s) {
+    obs::Json& step = report.results()[name];
+    step["harp_messages"] = s.harp_messages;
+    step["elapsed_s"] = s.elapsed_seconds;
+    step["slotframes"] = s.elapsed_slotframes;
+  };
+  step_json("step1", s1);
+  step_json("step2", s2);
+  report.write();
   return 0;
 }

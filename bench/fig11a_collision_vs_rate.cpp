@@ -18,7 +18,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   constexpr int kTopologies = 100;
   constexpr int kMaxRate = 8;
 
@@ -33,6 +34,8 @@ int main() {
   std::printf("(100 random 50-node 5-layer topologies, 199 slots x 16 "
               "channels)\n\n");
   bench::Table table({"rate", "Random", "MSF", "LDSF", "HARP"});
+  bench::JsonReport report("fig11a_collision_vs_rate", args);
+  obs::Json& series = report.results()["series"];
 
   bench::Timer timer;
   for (int rate = 1; rate <= kMaxRate; ++rate) {
@@ -56,8 +59,18 @@ int main() {
                bench::pct(sum[1] / kTopologies),
                bench::pct(sum[2] / kTopologies),
                bench::pct(sum[3] / kTopologies)});
+    obs::Json point;
+    point["rate_cells"] = rate;
+    point["collision_probability"]["Random"] = sum[0] / kTopologies;
+    point["collision_probability"]["MSF"] = sum[1] / kTopologies;
+    point["collision_probability"]["LDSF"] = sum[2] / kTopologies;
+    point["collision_probability"]["HARP"] = sum[3] / kTopologies;
+    series.push_back(std::move(point));
   }
   table.print();
   std::printf("\n[%0.1f s]\n", timer.seconds());
+  // Paper reference (Fig. 11a): HARP collision-free at every rate.
+  report.results()["paper"]["harp_collision_probability"] = 0.0;
+  report.write();
   return 0;
 }

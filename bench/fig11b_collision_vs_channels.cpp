@@ -18,7 +18,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   constexpr int kTopologies = 100;
   constexpr int kRate = 3;
 
@@ -31,6 +32,8 @@ int main() {
               "%d cells/link)\n\n",
               kRate);
   bench::Table table({"channels", "Random", "MSF", "LDSF", "HARP"});
+  bench::JsonReport report("fig11b_collision_vs_channels", args);
+  obs::Json& series = report.results()["series"];
 
   bench::Timer timer;
   for (int channels = 16; channels >= 2; channels -= 2) {
@@ -58,8 +61,18 @@ int main() {
                bench::pct(sum[1] / kTopologies),
                bench::pct(sum[2] / kTopologies),
                bench::pct(sum[3] / kTopologies)});
+    obs::Json point;
+    point["channels"] = channels;
+    point["collision_probability"]["Random"] = sum[0] / kTopologies;
+    point["collision_probability"]["MSF"] = sum[1] / kTopologies;
+    point["collision_probability"]["LDSF"] = sum[2] / kTopologies;
+    point["collision_probability"]["HARP"] = sum[3] / kTopologies;
+    series.push_back(std::move(point));
   }
   table.print();
   std::printf("\n[%0.1f s]\n", timer.seconds());
+  // Paper reference (Fig. 11b): HARP stays collision-free above 4 channels.
+  report.results()["paper"]["harp_collision_free_above_channels"] = 4;
+  report.write();
   return 0;
 }

@@ -24,7 +24,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   constexpr int kTopologies = 10;
 
   net::SlotframeConfig frame;
@@ -69,14 +70,26 @@ int main() {
     }
   }
 
+  bench::JsonReport report("fig12_adjustment_vs_layer", args);
+  obs::Json& series = report.results()["series"];
   bench::Table table({"layer", "APaS-pkts", "HARP-pkts", "3l-1"});
   for (const auto& [layer, stats] : apas_pkts) {
     const auto it = harp_pkts.find(layer);
     table.row({std::to_string(layer), bench::fmt(stats.mean(), 1),
                it == harp_pkts.end() ? "-" : bench::fmt(it->second.mean(), 1),
                std::to_string(3 * layer - 1)});
+    obs::Json point;
+    point["layer"] = layer;
+    point["apas_packets_mean"] = stats.mean();
+    if (it != harp_pkts.end()) {
+      point["harp_packets_mean"] = it->second.mean();
+    }
+    // Paper reference: APaS costs 3l-1 packets at layer l.
+    point["paper_apas_packets"] = 3 * layer - 1;
+    series.push_back(std::move(point));
   }
   table.print();
   std::printf("\n[%0.1f s]\n", timer.seconds());
+  report.write();
   return 0;
 }

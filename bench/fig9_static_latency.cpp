@@ -20,7 +20,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   const net::Topology topo = net::testbed_tree();
   net::SlotframeConfig frame;  // 199 x 16, 10 ms slots
   frame.data_slots = 190;
@@ -35,7 +36,7 @@ int main() {
 
   bench::Timer timer;
   const AbsoluteSlot boot = sim.bootstrap();
-  const double minutes = 30.0;
+  const double minutes = args.minutes > 0.0 ? args.minutes : 30.0;
   sim.run_frames(
       static_cast<AbsoluteSlot>(minutes * 60.0 / frame.frame_seconds()));
 
@@ -45,16 +46,31 @@ int main() {
               minutes, options.pdr,
               static_cast<double>(boot) * frame.slot_seconds);
 
+  bench::JsonReport report("fig9_static_latency", args);
+  obs::Json& nodes = report.results()["nodes"];
+
   // Nodes sorted by ascending layer, like the paper's x-axis.
   bench::Table table({"node", "layer", "avg-lat(s)", "p95(s)", "delivered"});
   for (int layer = 1; layer <= topo.depth(); ++layer) {
     for (NodeId v : topo.nodes_at_layer(layer)) {
       const auto& lat = sim.metrics().node_latency(v);
+      const double delivered = static_cast<double>(lat.count()) /
+                               static_cast<double>(sim.metrics().generated(v));
       table.row({std::to_string(v), std::to_string(layer),
                  lat.empty() ? "-" : bench::fmt(lat.mean()),
                  lat.empty() ? "-" : bench::fmt(lat.percentile(95)),
-                 bench::pct(static_cast<double>(lat.count()) /
-                            static_cast<double>(sim.metrics().generated(v)))});
+                 bench::pct(delivered)});
+      obs::Json entry;
+      entry["node"] = v;
+      entry["layer"] = layer;
+      if (!lat.empty()) {
+        entry["avg_latency_s"] = lat.mean();
+        entry["p95_latency_s"] = lat.percentile(95);
+        entry["max_latency_s"] = lat.max();
+      }
+      entry["packets"] = lat.count();
+      entry["delivered_fraction"] = delivered;
+      nodes.push_back(std::move(entry));
     }
   }
   table.print();
@@ -68,5 +84,16 @@ int main() {
               all.mean(), all.percentile(95), all.max(),
               frame.frame_seconds());
   std::printf("[%0.1f s]\n", timer.seconds());
+
+  obs::Json& overall = report.results()["overall"];
+  overall["minutes"] = minutes;
+  overall["bootstrap_s"] = static_cast<double>(boot) * frame.slot_seconds;
+  overall["mean_latency_s"] = all.mean();
+  overall["p95_latency_s"] = all.percentile(95);
+  overall["max_latency_s"] = all.max();
+  overall["slotframe_s"] = frame.frame_seconds();
+  // Paper reference (Fig. 9): per-node averages hug one slotframe.
+  report.results()["paper"]["mean_latency_s"] = 1.99;
+  report.write();
   return 0;
 }

@@ -18,7 +18,8 @@
 
 using namespace harp;
 
-int main() {
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
   const net::Topology topo = net::testbed_tree();
   net::SlotframeConfig frame;
   frame.data_slots = 190;
@@ -55,6 +56,9 @@ int main() {
   bench::Table table({"event", "layer", "nodes", "layers", "msg", "time(s)",
                       "SF"});
 
+  bench::JsonReport report("table2_adjustment_overhead", args);
+  obs::Json& rows = report.results()["events"];
+
   bench::Timer timer;
   for (const Event& e : events) {
     const NodeId child = topo.children(e.node).front();
@@ -68,9 +72,23 @@ int main() {
                std::to_string(s.layers), std::to_string(s.harp_messages),
                bench::fmt(s.elapsed_seconds),
                std::to_string(s.elapsed_slotframes)});
+    obs::Json row;
+    row["event"] = label;
+    row["layer"] = layer;
+    row["nodes_involved"] = s.nodes.size();
+    row["layers_spanned"] = s.layers;
+    row["harp_messages"] = s.harp_messages;
+    row["elapsed_s"] = s.elapsed_seconds;
+    row["slotframes"] = s.elapsed_slotframes;
+    rows.push_back(std::move(row));
     sim.run_frames(3);  // settle between events
   }
   table.print();
   std::printf("\n[%0.1f s]\n", timer.seconds());
+  // Paper reference (Table II): parent-resolved events cost ~2 messages
+  // in about one slotframe.
+  report.results()["paper"]["local_event_messages"] = 2;
+  report.results()["paper"]["local_event_slotframes"] = 1;
+  report.write();
   return 0;
 }

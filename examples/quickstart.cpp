@@ -4,12 +4,15 @@
 // from a small task set, runs the static phases (interface generation,
 // partition allocation, distributed RM scheduling) through the public
 // HarpEngine API, and prints the resulting partitions and schedule.
-// Finishes with one dynamic adjustment to show the reconfiguration path.
+// Finishes with one dynamic adjustment to show the reconfiguration path,
+// captured through the observability layer (docs/OBSERVABILITY.md).
 #include <cstdio>
+#include <iostream>
 
 #include "harp/engine.hpp"
 #include "net/topology_gen.hpp"
 #include "net/traffic.hpp"
+#include "obs/obs.hpp"
 
 using namespace harp;
 
@@ -65,6 +68,11 @@ int main() {
               engine.validate().empty() ? "collision-free, isolated, sufficient"
                                         : engine.validate().c_str());
 
+  // Turn the observability layer on before the dynamic phase: the trace
+  // sink captures typed events (adjust_start/adjust_end/phase) and the
+  // phase timers fill the harp.engine.*_ns histograms.
+  obs::enable(/*trace_capacity=*/256);
+
   // Dynamic phase: node 9's uplink demand triples.
   const auto report = engine.request_demand(9, Direction::kUp, 3);
   std::printf("\ndemand change on node 9 (1 -> 3 cells): %s, %zu HARP "
@@ -77,5 +85,27 @@ int main() {
   std::printf("validation after adjustment: %s\n",
               engine.validate().empty() ? "still collision-free"
                                         : engine.validate().c_str());
+
+  // What the adjustment looked like to the observability layer: counters
+  // from the global registry and the captured trace as JSON Lines. Bench
+  // binaries expose the same data via --json/--trace.
+  obs::disable();
+  const auto& reg = obs::MetricsRegistry::global();
+  std::printf("\nobservability (docs/OBSERVABILITY.md):\n");
+  for (const char* name :
+       {"harp.engine.adjust_requests", "harp.engine.adjust_partition",
+        "harp.adjust.layout_calls"}) {
+    if (const auto* c = reg.find_counter(name)) {
+      std::printf("  %s = %llu\n", name,
+                  static_cast<unsigned long long>(c->value()));
+    }
+  }
+  if (const auto* h = reg.find_histogram("harp.engine.adjust_ns")) {
+    std::printf("  harp.engine.adjust_ns: count %llu, mean %.0f ns\n",
+                static_cast<unsigned long long>(h->count()), h->mean());
+  }
+  std::printf("  trace (%zu events):\n",
+              obs::TraceSink::global().size());
+  obs::TraceSink::global().write_jsonl(std::cout);
   return 0;
 }

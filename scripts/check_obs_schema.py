@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Check observability output against docs/OBSERVABILITY.md.
+
+Usage:
+    check_obs_schema.py report.json [trace.jsonl ...]
+
+For each `--json` report: verifies the harp-obs/1 envelope and that every
+metric name in the snapshot is documented. For each `.jsonl` trace:
+verifies every line parses and every event type is documented. Exits
+non-zero listing anything undocumented, so the doc and the code cannot
+drift apart silently.
+"""
+import json
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC = ROOT / "docs" / "OBSERVABILITY.md"
+
+
+def documented_names(doc_text):
+    """Backtick-quoted identifiers in the doc: metric names + event types."""
+    metrics = set(re.findall(r"`(harp\.[a-z0-9_.]+)`", doc_text))
+    # Event types are the first backticked token of each catalog table row.
+    events = set(re.findall(r"^\| `([a-z_]+)` \|", doc_text, re.MULTILINE))
+    return metrics, events
+
+
+def check_report(path, metrics_doc, problems):
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    for key in ("schema", "experiment", "results", "metrics"):
+        if key not in report:
+            problems.append(f"{path}: missing top-level key '{key}'")
+    if report.get("schema") != "harp-obs/1":
+        problems.append(f"{path}: schema is {report.get('schema')!r}, "
+                        "expected 'harp-obs/1'")
+    snapshot = report.get("metrics", {})
+    seen = 0
+    for family in ("counters", "gauges", "histograms"):
+        for name in snapshot.get(family, {}):
+            seen += 1
+            if name not in metrics_doc:
+                problems.append(f"{path}: metric '{name}' ({family}) not "
+                                f"documented in {DOC.name}")
+    print(f"{path}: {seen} metrics checked")
+
+
+def check_trace(path, events_doc, problems):
+    seen = 0
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            if not line.strip():
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as err:
+                problems.append(f"{path}:{lineno}: invalid JSON: {err}")
+                continue
+            seen += 1
+            etype = event.get("type")
+            if etype not in events_doc:
+                problems.append(f"{path}:{lineno}: event type {etype!r} not "
+                                f"documented in {DOC.name}")
+    print(f"{path}: {seen} events checked")
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    metrics_doc, events_doc = documented_names(DOC.read_text(encoding="utf-8"))
+    if not metrics_doc or not events_doc:
+        print(f"error: could not extract catalogs from {DOC}", file=sys.stderr)
+        return 2
+    problems = []
+    for arg in argv[1:]:
+        if arg.endswith(".jsonl"):
+            check_trace(arg, events_doc, problems)
+        else:
+            check_report(arg, metrics_doc, problems)
+    for p in problems:
+        print(f"error: {p}", file=sys.stderr)
+    if problems:
+        return 1
+    print("schema check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

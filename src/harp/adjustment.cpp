@@ -5,6 +5,7 @@
 #include <optional>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "packing/maxrects.hpp"
 #include "packing/skyline.hpp"
 
@@ -86,6 +87,10 @@ AdjustOutcome adjust_partition_layout(
   if (updated.empty()) {
     throw InvalidArgument("updated component must be non-empty");
   }
+  HARP_OBS_SCOPE("harp.adjust.layout_ns");
+  static obs::Counter& layout_calls =
+      obs::MetricsRegistry::global().counter("harp.adjust.layout_calls");
+  layout_calls.inc();
   AdjustOutcome out;
   if (updated.slots > box.slots || updated.channels > box.channels) {
     return out;  // cannot possibly fit
@@ -166,6 +171,9 @@ AdjustOutcome adjust_partition_layout(
     }
 
     const std::size_t closest = order.front();
+    static obs::Counter& evictions =
+        obs::MetricsRegistry::global().counter("harp.adjust.evictions");
+    evictions.inc();
     loose.push_back({fixed[closest].w, fixed[closest].h, fixed[closest].id});
     fixed.erase(fixed.begin() + static_cast<std::ptrdiff_t>(closest));
   }
@@ -237,6 +245,7 @@ std::optional<GrownComposite> grow_composite_anchored(
   if (updated.empty()) {
     throw InvalidArgument("updated component must be non-empty");
   }
+  HARP_OBS_SCOPE("harp.adjust.grow_ns");
   if (box.empty()) return std::nullopt;  // nothing to anchor: compose fresh
   if (updated.channels > max_channels) return std::nullopt;
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "packing/skyline.hpp"
 
 namespace harp::core {
 
 Composition compose_components(const std::vector<ChildComponent>& children,
                                int num_channels) {
+  HARP_OBS_SCOPE("harp.engine.compose_ns");
   if (num_channels <= 0) {
     throw InvalidArgument("num_channels must be positive");
   }

@@ -5,8 +5,45 @@
 #include "common/error.hpp"
 #include "harp/adjustment.hpp"
 #include "harp/compose.hpp"
+#include "obs/obs.hpp"
 
 namespace harp::core {
+
+namespace {
+
+/// Global engine counters (docs/OBSERVABILITY.md `harp.engine.*`),
+/// resolved once. One counter per AdjustmentKind, indexed by the enum.
+struct EngineObs {
+  obs::Counter* requests;
+  obs::Counter* by_kind[5];
+  obs::Histogram* hops;
+  obs::Counter* joins;
+  obs::Counter* leaves;
+  obs::Counter* roams;
+  obs::Counter* recompactions;
+};
+
+EngineObs& engine_obs() {
+  static EngineObs c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return EngineObs{
+        &reg.counter("harp.engine.adjust_requests"),
+        {&reg.counter("harp.engine.adjust_no_change"),
+         &reg.counter("harp.engine.adjust_local_release"),
+         &reg.counter("harp.engine.adjust_local_schedule"),
+         &reg.counter("harp.engine.adjust_partition"),
+         &reg.counter("harp.engine.adjust_rejected")},
+        &reg.histogram("harp.engine.adjust_hops", {0, 1, 2, 4, 8, 16}),
+        &reg.counter("harp.engine.joins"),
+        &reg.counter("harp.engine.leaves"),
+        &reg.counter("harp.engine.roams"),
+        &reg.counter("harp.engine.recompactions"),
+    };
+  }();
+  return c;
+}
+
+}  // namespace
 
 const char* to_string(ProtocolMessage::Type t) {
   switch (t) {
@@ -81,17 +118,25 @@ HarpEngine::HarpEngine(net::Topology topo, std::vector<net::Task> tasks,
                  options) {}
 
 void HarpEngine::bootstrap() {
-  up_ = generate_interfaces(topo_, traffic_, Direction::kUp,
-                            static_cast<int>(frame_.num_channels),
-                            options_.own_slack);
-  down_ = generate_interfaces(topo_, traffic_, Direction::kDown,
+  HARP_OBS_SCOPE("harp.engine.bootstrap_ns");
+  {
+    HARP_OBS_SCOPE("harp.engine.interface_gen_ns");
+    up_ = generate_interfaces(topo_, traffic_, Direction::kUp,
                               static_cast<int>(frame_.num_channels),
                               options_.own_slack);
-  parts_ = allocate_partitions(topo_, up_, down_, frame_).partitions;
+    down_ = generate_interfaces(topo_, traffic_, Direction::kDown,
+                                static_cast<int>(frame_.num_channels),
+                                options_.own_slack);
+  }
+  {
+    HARP_OBS_SCOPE("harp.engine.partition_alloc_ns");
+    parts_ = allocate_partitions(topo_, up_, down_, frame_).partitions;
+  }
   rebuild_schedule();
 }
 
 void HarpEngine::rebuild_schedule() {
+  HARP_OBS_SCOPE("harp.engine.schedule_gen_ns");
   // Idle partition cells are handed out as bonus capacity: the paper's
   // nodes grab more cells from their own partition under queueing.
   schedule_ = generate_schedule(topo_, traffic_, parts_, periods_,
@@ -128,6 +173,8 @@ std::int64_t HarpEngine::reserved_cells() const {
 }
 
 HarpEngine::CompactionReport HarpEngine::recompact() {
+  HARP_OBS_SCOPE("harp.engine.recompact_ns");
+  engine_obs().recompactions->inc();
   CompactionReport report;
   report.reserved_before = reserved_cells();
 
@@ -167,6 +214,29 @@ std::string HarpEngine::validate() const {
 
 AdjustmentReport HarpEngine::request_demand(NodeId child, Direction dir,
                                             int new_cells) {
+  EngineObs& eobs = engine_obs();
+  eobs.requests->inc();
+  HARP_OBS_EVENT({.type = obs::EventType::kAdjustStart,
+                  .aux = static_cast<std::uint8_t>(dir),
+                  .a = child,
+                  .value = static_cast<std::uint64_t>(
+                      new_cells < 0 ? 0 : new_cells)});
+  AdjustmentReport report;
+  {
+    HARP_OBS_SCOPE("harp.engine.adjust_ns");
+    report = request_demand_impl(child, dir, new_cells);
+  }
+  eobs.by_kind[static_cast<int>(report.kind)]->inc();
+  eobs.hops->record(static_cast<std::uint64_t>(report.hops_up));
+  HARP_OBS_EVENT({.type = obs::EventType::kAdjustEnd,
+                  .aux = static_cast<std::uint8_t>(report.kind),
+                  .a = child,
+                  .value = report.messages.size()});
+  return report;
+}
+
+AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
+                                                 int new_cells) {
   if (child == net::Topology::gateway() || child >= topo_.size()) {
     throw InvalidArgument("demand requests address a non-gateway node");
   }
@@ -224,6 +294,7 @@ HarpEngine::TopoChangeReport HarpEngine::attach_leaf(NodeId parent,
   if (up_cells < 0 || down_cells < 0) {
     throw InvalidArgument("demands must be non-negative");
   }
+  engine_obs().joins->inc();
   topo_ = topo_.with_leaf(parent);
   const NodeId node = static_cast<NodeId>(topo_.size() - 1);
   traffic_.resize(topo_.size());
@@ -254,6 +325,7 @@ HarpEngine::TopoChangeReport HarpEngine::detach_leaf(NodeId leaf) {
     throw InvalidArgument("node " + std::to_string(leaf) +
                           " still relays for children");
   }
+  engine_obs().leaves->inc();
   TopoChangeReport report;
   report.node = leaf;
   report.up = request_demand(leaf, Direction::kUp, 0);
@@ -271,6 +343,7 @@ HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
   }
   const NodeId old_parent = topo_.parent(leaf);
   if (new_parent == old_parent) return {leaf, {}, {}};
+  engine_obs().roams->inc();
 
   const int old_up = traffic_.uplink(leaf);
   const int old_down = traffic_.downlink(leaf);
@@ -354,6 +427,7 @@ void place_children(const net::Topology& topo, const InterfaceSet& ifs,
 
 AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
                                    ResourceComponent grown) {
+  HARP_OBS_SCOPE("harp.engine.climb_ns");
   AdjustmentReport report;
   report.kind = AdjustmentKind::kPartitionAdjust;
 

@@ -180,6 +180,10 @@ class HarpEngine {
  private:
   void bootstrap();
   void rebuild_schedule();
+  /// request_demand minus the observability envelope (events + counters
+  /// recorded by the public wrapper).
+  AdjustmentReport request_demand_impl(NodeId child, Direction dir,
+                                       int new_cells);
 
   struct ClimbResult;
   AdjustmentReport climb(NodeId start, int layer, Direction dir,

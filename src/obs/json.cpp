@@ -1,0 +1,149 @@
+#include "obs/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace harp::obs {
+
+Json& Json::operator[](const std::string& key) {
+  if (is_null()) value_ = Object{};
+  Object* obj = std::get_if<Object>(&value_);
+  if (obj == nullptr) {
+    throw InvalidArgument("Json::operator[]: value is not an object");
+  }
+  for (Member& m : *obj) {
+    if (m.first == key) return m.second;
+  }
+  obj->emplace_back(key, Json());
+  return obj->back().second;
+}
+
+void Json::push_back(Json v) {
+  if (is_null()) value_ = Array{};
+  Array* arr = std::get_if<Array>(&value_);
+  if (arr == nullptr) {
+    throw InvalidArgument("Json::push_back: value is not an array");
+  }
+  arr->push_back(std::move(v));
+}
+
+std::size_t Json::size() const {
+  if (const Array* a = as_array()) return a->size();
+  if (const Object* o = as_object()) return o->size();
+  return 0;
+}
+
+void Json::write_escaped(std::ostream& out, const std::string& s) {
+  out << '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\b': out << "\\b"; break;
+      case '\f': out << "\\f"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << static_cast<char>(c);
+        }
+    }
+  }
+  out << '"';
+}
+
+namespace {
+
+void write_number(std::ostream& out, double d) {
+  if (!std::isfinite(d)) {
+    out << "null";  // JSON has no inf/nan
+    return;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", d);
+  // Round-trippable but trimmed: prefer the shortest form that re-parses
+  // to the same double.
+  for (int precision = 1; precision < 17; ++precision) {
+    char probe[64];
+    std::snprintf(probe, sizeof probe, "%.*g", precision, d);
+    double back = 0.0;
+    std::sscanf(probe, "%lf", &back);
+    if (back == d) {
+      out << probe;
+      return;
+    }
+  }
+  out << buf;
+}
+
+void newline_indent(std::ostream& out, int indent, int depth) {
+  if (indent <= 0) return;
+  out << '\n';
+  for (int i = 0; i < indent * depth; ++i) out << ' ';
+}
+
+}  // namespace
+
+void Json::dump_impl(std::ostream& out, int indent, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out << "null";
+  } else if (const bool* b = std::get_if<bool>(&value_)) {
+    out << (*b ? "true" : "false");
+  } else if (const double* d = std::get_if<double>(&value_)) {
+    write_number(out, *d);
+  } else if (const std::int64_t* i = std::get_if<std::int64_t>(&value_)) {
+    out << *i;
+  } else if (const std::uint64_t* u = std::get_if<std::uint64_t>(&value_)) {
+    out << *u;
+  } else if (const std::string* s = std::get_if<std::string>(&value_)) {
+    write_escaped(out, *s);
+  } else if (const Array* arr = std::get_if<Array>(&value_)) {
+    if (arr->empty()) {
+      out << "[]";
+      return;
+    }
+    out << '[';
+    for (std::size_t i = 0; i < arr->size(); ++i) {
+      if (i > 0) out << ',';
+      newline_indent(out, indent, depth + 1);
+      (*arr)[i].dump_impl(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out << ']';
+  } else if (const Object* obj = std::get_if<Object>(&value_)) {
+    if (obj->empty()) {
+      out << "{}";
+      return;
+    }
+    out << '{';
+    for (std::size_t i = 0; i < obj->size(); ++i) {
+      if (i > 0) out << ',';
+      newline_indent(out, indent, depth + 1);
+      write_escaped(out, (*obj)[i].first);
+      out << (indent > 0 ? ": " : ":");
+      (*obj)[i].second.dump_impl(out, indent, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out << '}';
+  }
+}
+
+void Json::dump(std::ostream& out, int indent) const {
+  dump_impl(out, indent, 0);
+}
+
+std::string Json::dump_string(int indent) const {
+  std::ostringstream out;
+  dump(out, indent);
+  return out.str();
+}
+
+}  // namespace harp::obs

@@ -1,0 +1,79 @@
+// Minimal JSON value tree + serializer for observability exports.
+//
+// The observability layer must not pull in external dependencies, so this
+// is a small, ordered (insertion-order preserving) JSON document builder:
+// enough for the metrics registry, the trace sink and the bench harness to
+// assemble schema-conformant documents (docs/OBSERVABILITY.md). It only
+// WRITES JSON; parsing stays out of scope (tests carry their own checker).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace harp::obs {
+
+/// One JSON value: null, bool, number (integer kinds kept exact), string,
+/// array or object. Objects preserve insertion order so exported documents
+/// diff cleanly run-to-run.
+class Json {
+ public:
+  using Array = std::vector<Json>;
+  using Member = std::pair<std::string, Json>;
+  using Object = std::vector<Member>;
+
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool b) : value_(b) {}
+  Json(double d) : value_(d) {}
+  Json(int i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(long i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(long long i) : value_(static_cast<std::int64_t>(i)) {}
+  Json(unsigned u) : value_(static_cast<std::uint64_t>(u)) {}
+  Json(unsigned long u) : value_(static_cast<std::uint64_t>(u)) {}
+  Json(unsigned long long u) : value_(static_cast<std::uint64_t>(u)) {}
+  Json(const char* s) : value_(std::string(s)) {}
+  Json(std::string s) : value_(std::move(s)) {}
+
+  static Json object() { return Json(Object{}); }
+  static Json array() { return Json(Array{}); }
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+  bool is_object() const { return std::holds_alternative<Object>(value_); }
+  bool is_array() const { return std::holds_alternative<Array>(value_); }
+
+  /// Object access; creates the member (and coerces a null value into an
+  /// object) so documents can be built with plain assignment:
+  ///   doc["metrics"]["counters"]["harp.sim.packets_dropped"] = 3;
+  Json& operator[](const std::string& key);
+
+  /// Appends to an array (coerces a null value into an array).
+  void push_back(Json v);
+
+  std::size_t size() const;
+
+  /// Serializes. `indent` > 0 pretty-prints with that many spaces per
+  /// level; 0 emits the compact single-line form (used for JSONL).
+  void dump(std::ostream& out, int indent = 2) const;
+  std::string dump_string(int indent = 2) const;
+
+  /// Writes `s` as a JSON string literal (quoting + escapes).
+  static void write_escaped(std::ostream& out, const std::string& s);
+
+  const Object* as_object() const { return std::get_if<Object>(&value_); }
+  const Array* as_array() const { return std::get_if<Array>(&value_); }
+
+ private:
+  explicit Json(Object o) : value_(std::move(o)) {}
+  explicit Json(Array a) : value_(std::move(a)) {}
+  void dump_impl(std::ostream& out, int indent, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t,
+               std::string, Array, Object>
+      value_;
+};
+
+}  // namespace harp::obs

@@ -1,0 +1,134 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace harp::obs {
+
+const std::vector<std::uint64_t>& Histogram::default_ns_bounds() {
+  static const std::vector<std::uint64_t> bounds = {
+      1'000,          // 1 us
+      10'000,         // 10 us
+      100'000,        // 100 us
+      1'000'000,      // 1 ms
+      10'000'000,     // 10 ms
+      100'000'000,    // 100 ms
+      1'000'000'000,  // 1 s
+  };
+  return bounds;
+}
+
+Histogram::Histogram(std::vector<std::uint64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1, 0) {
+  if (!std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw InvalidArgument("histogram bounds must be sorted");
+  }
+  if (std::adjacent_find(bounds_.begin(), bounds_.end()) != bounds_.end()) {
+    throw InvalidArgument("histogram bounds must be distinct");
+  }
+}
+
+std::size_t Histogram::bucket_of(std::uint64_t sample) const {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
+  return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<std::uint64_t>::max();
+  max_ = 0;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  return histogram(name, Histogram::default_ns_bounds());
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<std::uint64_t> bounds) {
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::vector<std::string> MetricsRegistry::names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : counters_) out.push_back(name);
+  for (const auto& [name, _] : gauges_) out.push_back(name);
+  for (const auto& [name, _] : histograms_) out.push_back(name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  for (auto& [_, c] : counters_) c->reset();
+  for (auto& [_, g] : gauges_) g->reset();
+  for (auto& [_, h] : histograms_) h->reset();
+}
+
+Json MetricsRegistry::to_json() const {
+  Json out = Json::object();
+  Json& counters = out["counters"];
+  counters = Json::object();
+  for (const auto& [name, c] : counters_) counters[name] = c->value();
+  Json& gauges = out["gauges"];
+  gauges = Json::object();
+  for (const auto& [name, g] : gauges_) gauges[name] = g->value();
+  Json& histograms = out["histograms"];
+  histograms = Json::object();
+  for (const auto& [name, h] : histograms_) {
+    Json entry = Json::object();
+    entry["count"] = h->count();
+    entry["sum"] = h->sum();
+    entry["min"] = h->min();
+    entry["max"] = h->max();
+    entry["mean"] = h->mean();
+    Json buckets = Json::array();
+    for (std::size_t i = 0; i < h->counts().size(); ++i) {
+      Json bucket = Json::object();
+      bucket["le"] = i < h->bounds().size() ? Json(h->bounds()[i]) : Json("inf");
+      bucket["count"] = h->counts()[i];
+      buckets.push_back(std::move(bucket));
+    }
+    entry["buckets"] = std::move(buckets);
+    histograms[name] = std::move(entry);
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace harp::obs

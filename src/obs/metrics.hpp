@@ -1,0 +1,135 @@
+// MetricsRegistry: named counters, gauges and fixed-bucket histograms.
+//
+// The registry is the always-on half of the observability layer (the
+// TraceSink in obs/trace.hpp is the gated, high-volume half). Instrumented
+// code resolves each instrument ONCE (at construction, or through a
+// function-local static inside HARP_OBS_SCOPE) and then updates it with a
+// plain integer add — no lookup, no lock, no allocation on the hot path.
+// The simulator is single-threaded by design; instruments are not atomic.
+//
+// Metric names follow the dotted convention specified in
+// docs/OBSERVABILITY.md: `harp.<subsystem>.<metric>[_<unit>]`, e.g.
+// `harp.sim.tx_attempts` or `harp.engine.compose_ns`.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace harp::obs {
+
+/// Monotone event count. `value()` survives until `MetricsRegistry::reset`.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_{0};
+};
+
+/// Last-write-wins instantaneous level (queue depth, reserved cells, ...).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  void add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; }
+
+ private:
+  double value_{0.0};
+};
+
+/// Fixed-bucket histogram over unsigned samples. Buckets are defined by a
+/// sorted list of inclusive upper bounds; one implicit overflow bucket
+/// catches everything above the last bound. Also tracks count/sum/min/max
+/// so means survive bucket quantization.
+class Histogram {
+ public:
+  /// Default bounds for nanosecond timings: 1 us .. 1 s in decades.
+  static const std::vector<std::uint64_t>& default_ns_bounds();
+
+  explicit Histogram(std::vector<std::uint64_t> bounds);
+
+  void record(std::uint64_t sample) {
+    ++counts_[bucket_of(sample)];
+    ++count_;
+    sum_ += sample;
+    if (sample < min_) min_ = sample;
+    if (sample > max_) max_ = sample;
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Upper bounds, excluding the implicit overflow bucket.
+  const std::vector<std::uint64_t>& bounds() const { return bounds_; }
+  /// Per-bucket counts; counts().size() == bounds().size() + 1 (overflow).
+  const std::vector<std::uint64_t>& counts() const { return counts_; }
+
+  void reset();
+
+ private:
+  std::size_t bucket_of(std::uint64_t sample) const;
+
+  std::vector<std::uint64_t> bounds_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_{0};
+  std::uint64_t sum_{0};
+  std::uint64_t min_{std::numeric_limits<std::uint64_t>::max()};
+  std::uint64_t max_{0};
+};
+
+/// Owns every instrument by name. Instruments are get-or-create and their
+/// addresses are stable for the registry's lifetime; `reset()` zeroes the
+/// recorded values but keeps every registration (so cached references in
+/// instrumented code stay valid across benchmark repetitions).
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Histogram with the default nanosecond bounds.
+  Histogram& histogram(const std::string& name);
+  /// Histogram with custom bounds. Bounds are fixed at first registration;
+  /// later calls with the same name return the existing instrument.
+  Histogram& histogram(const std::string& name,
+                       std::vector<std::uint64_t> bounds);
+
+  /// Lookup without creation; nullptr when the name is unknown.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  /// Every registered metric name, sorted (counters + gauges + histograms).
+  std::vector<std::string> names() const;
+
+  void reset();
+
+  /// The documented snapshot format (docs/OBSERVABILITY.md):
+  ///   {"counters": {name: value, ...},
+  ///    "gauges":   {name: value, ...},
+  ///    "histograms": {name: {count,sum,min,max,mean,buckets:[...]}, ...}}
+  Json to_json() const;
+
+  /// The process-wide registry every HARP_OBS_* macro and instrumented
+  /// subsystem records into.
+  static MetricsRegistry& global();
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace harp::obs

@@ -1,0 +1,23 @@
+#include "obs/obs.hpp"
+
+namespace harp::obs {
+
+namespace {
+bool g_timing_enabled = false;
+}  // namespace
+
+bool timing_enabled() { return g_timing_enabled; }
+
+void set_timing_enabled(bool on) { g_timing_enabled = on; }
+
+void enable(std::size_t trace_capacity) {
+  TraceSink::global().enable(trace_capacity);
+  set_timing_enabled(true);
+}
+
+void disable() {
+  TraceSink::global().disable();
+  set_timing_enabled(false);
+}
+
+}  // namespace harp::obs

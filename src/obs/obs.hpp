@@ -1,0 +1,102 @@
+// Umbrella header for the observability layer: metrics + trace + the
+// instrumentation macros. Instrumented code includes only this header.
+//
+//   HARP_OBS_SCOPE("harp.engine.compose_ns");
+//     — scoped wall-clock timer; on scope exit records the elapsed
+//       nanoseconds into the named global histogram and emits one `phase`
+//       trace event. Gated by obs::timing_enabled() (default off: the
+//       cost is one branch), removed entirely under HARP_OBS=OFF.
+//
+//   HARP_OBS_EVENT({.type = obs::EventType::kCollision, ...});
+//     — records one typed trace event into the global TraceSink
+//       (one branch while the sink is disabled).
+//
+// Counters/gauges are not macro-gated: instrumented classes resolve them
+// once via obs::MetricsRegistry::global() and bump them unconditionally (a
+// plain integer add). See docs/OBSERVABILITY.md for the full contract.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace harp::obs {
+
+/// Whether HARP_OBS_SCOPE timers measure and record (off by default: two
+/// clock reads per scope are not free on microsecond-scale kernels).
+bool timing_enabled();
+void set_timing_enabled(bool on);
+
+/// Convenience: turn the whole layer on (trace sink + phase timers) —
+/// what bench binaries do when --json/--trace is requested.
+void enable(std::size_t trace_capacity = TraceSink::kDefaultCapacity);
+/// Turn trace recording and phase timers back off (captured data and
+/// metric values stay readable).
+void disable();
+
+/// Monotonic nanoseconds, for phase timing.
+inline std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// RAII phase timer behind HARP_OBS_SCOPE. When timing is disabled at
+/// construction the destructor does nothing (the scope is not recorded,
+/// even if timing gets enabled while it is open).
+class ScopedTimer {
+ public:
+  ScopedTimer(Histogram& hist, std::uint16_t phase_id)
+      : hist_(&hist), phase_id_(phase_id), active_(timing_enabled()) {
+    if (active_) start_ns_ = now_ns();
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (!active_) return;
+    const std::uint64_t elapsed = now_ns() - start_ns_;
+    hist_->record(elapsed);
+    TraceSink::global().emit(
+        {.type = EventType::kPhase, .a = phase_id_, .value = elapsed});
+  }
+
+ private:
+  Histogram* hist_;
+  std::uint16_t phase_id_;
+  bool active_;
+  std::uint64_t start_ns_{0};
+};
+
+}  // namespace harp::obs
+
+#define HARP_OBS_CONCAT_INNER(a, b) a##b
+#define HARP_OBS_CONCAT(a, b) HARP_OBS_CONCAT_INNER(a, b)
+
+#if HARP_OBS_ENABLED
+
+/// Times the rest of the enclosing scope into the global histogram `name`
+/// (which should end in `_ns`) and emits a `phase` trace event. The
+/// histogram and phase id resolve once per call site.
+#define HARP_OBS_SCOPE(name)                                                  \
+  static ::harp::obs::Histogram& HARP_OBS_CONCAT(harp_obs_hist_, __LINE__) =  \
+      ::harp::obs::MetricsRegistry::global().histogram(name);                 \
+  static const std::uint16_t HARP_OBS_CONCAT(harp_obs_phase_, __LINE__) =     \
+      ::harp::obs::TraceSink::global().register_phase(name);                  \
+  ::harp::obs::ScopedTimer HARP_OBS_CONCAT(harp_obs_scope_, __LINE__)(        \
+      HARP_OBS_CONCAT(harp_obs_hist_, __LINE__),                              \
+      HARP_OBS_CONCAT(harp_obs_phase_, __LINE__))
+
+/// Records one trace event; the argument is a braced TraceEvent
+/// initializer. Not evaluated under HARP_OBS=OFF.
+#define HARP_OBS_EVENT(...) \
+  ::harp::obs::TraceSink::global().emit(::harp::obs::TraceEvent __VA_ARGS__)
+
+#else
+
+#define HARP_OBS_SCOPE(name) ((void)0)
+#define HARP_OBS_EVENT(...) ((void)0)
+
+#endif  // HARP_OBS_ENABLED

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace harp::sched {
 namespace {
@@ -32,6 +33,9 @@ ApasScheduler::ApasScheduler(net::Topology topo, net::TrafficMatrix traffic,
 ApasScheduler::Report ApasScheduler::request_demand(NodeId child,
                                                     Direction dir,
                                                     int new_cells) {
+  static obs::Counter& requests =
+      obs::MetricsRegistry::global().counter("harp.sched.apas_requests");
+  requests.inc();
   const net::Topology& topo = engine_.topology();
   if (child == net::Topology::gateway() || child >= topo.size()) {
     throw InvalidArgument("demand requests address a non-gateway node");

@@ -12,6 +12,7 @@
 
 #include "common/error.hpp"
 #include "harp/engine.hpp"
+#include "obs/obs.hpp"
 #include "schedulers/scheduler.hpp"
 
 namespace harp::sched {
@@ -26,6 +27,10 @@ class HarpScheduler final : public Scheduler {
                        const net::SlotframeConfig& frame,
                        Rng& rng) const override {
     frame.validate();
+    HARP_OBS_SCOPE("harp.sched.harp_build_ns");
+    static obs::Counter& builds =
+        obs::MetricsRegistry::global().counter("harp.sched.builds");
+    builds.inc();
 
     // Find the largest uniform admission fraction in [0,1] such that the
     // clamped demand bootstraps, by per-link ceiling of fraction*demand.
@@ -94,6 +99,7 @@ class HarpScheduler final : public Scheduler {
 
 double collision_probability(const net::Topology& topo,
                              const core::Schedule& schedule) {
+  HARP_OBS_SCOPE("harp.sched.collision_eval_ns");
   const std::size_t total = schedule.total_cells();
   if (total == 0) return 0.0;
   return static_cast<double>(core::count_colliding_entries(topo, schedule)) /

@@ -11,6 +11,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "schedulers/scheduler.hpp"
 
 namespace harp::sched {
@@ -25,6 +26,10 @@ class LdsfScheduler final : public Scheduler {
                        const net::SlotframeConfig& frame,
                        Rng& rng) const override {
     frame.validate();
+    HARP_OBS_SCOPE("harp.sched.ldsf_build_ns");
+    static obs::Counter& builds =
+        obs::MetricsRegistry::global().counter("harp.sched.builds");
+    builds.inc();
     const int depth = std::max(topo.depth(), 1);
 
     // 2*depth equal blocks over the data sub-frame: indices 0..depth-1 for

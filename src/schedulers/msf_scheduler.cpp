@@ -4,6 +4,7 @@
 // hash of the target node's identifier, so both endpoints compute the
 // same cell without negotiation — and two unrelated links whose hashes
 // coincide collide, which is exactly the effect Fig. 11 measures.
+#include "obs/obs.hpp"
 #include "schedulers/scheduler.hpp"
 
 namespace harp::sched {
@@ -29,6 +30,10 @@ class MsfScheduler final : public Scheduler {
                        const net::SlotframeConfig& frame,
                        Rng& /*rng*/) const override {
     frame.validate();
+    HARP_OBS_SCOPE("harp.sched.msf_build_ns");
+    static obs::Counter& builds =
+        obs::MetricsRegistry::global().counter("harp.sched.builds");
+    builds.inc();
     core::Schedule schedule(topo.size());
     for (NodeId child = 1; child < topo.size(); ++child) {
       for (Direction dir : {Direction::kUp, Direction::kDown}) {

@@ -7,6 +7,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 #include "schedulers/scheduler.hpp"
 
 namespace harp::sched {
@@ -21,6 +22,10 @@ class RandomScheduler final : public Scheduler {
                        const net::SlotframeConfig& frame,
                        Rng& rng) const override {
     frame.validate();
+    HARP_OBS_SCOPE("harp.sched.random_build_ns");
+    static obs::Counter& builds =
+        obs::MetricsRegistry::global().counter("harp.sched.builds");
+    builds.inc();
     core::Schedule schedule(topo.size());
     for (NodeId child = 1; child < topo.size(); ++child) {
       for (Direction dir : {Direction::kUp, Direction::kDown}) {

@@ -3,8 +3,24 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace harp::sim {
+
+DataPlane::ObsCounters DataPlane::resolve_obs_counters() {
+  auto& reg = obs::MetricsRegistry::global();
+  return {
+      .slots = &reg.counter("harp.sim.slots"),
+      .generated = &reg.counter("harp.sim.packets_generated"),
+      .delivered = &reg.counter("harp.sim.packets_delivered"),
+      .dropped = &reg.counter("harp.sim.packets_dropped"),
+      .deadline_misses = &reg.counter("harp.sim.deadline_misses"),
+      .tx_attempts = &reg.counter("harp.sim.tx_attempts"),
+      .tx_success = &reg.counter("harp.sim.tx_success"),
+      .collisions = &reg.counter("harp.sim.tx_collisions"),
+      .link_loss = &reg.counter("harp.sim.tx_link_loss"),
+  };
+}
 
 DataPlane::DataPlane(const net::Topology& topo, std::vector<net::Task> tasks,
                      SimConfig config, std::uint64_t seed)
@@ -39,7 +55,9 @@ void DataPlane::set_schedule(const core::Schedule& schedule) {
 }
 
 void DataPlane::run_slots(AbsoluteSlot n) {
+  obs_.slots->inc(n);
   for (AbsoluteSlot i = 0; i < n; ++i) {
+    HARP_OBS_EVENT({.type = obs::EventType::kSlotTick, .slot = now_});
     generate(now_);
     transmit(now_);
     ++now_;
@@ -147,21 +165,33 @@ void DataPlane::generate(AbsoluteSlot t) {
     while (task.next_release <= t) {
       if (task.next_release == t) {
         metrics_.on_generated(task.spec.source);
+        obs_.generated->inc();
         enqueue(up_queue_[task.spec.source],
                 Packet{task.spec.id, task.spec.source,
-                       net::Topology::gateway(), t});
+                       net::Topology::gateway(), t},
+                task.spec.source, Direction::kUp);
       }
       task.next_release += task.spec.period_slots;
     }
   }
 }
 
-void DataPlane::enqueue(std::deque<Packet>& queue, Packet pkt) {
+void DataPlane::enqueue(std::deque<Packet>& queue, Packet pkt, NodeId at,
+                        Direction dir) {
   if (queue.size() >= config_.queue_capacity) {
     metrics_.on_dropped(pkt.source);
+    obs_.dropped->inc();
+    HARP_OBS_EVENT({.type = obs::EventType::kQueueDrop,
+                    .a = pkt.source,
+                    .slot = now_});
     return;
   }
   queue.push_back(pkt);
+  HARP_OBS_EVENT({.type = obs::EventType::kQueueDepth,
+                  .aux = static_cast<std::uint8_t>(dir),
+                  .a = at,
+                  .slot = now_,
+                  .value = queue.size()});
 }
 
 NodeId DataPlane::next_hop_down(NodeId from, NodeId destination) const {
@@ -172,6 +202,23 @@ NodeId DataPlane::next_hop_down(NodeId from, NodeId destination) const {
   // kNoNode: `from` is no longer on the path (the destination roamed
   // while this packet was in flight); the caller drops the packet.
   return hop;
+}
+
+void DataPlane::record_delivery(const Packet& pkt, AbsoluteSlot t,
+                                std::uint32_t deadline) {
+  const AbsoluteSlot latency_slots = t - pkt.created + 1;
+  const bool met = latency_slots <= deadline;
+  metrics_.record({pkt.task, pkt.source, pkt.created, t,
+                   static_cast<double>(latency_slots) *
+                       config_.frame.slot_seconds,
+                   met});
+  obs_.delivered->inc();
+  if (!met) obs_.deadline_misses->inc();
+  HARP_OBS_EVENT({.type = obs::EventType::kDeliver,
+                  .aux = static_cast<std::uint8_t>(met ? 1 : 0),
+                  .a = pkt.source,
+                  .slot = t,
+                  .value = latency_slots});
 }
 
 void DataPlane::deliver_up(Packet pkt, AbsoluteSlot t) {
@@ -191,15 +238,17 @@ void DataPlane::deliver_up(Packet pkt, AbsoluteSlot t) {
         next_hop_down(net::Topology::gateway(), pkt.destination);
     if (hop == kNoNode) {
       metrics_.on_dropped(pkt.source);  // destination roamed mid-flight
+      obs_.dropped->inc();
+      HARP_OBS_EVENT({.type = obs::EventType::kRouteDrop,
+                      .a = pkt.source,
+                      .b = pkt.destination,
+                      .slot = t});
       return;
     }
-    enqueue(down_queue_[hop], pkt);
+    enqueue(down_queue_[hop], pkt, hop, Direction::kDown);
     return;
   }
-  metrics_.record({pkt.task, pkt.source, pkt.created, t,
-                   static_cast<double>(t - pkt.created + 1) *
-                       config_.frame.slot_seconds,
-                   t - pkt.created + 1 <= spec->effective_deadline()});
+  record_delivery(pkt, t, spec->effective_deadline());
 }
 
 void DataPlane::deliver_down(NodeId at, Packet pkt, AbsoluteSlot t) {
@@ -211,18 +260,20 @@ void DataPlane::deliver_down(NodeId at, Packet pkt, AbsoluteSlot t) {
         break;
       }
     }
-    metrics_.record({pkt.task, pkt.source, pkt.created, t,
-                     static_cast<double>(t - pkt.created + 1) *
-                         config_.frame.slot_seconds,
-                     t - pkt.created + 1 <= deadline});
+    record_delivery(pkt, t, deadline);
     return;
   }
   const NodeId hop = next_hop_down(at, pkt.destination);
   if (hop == kNoNode) {
     metrics_.on_dropped(pkt.source);  // destination roamed mid-flight
+    obs_.dropped->inc();
+    HARP_OBS_EVENT({.type = obs::EventType::kRouteDrop,
+                    .a = pkt.source,
+                    .b = pkt.destination,
+                    .slot = t});
     return;
   }
-  enqueue(down_queue_[hop], pkt);
+  enqueue(down_queue_[hop], pkt, hop, Direction::kDown);
 }
 
 void DataPlane::transmit(AbsoluteSlot t) {
@@ -261,13 +312,39 @@ void DataPlane::transmit(AbsoluteSlot t) {
   }
 
   for (const Active& a : active) {
+    obs_.tx_attempts->inc();
+    const auto dir_aux = static_cast<std::uint8_t>(a.entry->dir);
+    const auto channel = static_cast<std::uint16_t>(a.entry->cell.channel);
     const bool collided =
         cell_use[a.entry->cell] > 1 || node_use[a.sender] > 1 ||
         node_use[a.receiver] > 1;
-    if (collided ||
-        !rng_.chance(success_probability(a.entry->cell.channel, t))) {
+    if (collided) {
+      obs_.collisions->inc();
+      HARP_OBS_EVENT({.type = obs::EventType::kCollision,
+                      .aux = dir_aux,
+                      .channel = channel,
+                      .a = a.sender,
+                      .b = a.receiver,
+                      .slot = t});
       continue;  // retry in the link's next cell
     }
+    if (!rng_.chance(success_probability(a.entry->cell.channel, t))) {
+      obs_.link_loss->inc();
+      HARP_OBS_EVENT({.type = obs::EventType::kLinkLoss,
+                      .aux = dir_aux,
+                      .channel = channel,
+                      .a = a.sender,
+                      .b = a.receiver,
+                      .slot = t});
+      continue;  // retry in the link's next cell
+    }
+    obs_.tx_success->inc();
+    HARP_OBS_EVENT({.type = obs::EventType::kTxSuccess,
+                    .aux = dir_aux,
+                    .channel = channel,
+                    .a = a.sender,
+                    .b = a.receiver,
+                    .slot = t});
 
     if (a.entry->dir == Direction::kUp) {
       Packet pkt = up_queue_[a.entry->child].front();
@@ -275,7 +352,7 @@ void DataPlane::transmit(AbsoluteSlot t) {
       if (a.receiver == net::Topology::gateway()) {
         deliver_up(pkt, t);
       } else {
-        enqueue(up_queue_[a.receiver], pkt);
+        enqueue(up_queue_[a.receiver], pkt, a.receiver, Direction::kUp);
       }
     } else {
       Packet pkt = down_queue_[a.entry->child].front();

@@ -24,6 +24,7 @@
 #include "harp/schedule.hpp"
 #include "net/task.hpp"
 #include "net/topology.hpp"
+#include "obs/metrics.hpp"
 #include "sim/metrics.hpp"
 
 namespace harp::sim {
@@ -110,8 +111,26 @@ class DataPlane {
   void transmit(AbsoluteSlot t);
   void deliver_up(Packet pkt, AbsoluteSlot t);
   void deliver_down(NodeId at, Packet pkt, AbsoluteSlot t);
+  void record_delivery(const Packet& pkt, AbsoluteSlot t,
+                       std::uint32_t deadline);
   NodeId next_hop_down(NodeId from, NodeId destination) const;
-  void enqueue(std::deque<Packet>& queue, Packet pkt);
+  void enqueue(std::deque<Packet>& queue, Packet pkt, NodeId at,
+               Direction dir);
+
+  /// Global observability counters (docs/OBSERVABILITY.md `harp.sim.*`),
+  /// resolved once so hot-path updates are plain integer adds.
+  struct ObsCounters {
+    obs::Counter* slots;
+    obs::Counter* generated;
+    obs::Counter* delivered;
+    obs::Counter* dropped;
+    obs::Counter* deadline_misses;
+    obs::Counter* tx_attempts;
+    obs::Counter* tx_success;
+    obs::Counter* collisions;
+    obs::Counter* link_loss;
+  };
+  static ObsCounters resolve_obs_counters();
 
   const net::Topology& topo_;
   SimConfig config_;
@@ -134,6 +153,7 @@ class DataPlane {
   };
   std::vector<std::vector<Entry>> by_slot_;
   std::vector<Interference> interference_;
+  ObsCounters obs_{resolve_obs_counters()};
 };
 
 }  // namespace harp::sim

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "net/traffic.hpp"
+#include "obs/obs.hpp"
 #include "proto/network.hpp"
 
 namespace harp::sim {
@@ -65,6 +66,7 @@ void HarpSimulation::run_to_mgmt_idle(AbsoluteSlot timeout_slots,
 }
 
 AbsoluteSlot HarpSimulation::bootstrap(AbsoluteSlot timeout_frames) {
+  HARP_OBS_SCOPE("harp.sim.bootstrap_ns");
   HARP_ASSERT(!bootstrapped_);
   const AbsoluteSlot start = now_;
   for (NodeId v : topo_.nodes_bottom_up()) agents_[v]->start(mgmt_);

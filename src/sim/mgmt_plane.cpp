@@ -3,8 +3,29 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/obs.hpp"
 
 namespace harp::sim {
+
+namespace {
+
+struct MgmtObs {
+  obs::Counter* sent;
+  obs::Counter* delivered;
+  obs::Counter* bytes;
+};
+
+MgmtObs& mgmt_obs() {
+  static MgmtObs c = [] {
+    auto& reg = obs::MetricsRegistry::global();
+    return MgmtObs{&reg.counter("harp.mgmt.msgs_sent"),
+                   &reg.counter("harp.mgmt.msgs_delivered"),
+                   &reg.counter("harp.mgmt.bytes_delivered")};
+  }();
+  return c;
+}
+
+}  // namespace
 
 MgmtPlane::MgmtPlane(const net::Topology& topo, net::SlotframeConfig frame)
     : topo_(topo), frame_(frame), queues_(topo.size()) {
@@ -20,6 +41,12 @@ SlotId MgmtPlane::tx_slot(NodeId node) const {
 
 void MgmtPlane::send(proto::Message msg) {
   HARP_ASSERT(msg.src < queues_.size());
+  mgmt_obs().sent->inc();
+  HARP_OBS_EVENT({.type = obs::EventType::kMsgSend,
+                  .aux = static_cast<std::uint8_t>(msg.type),
+                  .a = msg.src,
+                  .b = msg.dst,
+                  .slot = now_});
   queues_[msg.src].push_back({std::move(msg), now_});
   ++queued_;
 }
@@ -36,8 +63,16 @@ void MgmtPlane::on_slot(AbsoluteSlot t,
     Queued q = std::move(queues_[node].front());
     queues_[node].pop_front();
     --queued_;
-    log_.push_back({q.msg.type, q.msg.src, q.msg.dst, q.sent, t,
-                    proto::encoded_size(q.msg)});
+    const std::size_t bytes = proto::encoded_size(q.msg);
+    log_.push_back({q.msg.type, q.msg.src, q.msg.dst, q.sent, t, bytes});
+    mgmt_obs().delivered->inc();
+    mgmt_obs().bytes->inc(bytes);
+    HARP_OBS_EVENT({.type = obs::EventType::kMsgDeliver,
+                    .aux = static_cast<std::uint8_t>(q.msg.type),
+                    .a = q.msg.src,
+                    .b = q.msg.dst,
+                    .slot = t,
+                    .value = bytes});
     HARP_ASSERT(q.msg.dst < agents.size());
     agents[q.msg.dst]->on_message(q.msg, *this);
   }
