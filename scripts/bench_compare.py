@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Gate performance regressions against a checked-in benchmark baseline.
+
+Usage:
+    bench_compare.py baseline.json candidate.json [--tolerance 10%]
+
+Both files are harp-obs/1 reports emitted by `perf_steady_state --json`.
+The gate enforces three things:
+
+  1. throughput  — results.sim.slots_per_sec of the candidate must be at
+     least baseline * (1 - tolerance);
+  2. latency     — results.adjust.median_ns of the candidate must be at
+     most baseline * (1 + tolerance);
+  3. determinism — results.sim.checksum must match the baseline EXACTLY
+     (same workload, same seeds => any difference means an optimization
+     changed simulation semantics, which no tolerance can excuse).
+
+Exits non-zero with a per-check report on any violation, so CI can run it
+directly. docs/PERFORMANCE.md describes the workload and how to refresh
+the baseline.
+"""
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    with open(path, encoding="utf-8") as fh:
+        report = json.load(fh)
+    if report.get("schema") != "harp-obs/1":
+        sys.exit(f"{path}: schema is {report.get('schema')!r}, "
+                 "expected 'harp-obs/1'")
+    try:
+        return report["results"]
+    except KeyError:
+        sys.exit(f"{path}: missing top-level 'results'")
+
+
+def parse_tolerance(text):
+    """Accepts '10%', '0.1', '10 %'."""
+    text = text.strip()
+    if text.endswith("%"):
+        return float(text[:-1].strip()) / 100.0
+    value = float(text)
+    return value / 100.0 if value > 1.0 else value
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerance", default="10%",
+                    help="allowed regression (default: 10%%)")
+    args = ap.parse_args()
+
+    tol = parse_tolerance(args.tolerance)
+    base = load_results(args.baseline)
+    cand = load_results(args.candidate)
+
+    failures = []
+
+    base_tput = base["sim"]["slots_per_sec"]
+    cand_tput = cand["sim"]["slots_per_sec"]
+    floor = base_tput * (1.0 - tol)
+    verdict = "ok" if cand_tput >= floor else "REGRESSION"
+    print(f"sim.slots_per_sec: baseline {base_tput:,.0f}  "
+          f"candidate {cand_tput:,.0f}  floor {floor:,.0f}  [{verdict}]")
+    if cand_tput < floor:
+        failures.append("sim throughput regressed beyond tolerance")
+
+    base_med = base["adjust"]["median_ns"]
+    cand_med = cand["adjust"]["median_ns"]
+    ceiling = base_med * (1.0 + tol)
+    verdict = "ok" if cand_med <= ceiling else "REGRESSION"
+    print(f"adjust.median_ns:  baseline {base_med:,.0f}  "
+          f"candidate {cand_med:,.0f}  ceiling {ceiling:,.0f}  [{verdict}]")
+    if cand_med > ceiling:
+        failures.append("adjustment median latency regressed beyond tolerance")
+
+    base_sum = base["sim"]["checksum"]
+    cand_sum = cand["sim"]["checksum"]
+    for key in sorted(set(base_sum) | set(cand_sum)):
+        b, c = base_sum.get(key), cand_sum.get(key)
+        if b != c:
+            print(f"checksum.{key}: baseline {b}  candidate {c}  [MISMATCH]")
+            failures.append(f"determinism checksum '{key}' changed "
+                            f"({b} -> {c})")
+    if not failures or all("checksum" not in f for f in failures):
+        print("sim.checksum: identical  [ok]")
+
+    if failures:
+        print("\nFAIL:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("\nPASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,6 +143,30 @@ void HarpEngine::rebuild_schedule() {
                                 /*distribute_leftover=*/true);
 }
 
+void HarpEngine::rebuild_links(Direction dir, const std::set<NodeId>& parents) {
+  HARP_OBS_SCOPE("harp.engine.schedule_gen_ns");
+  // Mirrors one (node, dir) block of generate_schedule; clearing first
+  // makes a child whose demand dropped to zero lose its cells.
+  for (NodeId node : parents) {
+    if (topo_.is_leaf(node)) continue;
+    std::vector<LinkRequest> requests;
+    for (NodeId child : topo_.children(node)) {
+      schedule_.clear_link(child, dir);
+      const int demand = traffic_.demand(child, dir);
+      if (demand > 0) {
+        requests.push_back({child, demand, periods_.get(child, dir)});
+      }
+    }
+    if (requests.empty()) continue;
+    const Partition part = parts_.get(dir, node, topo_.link_layer(node));
+    HARP_ASSERT(!part.empty());
+    for (auto& [child, cells] : assign_cells_rm(part, std::move(requests),
+                                                /*distribute_leftover=*/true)) {
+      schedule_.set_cells(child, dir, std::move(cells));
+    }
+  }
+}
+
 std::size_t HarpEngine::bootstrap_message_count() const {
   // One POST-intf per non-gateway non-leaf node (leaves have nothing to
   // report; their demands ride on the join handshake), plus one POST-part
@@ -257,7 +281,7 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
     // Sec. V: on decrease the parent releases cells; partitions (and the
     // reported interfaces) stay, keeping the reservation for later grabs.
     traffic_.set_demand(child, dir, new_cells);
-    rebuild_schedule();
+    rebuild_links(dir, {q});
     report.kind = AdjustmentKind::kLocalRelease;
     report.satisfied = true;
     return report;
@@ -268,7 +292,7 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
   const Partition current = parts_.get(dir, q, layer);
   if (raw.slots <= current.comp.slots && !current.empty()) {
     // Case 1 (Fig. 5a): idle cells inside the partition absorb the change.
-    rebuild_schedule();
+    rebuild_links(dir, {q});
     report.kind = AdjustmentKind::kLocalSchedule;
     report.satisfied = true;
     report.resolved_at = q;
@@ -278,11 +302,14 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
   // Case 2: q needs a bigger own-layer partition; climb, asking for
   // exactly the new demand (headroom is a bootstrap-time property:
   // re-requesting it here would inflate every escalation).
-  report = climb(q, layer, dir, raw);
+  std::set<NodeId> dirty_parents;
+  report = climb(q, layer, dir, raw, dirty_parents);
   if (!report.satisfied) {
     traffic_.set_demand(child, dir, old_cells);  // admission denied
   } else {
-    rebuild_schedule();
+    // q's demand changed even when its partition box did not move.
+    dirty_parents.insert(q);
+    rebuild_links(dir, dirty_parents);
   }
   return report;
 }
@@ -374,9 +401,11 @@ HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
     }
   }
   // ...rewire (with_parent validates against cycles), refreshing the RM
-  // priorities whose paths changed...
+  // priorities whose paths changed. Priorities feed every parent's RM
+  // order, so this is one of the few spots that needs a full rebuild.
   topo_ = topo_.with_parent(leaf, new_parent);
   periods_ = link_periods(topo_, tasks_);
+  rebuild_schedule();
   // ...and request the same demands at the new location.
   report.up = request_demand(leaf, Direction::kUp, old_up);
   report.down = request_demand(leaf, Direction::kDown, old_down);
@@ -388,6 +417,7 @@ HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
     request_demand(leaf, Direction::kDown, 0);
     topo_ = topo_.with_parent(leaf, old_parent);
     periods_ = link_periods(topo_, tasks_);
+    rebuild_schedule();
     const auto up_back = request_demand(leaf, Direction::kUp, old_up);
     const auto down_back = request_demand(leaf, Direction::kDown, old_down);
     HARP_ASSERT(up_back.satisfied && down_back.satisfied);
@@ -397,15 +427,105 @@ HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
 
 namespace {
 
+/// Scoped undo log for one adjustment. climb() used to copy the whole
+/// InterfaceSet and PartitionTable so a rejected escalation could discard
+/// them — the dominant cost of every request_demand. Instead the live
+/// tables are now mutated in place through this transaction, which
+/// snapshots each (node, layer) entry on first touch and restores the
+/// snapshots unless commit() was called (including when an escalation
+/// throws, e.g. InfeasibleError out of compose_components).
+///
+/// The transaction also collects the nodes whose own-layer (scheduling)
+/// partition actually changed — exactly the dirty-parent set
+/// rebuild_links() must re-derive afterwards.
+class AdjustTxn {
+ public:
+  AdjustTxn(const net::Topology& topo, InterfaceSet& ifs,
+            PartitionTable& parts, Direction dir)
+      : topo_(topo), ifs_(ifs), parts_(parts), dir_(dir) {}
+  AdjustTxn(const AdjustTxn&) = delete;
+  AdjustTxn& operator=(const AdjustTxn&) = delete;
+
+  ~AdjustTxn() {
+    if (committed_) return;
+    for (auto it = intf_log_.rbegin(); it != intf_log_.rend(); ++it) {
+      // An empty snapshot means the entry did not exist: set_component({})
+      // erases it (together with any layout written meanwhile).
+      ifs_.set_component(it->node, it->layer, it->comp);
+      if (!it->comp.empty()) {
+        ifs_.set_layout(it->node, it->layer, std::move(it->layout));
+      }
+    }
+    for (auto it = part_log_.rbegin(); it != part_log_.rend(); ++it) {
+      parts_.set(dir_, it->node, it->layer, it->part);
+    }
+  }
+
+  void set_component(NodeId node, int layer, ResourceComponent c) {
+    touch_intf(node, layer);
+    ifs_.set_component(node, layer, c);
+  }
+  void set_layout(NodeId node, int layer,
+                  std::vector<packing::Placement> layout) {
+    touch_intf(node, layer);
+    ifs_.set_layout(node, layer, std::move(layout));
+  }
+  /// No-op (no undo entry, no dirty mark) when the value is unchanged.
+  void set_partition(NodeId node, int layer, const Partition& p) {
+    if (parts_.get(dir_, node, layer) == p) return;
+    touch_part(node, layer);
+    parts_.set(dir_, node, layer, p);
+    if (layer == topo_.link_layer(node)) dirty_parents_.insert(node);
+  }
+
+  void commit() { committed_ = true; }
+  const std::set<NodeId>& dirty_parents() const { return dirty_parents_; }
+
+ private:
+  struct IntfUndo {
+    NodeId node;
+    int layer;
+    ResourceComponent comp;
+    std::vector<packing::Placement> layout;
+  };
+  struct PartUndo {
+    NodeId node;
+    int layer;
+    Partition part;
+  };
+
+  void touch_intf(NodeId node, int layer) {
+    if (!seen_intf_.insert({node, layer}).second) return;
+    intf_log_.push_back(
+        {node, layer, ifs_.component(node, layer), ifs_.layout(node, layer)});
+  }
+  void touch_part(NodeId node, int layer) {
+    if (!seen_part_.insert({node, layer}).second) return;
+    part_log_.push_back({node, layer, parts_.get(dir_, node, layer)});
+  }
+
+  const net::Topology& topo_;
+  InterfaceSet& ifs_;
+  PartitionTable& parts_;
+  Direction dir_;
+  std::vector<IntfUndo> intf_log_;
+  std::vector<PartUndo> part_log_;
+  std::set<std::pair<NodeId, int>> seen_intf_;
+  std::set<std::pair<NodeId, int>> seen_part_;
+  std::set<NodeId> dirty_parents_;
+  bool committed_ = false;
+};
+
 /// Recursively re-derives the partitions of `node`'s children at `layer`
 /// from node's (already updated) partition and layout, emitting one
 /// PUT-part per child whose partition changed. The recursion continues
 /// through unchanged children too: a node on the escalation chain can keep
 /// its partition box while its interior layout was recomposed, so its
-/// descendants may still need repositioning.
-void place_children(const net::Topology& topo, const InterfaceSet& ifs,
-                    Direction dir, NodeId node, int layer,
-                    PartitionTable& parts, std::vector<ProtocolMessage>& msgs,
+/// descendants may still need repositioning. Reads go straight to the live
+/// tables (the transaction mutates them in place); writes go through `txn`.
+void place_children(const InterfaceSet& ifs, Direction dir, NodeId node,
+                    int layer, const PartitionTable& parts, AdjustTxn& txn,
+                    std::vector<ProtocolMessage>& msgs,
                     std::set<NodeId>& changed) {
   const Partition base = parts.get(dir, node, layer);
   for (const packing::Placement& pl : ifs.layout(node, layer)) {
@@ -415,26 +535,29 @@ void place_children(const net::Topology& topo, const InterfaceSet& ifs,
                          base.channel + static_cast<ChannelId>(pl.y)};
     HARP_ASSERT(next.comp.slots == pl.w && next.comp.channels == pl.h);
     if (next != parts.get(dir, child, layer)) {
-      parts.set(dir, child, layer, next);
+      txn.set_partition(child, layer, next);
       msgs.push_back({node, child, ProtocolMessage::Type::kPutPart});
       changed.insert(child);
     }
-    place_children(topo, ifs, dir, child, layer, parts, msgs, changed);
+    place_children(ifs, dir, child, layer, parts, txn, msgs, changed);
   }
 }
 
 }  // namespace
 
 AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
-                                   ResourceComponent grown) {
+                                   ResourceComponent grown,
+                                   std::set<NodeId>& dirty_parents) {
   HARP_OBS_SCOPE("harp.engine.climb_ns");
   AdjustmentReport report;
   report.kind = AdjustmentKind::kPartitionAdjust;
 
-  // Work on copies; commit only on success so a rejected request leaves
-  // the engine untouched.
-  InterfaceSet ifs = (dir == Direction::kUp) ? up_ : down_;
-  PartitionTable parts = parts_;
+  // Mutate the live tables in place behind a scoped undo log; a rejected
+  // (or throwing) escalation rolls back on scope exit, so the engine is
+  // left untouched without ever copying the tables wholesale.
+  InterfaceSet& ifs = (dir == Direction::kUp) ? up_ : down_;
+  PartitionTable& parts = parts_;
+  AdjustTxn txn(topo_, ifs, parts, dir);
   std::vector<ProtocolMessage>& msgs = report.messages;
   std::set<NodeId> changed;
 
@@ -446,7 +569,7 @@ AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
       dir == Direction::kUp ? GrowSide::kRight : GrowSide::kLeft;
   const int max_channels = static_cast<int>(frame_.num_channels);
 
-  ifs.set_component(v, layer, c_req);
+  txn.set_component(v, layer, c_req);
   while (v != net::Topology::gateway()) {
     const NodeId p = topo_.parent(v);
     msgs.push_back({v, p, ProtocolMessage::Type::kPutIntf});
@@ -457,8 +580,8 @@ AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
       const AdjustOutcome outcome = adjust_partition_layout(
           box.comp, ifs.layout(p, layer), v, c_req, side);
       if (outcome.success) {
-        ifs.set_layout(p, layer, outcome.layout);
-        place_children(topo_, ifs, dir, p, layer, parts, msgs, changed);
+        txn.set_layout(p, layer, outcome.layout);
+        place_children(ifs, dir, p, layer, parts, txn, msgs, changed);
         report.resolved_at = p;
         resolved = true;
         break;
@@ -468,8 +591,8 @@ AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
       // fixed, so the escalation's blast radius stays on this branch.
       if (auto grown = grow_composite_anchored(
               box.comp, ifs.layout(p, layer), v, c_req, max_channels, side)) {
-        ifs.set_component(p, layer, grown->box);
-        ifs.set_layout(p, layer, std::move(grown->layout));
+        txn.set_component(p, layer, grown->box);
+        txn.set_layout(p, layer, std::move(grown->layout));
         c_req = ifs.component(p, layer);
         v = p;
         continue;
@@ -489,14 +612,14 @@ AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
         composed.composite.channels <= box.comp.channels) {
       // The fresh composition fits the existing box after all: adopt the
       // layout, keep the partition (and its reported size) unchanged.
-      ifs.set_layout(p, layer, std::move(composed.layout));
-      place_children(topo_, ifs, dir, p, layer, parts, msgs, changed);
+      txn.set_layout(p, layer, std::move(composed.layout));
+      place_children(ifs, dir, p, layer, parts, txn, msgs, changed);
       report.resolved_at = p;
       resolved = true;
       break;
     }
-    ifs.set_component(p, layer, composed.composite);
-    ifs.set_layout(p, layer, std::move(composed.layout));
+    txn.set_component(p, layer, composed.composite);
+    txn.set_layout(p, layer, std::move(composed.layout));
     c_req = ifs.component(p, layer);
     v = p;
   }
@@ -523,20 +646,19 @@ AdjustmentReport HarpEngine::climb(NodeId start, int layer, Direction dir,
     if (!placed) {
       report.kind = AdjustmentKind::kRejected;
       report.satisfied = false;
-      return report;
+      return report;  // txn rolls back on scope exit
     }
     for (const auto& [l, next] : *placed) {
-      parts.set(dir, gw, l, next);
+      txn.set_partition(gw, l, next);
       // Recurse even when the gateway partition itself is unchanged: the
       // escalation recomposed this layer's interior layout.
-      place_children(topo_, ifs, dir, gw, l, parts, msgs, changed);
+      place_children(ifs, dir, gw, l, parts, txn, msgs, changed);
     }
     report.resolved_at = gw;
   }
 
-  // Commit.
-  (dir == Direction::kUp ? up_ : down_) = std::move(ifs);
-  parts_ = std::move(parts);
+  txn.commit();
+  dirty_parents = txn.dirty_parents();
   report.satisfied = true;
   // Moved partitions: nodes whose placement changed, minus the requester
   // itself (its change is the point of the exercise).

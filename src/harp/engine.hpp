@@ -180,14 +180,23 @@ class HarpEngine {
  private:
   void bootstrap();
   void rebuild_schedule();
+  /// Incremental counterpart of rebuild_schedule(): re-derives only the
+  /// links under the given parents in one direction. Equivalent to a full
+  /// rebuild when `parents` covers every node whose scheduling inputs
+  /// (own-layer partition, child demands, link priorities) changed,
+  /// because assign_cells_rm is deterministic per parent.
+  void rebuild_links(Direction dir, const std::set<NodeId>& parents);
   /// request_demand minus the observability envelope (events + counters
   /// recorded by the public wrapper).
   AdjustmentReport request_demand_impl(NodeId child, Direction dir,
                                        int new_cells);
 
   struct ClimbResult;
+  /// On success fills `dirty_parents` with the nodes whose own-layer
+  /// (scheduling) partition the escalation moved.
   AdjustmentReport climb(NodeId start, int layer, Direction dir,
-                         ResourceComponent grown);
+                         ResourceComponent grown,
+                         std::set<NodeId>& dirty_parents);
 
   net::Topology topo_;
   net::TrafficMatrix traffic_;

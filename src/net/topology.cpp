@@ -47,12 +47,26 @@ std::vector<NodeId> Topology::subtree_nodes(NodeId node) const {
 }
 
 bool Topology::in_subtree(NodeId ancestor, NodeId descendant) const {
-  NodeId v = descendant;
-  while (v != kNoNode) {
-    if (v == ancestor) return true;
-    v = parent(v);
-  }
-  return false;
+  HARP_ASSERT(ancestor < size() && descendant < size());
+  const int al = layer_[ancestor];
+  if (layer_[descendant] < al) return false;
+  return anc_flat_[anc_off_[descendant] + static_cast<std::uint32_t>(al)] ==
+         ancestor;
+}
+
+NodeId Topology::ancestor_at_layer(NodeId node, int layer) const {
+  HARP_ASSERT(node < size());
+  if (layer < 0 || layer > layer_[node]) return kNoNode;
+  return anc_flat_[anc_off_[node] + static_cast<std::uint32_t>(layer)];
+}
+
+NodeId Topology::next_hop_toward(NodeId from, NodeId descendant) const {
+  HARP_ASSERT(from < size() && descendant < size());
+  const int fl = layer_[from];
+  if (layer_[descendant] <= fl) return kNoNode;
+  const std::uint32_t row = anc_off_[descendant];
+  if (anc_flat_[row + static_cast<std::uint32_t>(fl)] != from) return kNoNode;
+  return anc_flat_[row + static_cast<std::uint32_t>(fl) + 1];
 }
 
 std::vector<NodeId> Topology::nodes_bottom_up() const {
@@ -147,6 +161,24 @@ Topology TopologyBuilder::build_from(const std::vector<NodeId>& parents) {
   }
   if (bfs.size() != n) {
     throw InvalidArgument("parent vector contains a cycle or orphan");
+  }
+
+  // Ancestor table: BFS order guarantees a parent's row is complete
+  // before its children extend it by one entry.
+  t.anc_off_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    t.anc_off_[v + 1] =
+        t.anc_off_[v] + static_cast<std::uint32_t>(t.layer_[v] + 1);
+  }
+  t.anc_flat_.resize(t.anc_off_[n]);
+  t.anc_flat_[0] = 0;
+  for (std::size_t i = 1; i < bfs.size(); ++i) {
+    const NodeId v = bfs[i];
+    const NodeId p = parents[v];
+    std::copy(t.anc_flat_.begin() + t.anc_off_[p],
+              t.anc_flat_.begin() + t.anc_off_[p + 1],
+              t.anc_flat_.begin() + t.anc_off_[v]);
+    t.anc_flat_[t.anc_off_[v + 1] - 1] = v;
   }
 
   // Subtree sizes and depths via reverse BFS (children before parents).

@@ -58,8 +58,18 @@ class Topology {
   std::vector<NodeId> subtree_nodes(NodeId node) const;
 
   /// True if `descendant` lies in the subtree rooted at `ancestor`
-  /// (a node is its own descendant).
+  /// (a node is its own descendant). O(1) via the ancestor table.
   bool in_subtree(NodeId ancestor, NodeId descendant) const;
+
+  /// Ancestor of `node` at exact node-layer `layer` (0 = the gateway,
+  /// node_layer(node) = the node itself); kNoNode when `layer` is deeper
+  /// than the node. O(1).
+  NodeId ancestor_at_layer(NodeId node, int layer) const;
+
+  /// The child of `from` on the tree path down to `descendant`, or
+  /// kNoNode when `from` is not a proper ancestor of `descendant`
+  /// (e.g. the destination roamed away). O(1) downlink routing.
+  NodeId next_hop_toward(NodeId from, NodeId descendant) const;
 
   /// Deepest link layer of the whole tree, l(G).
   int depth() const { return depth_; }
@@ -105,6 +115,11 @@ class Topology {
   std::vector<int> layer_;
   std::vector<int> subtree_depth_;
   std::vector<std::uint32_t> subtree_size_;
+  /// Flattened ancestor table: row of node v (at anc_off_[v], length
+  /// layer_[v] + 1) lists v's ancestors by node layer, gateway first and
+  /// v itself last. O(n * depth) memory; powers the O(1) queries above.
+  std::vector<NodeId> anc_flat_;
+  std::vector<std::uint32_t> anc_off_;
   int depth_ = 0;
 };
 

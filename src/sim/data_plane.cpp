@@ -42,14 +42,38 @@ DataPlane::DataPlane(const net::Topology& topo, std::vector<net::Task> tasks,
         t.source == net::Topology::gateway()) {
       throw InvalidArgument("task source invalid");
     }
-    tasks_.push_back({t, t.phase_slots});
+    tasks_.push_back({t, t.phase_slots, next_task_seq_++});
+    calendar_.push({t.phase_slots, tasks_.back().seq});
   }
+  reindex_tasks();
+  interference_.resize(config_.frame.num_channels);
+  cell_stamp_.assign(static_cast<std::size_t>(config_.frame.length) *
+                         config_.frame.num_channels,
+                     0);
+  cell_count_.assign(cell_stamp_.size(), 0);
+  node_stamp_.assign(topo.size(), 0);
+  node_count_.assign(topo.size(), 0);
+}
+
+void DataPlane::reindex_tasks() {
+  index_by_id_.clear();
+  index_by_seq_.clear();
+  for (std::uint32_t i = 0; i < tasks_.size(); ++i) {
+    index_by_id_.emplace(tasks_[i].spec.id, i);  // first insertion wins
+    index_by_seq_.emplace(tasks_[i].seq, i);
+  }
+}
+
+const net::Task* DataPlane::find_spec(TaskId task) const {
+  const auto it = index_by_id_.find(task);
+  return it == index_by_id_.end() ? nullptr : &tasks_[it->second].spec;
 }
 
 void DataPlane::set_schedule(const core::Schedule& schedule) {
   for (auto& v : by_slot_) v.clear();
   for (const core::ScheduleEntry& e : schedule.entries()) {
     HARP_ASSERT(e.cell.slot < config_.frame.length);
+    HARP_ASSERT(e.cell.channel < config_.frame.num_channels);
     by_slot_[e.cell.slot].push_back({e.child, e.dir, e.cell});
   }
 }
@@ -70,6 +94,8 @@ void DataPlane::resize_for_topology() {
   up_queue_.resize(n);
   down_queue_.resize(n);
   metrics_.resize(n);
+  node_stamp_.resize(n, 0);
+  node_count_.resize(n, 0);
 }
 
 void DataPlane::add_task(net::Task task) {
@@ -81,7 +107,11 @@ void DataPlane::add_task(net::Task task) {
   // First release at the next on-grid point from now.
   AbsoluteSlot release = task.phase_slots;
   while (release < now_) release += task.period_slots;
-  tasks_.push_back({task, release});
+  const std::uint32_t index = static_cast<std::uint32_t>(tasks_.size());
+  tasks_.push_back({task, release, next_task_seq_++});
+  index_by_id_.emplace(tasks_.back().spec.id, index);  // first wins
+  index_by_seq_.emplace(tasks_.back().seq, index);
+  calendar_.push({release, tasks_.back().seq});
 }
 
 void DataPlane::remove_tasks_from(NodeId node) {
@@ -93,11 +123,11 @@ void DataPlane::remove_tasks_from(NodeId node) {
     }
     return false;
   });
+  if (removed.empty()) return;
+  reindex_tasks();  // indices shifted; stale calendar entries skip lazily
+  std::sort(removed.begin(), removed.end());
   const auto gone = [&](const Packet& p) {
-    for (TaskId id : removed) {
-      if (p.task == id) return true;
-    }
-    return false;
+    return std::binary_search(removed.begin(), removed.end(), p.task);
   };
   for (auto& q : up_queue_) std::erase_if(q, gone);
   for (auto& q : down_queue_) std::erase_if(q, gone);
@@ -112,30 +142,35 @@ void DataPlane::add_interference(ChannelId channel, AbsoluteSlot from,
     throw InvalidArgument("success factor must be in [0,1]");
   }
   if (until <= from) throw InvalidArgument("empty interference window");
-  interference_.push_back({channel, from, until, success_factor});
+  interference_[channel].push_back({from, until, success_factor});
 }
 
-double DataPlane::success_probability(ChannelId channel,
-                                      AbsoluteSlot t) const {
+double DataPlane::success_probability(ChannelId channel, AbsoluteSlot t) {
+  auto& bursts = interference_[channel];
   double p = config_.pdr;
-  for (const Interference& burst : interference_) {
-    if (burst.channel == channel && t >= burst.from && t < burst.until) {
-      p *= burst.factor;
-    }
+  // Compact in place, preserving insertion order: overlapping bursts
+  // multiply and float products are order-sensitive, so pruning must not
+  // reorder the survivors.
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < bursts.size(); ++i) {
+    const Interference burst = bursts[i];
+    if (burst.until <= t) continue;  // expired for good (t is monotonic)
+    if (burst.from <= t) p *= burst.factor;
+    bursts[keep++] = burst;
   }
+  bursts.resize(keep);
   return p;
 }
 
 void DataPlane::set_task_period(TaskId task, std::uint32_t period_slots) {
   if (period_slots == 0) throw InvalidArgument("task period must be > 0");
-  for (TaskState& t : tasks_) {
-    if (t.spec.id != task) continue;
-    t.spec.period_slots = period_slots;
-    // Keep the already-scheduled next release; subsequent releases follow
-    // the new period from there.
-    return;
+  const auto it = index_by_id_.find(task);
+  if (it == index_by_id_.end()) {
+    throw InvalidArgument("unknown task " + std::to_string(task));
   }
-  throw InvalidArgument("unknown task " + std::to_string(task));
+  // Keep the already-scheduled next release (the calendar entry for it
+  // stays valid); subsequent releases follow the new period from there.
+  tasks_[it->second].spec.period_slots = period_slots;
 }
 
 std::size_t DataPlane::backlog() const {
@@ -161,18 +196,26 @@ std::size_t DataPlane::backlog_of_task(TaskId task) const {
 }
 
 void DataPlane::generate(AbsoluteSlot t) {
-  for (TaskState& task : tasks_) {
-    while (task.next_release <= t) {
-      if (task.next_release == t) {
-        metrics_.on_generated(task.spec.source);
-        obs_.generated->inc();
-        enqueue(up_queue_[task.spec.source],
-                Packet{task.spec.id, task.spec.source,
-                       net::Topology::gateway(), t},
-                task.spec.source, Direction::kUp);
-      }
-      task.next_release += task.spec.period_slots;
+  // Pop due calendar entries instead of scanning every task every slot.
+  // Same-slot ties pop in seq (= insertion) order, matching the old full
+  // scan's iteration order so the enqueue sequence is identical.
+  while (!calendar_.empty() && calendar_.top().at <= t) {
+    const Release r = calendar_.top();
+    calendar_.pop();
+    const auto it = index_by_seq_.find(r.seq);
+    if (it == index_by_seq_.end()) continue;  // task removed; stale entry
+    TaskState& task = tasks_[it->second];
+    if (task.next_release != r.at) continue;  // rescheduled; stale entry
+    if (r.at == t) {
+      metrics_.on_generated(task.spec.source);
+      obs_.generated->inc();
+      enqueue(up_queue_[task.spec.source],
+              Packet{task.spec.id, task.spec.source,
+                     net::Topology::gateway(), t},
+              task.spec.source, Direction::kUp);
     }
+    task.next_release += task.spec.period_slots;
+    calendar_.push({task.next_release, task.seq});
   }
 }
 
@@ -195,13 +238,9 @@ void DataPlane::enqueue(std::deque<Packet>& queue, Packet pkt, NodeId at,
 }
 
 NodeId DataPlane::next_hop_down(NodeId from, NodeId destination) const {
-  NodeId hop = destination;
-  while (hop != kNoNode && topo_.parent(hop) != from) {
-    hop = topo_.parent(hop);
-  }
   // kNoNode: `from` is no longer on the path (the destination roamed
   // while this packet was in flight); the caller drops the packet.
-  return hop;
+  return topo_.next_hop_toward(from, destination);
 }
 
 void DataPlane::record_delivery(const Packet& pkt, AbsoluteSlot t,
@@ -224,13 +263,7 @@ void DataPlane::record_delivery(const Packet& pkt, AbsoluteSlot t,
 void DataPlane::deliver_up(Packet pkt, AbsoluteSlot t) {
   // Reached the gateway. Echo tasks turn around and descend to their
   // source; collect-only tasks complete here.
-  const net::Task* spec = nullptr;
-  for (const TaskState& task : tasks_) {
-    if (task.spec.id == pkt.task) {
-      spec = &task.spec;
-      break;
-    }
-  }
+  const net::Task* spec = find_spec(pkt.task);
   HARP_ASSERT(spec != nullptr);
   if (spec->echo) {
     pkt.destination = pkt.source;
@@ -253,14 +286,8 @@ void DataPlane::deliver_up(Packet pkt, AbsoluteSlot t) {
 
 void DataPlane::deliver_down(NodeId at, Packet pkt, AbsoluteSlot t) {
   if (at == pkt.destination) {
-    std::uint32_t deadline = ~0u;
-    for (const TaskState& task : tasks_) {
-      if (task.spec.id == pkt.task) {
-        deadline = task.spec.effective_deadline();
-        break;
-      }
-    }
-    record_delivery(pkt, t, deadline);
+    const net::Task* spec = find_spec(pkt.task);
+    record_delivery(pkt, t, spec ? spec->effective_deadline() : ~0u);
     return;
   }
   const NodeId hop = next_hop_down(at, pkt.destination);
@@ -283,41 +310,52 @@ void DataPlane::transmit(AbsoluteSlot t) {
 
   // Identify which entries actually have a packet to send, then detect
   // conflicts among the ACTIVE transmissions only (an idle cell cannot
-  // collide).
-  struct Active {
-    const Entry* entry;
-    NodeId sender;
-    NodeId receiver;
-  };
-  std::vector<Active> active;
-  active.reserve(entries.size());
+  // collide). `active_` and the flat conflict counters are preallocated
+  // members so the steady-state loop performs no heap allocation; the
+  // counters are epoch-stamped with t+1 (stamps start at 0) instead of
+  // being cleared between slots.
+  active_.clear();
   for (const Entry& e : entries) {
     const NodeId parent = topo_.parent(e.child);
     if (e.dir == Direction::kUp) {
-      if (!up_queue_[e.child].empty()) active.push_back({&e, e.child, parent});
+      if (!up_queue_[e.child].empty()) {
+        active_.push_back({&e, e.child, parent});
+      }
     } else {
       if (!down_queue_[e.child].empty()) {
-        active.push_back({&e, parent, e.child});
+        active_.push_back({&e, parent, e.child});
       }
     }
   }
-  if (active.empty()) return;
+  if (active_.empty()) return;
 
-  std::map<Cell, int> cell_use;
-  std::map<NodeId, int> node_use;
-  for (const Active& a : active) {
-    ++cell_use[a.entry->cell];
-    ++node_use[a.sender];
-    ++node_use[a.receiver];
+  const AbsoluteSlot epoch = t + 1;
+  const auto cell_index = [this](Cell c) {
+    return static_cast<std::size_t>(c.slot) * config_.frame.num_channels +
+           c.channel;
+  };
+  const auto bump = [epoch](std::vector<AbsoluteSlot>& stamp,
+                            std::vector<std::uint16_t>& count,
+                            std::size_t i) {
+    if (stamp[i] != epoch) {
+      stamp[i] = epoch;
+      count[i] = 0;
+    }
+    ++count[i];
+  };
+  for (const Active& a : active_) {
+    bump(cell_stamp_, cell_count_, cell_index(a.entry->cell));
+    bump(node_stamp_, node_count_, a.sender);
+    bump(node_stamp_, node_count_, a.receiver);
   }
 
-  for (const Active& a : active) {
+  for (const Active& a : active_) {
     obs_.tx_attempts->inc();
     const auto dir_aux = static_cast<std::uint8_t>(a.entry->dir);
     const auto channel = static_cast<std::uint16_t>(a.entry->cell.channel);
-    const bool collided =
-        cell_use[a.entry->cell] > 1 || node_use[a.sender] > 1 ||
-        node_use[a.receiver] > 1;
+    const bool collided = cell_count_[cell_index(a.entry->cell)] > 1 ||
+                          node_count_[a.sender] > 1 ||
+                          node_count_[a.receiver] > 1;
     if (collided) {
       obs_.collisions->inc();
       HARP_OBS_EVENT({.type = obs::EventType::kCollision,

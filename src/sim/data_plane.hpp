@@ -17,7 +17,8 @@
 #pragma once
 
 #include <deque>
-#include <map>
+#include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -97,15 +98,32 @@ class DataPlane {
   struct TaskState {
     net::Task spec;
     AbsoluteSlot next_release{0};
+    /// Monotonic insertion sequence: calendar tie-break (same-slot
+    /// releases fire in task insertion order, as the old full scan did)
+    /// and staleness token for lazily-invalidated calendar entries.
+    std::uint64_t seq{0};
+  };
+
+  /// Pending release-calendar entry. Stale (skipped on pop) when the task
+  /// is gone or `at` no longer matches its authoritative next_release.
+  struct Release {
+    AbsoluteSlot at;
+    std::uint64_t seq;
+  };
+  struct ReleaseAfter {
+    bool operator()(const Release& a, const Release& b) const {
+      return a.at > b.at || (a.at == b.at && a.seq > b.seq);
+    }
   };
 
   struct Interference {
-    ChannelId channel;
     AbsoluteSlot from;
     AbsoluteSlot until;
     double factor;
   };
-  double success_probability(ChannelId channel, AbsoluteSlot t) const;
+  /// Non-const: prunes expired bursts from the channel's bucket (callers
+  /// pass monotonically increasing `t`, so expiry is permanent).
+  double success_probability(ChannelId channel, AbsoluteSlot t);
 
   void generate(AbsoluteSlot t);
   void transmit(AbsoluteSlot t);
@@ -116,6 +134,10 @@ class DataPlane {
   NodeId next_hop_down(NodeId from, NodeId destination) const;
   void enqueue(std::deque<Packet>& queue, Packet pkt, NodeId at,
                Direction dir);
+  /// First task (insertion order) with this id, or nullptr. O(1).
+  const net::Task* find_spec(TaskId task) const;
+  /// Rebuilds both task indexes after tasks_ indices shifted.
+  void reindex_tasks();
 
   /// Global observability counters (docs/OBSERVABILITY.md `harp.sim.*`),
   /// resolved once so hot-path updates are plain integer adds.
@@ -152,7 +174,34 @@ class DataPlane {
     Cell cell;
   };
   std::vector<std::vector<Entry>> by_slot_;
-  std::vector<Interference> interference_;
+  /// Interference bursts bucketed by channel; expired bursts are pruned
+  /// lazily by success_probability().
+  std::vector<std::vector<Interference>> interference_;
+
+  /// Task indexes so deliver/generate/set_task_period stop scanning
+  /// tasks_: first task per id (duplicate-id lookups resolve to the first
+  /// insertion, as the old linear scans did) and the unique task per seq.
+  std::unordered_map<TaskId, std::uint32_t> index_by_id_;
+  std::unordered_map<std::uint64_t, std::uint32_t> index_by_seq_;
+  std::uint64_t next_task_seq_{0};
+  /// Min-heap release calendar: generate() pops due entries instead of
+  /// scanning every task every slot. Entries are lazily invalidated.
+  std::priority_queue<Release, std::vector<Release>, ReleaseAfter> calendar_;
+
+  /// transmit() scratch, reused across slots so the steady-state loop is
+  /// allocation-free. The flat conflict counters are epoch-stamped with
+  /// the current slot instead of being cleared.
+  struct Active {
+    const Entry* entry;
+    NodeId sender;
+    NodeId receiver;
+  };
+  std::vector<Active> active_;
+  std::vector<AbsoluteSlot> cell_stamp_;   // frame.length * num_channels
+  std::vector<std::uint16_t> cell_count_;
+  std::vector<AbsoluteSlot> node_stamp_;   // topo_.size()
+  std::vector<std::uint16_t> node_count_;
+
   ObsCounters obs_{resolve_obs_counters()};
 };
 
