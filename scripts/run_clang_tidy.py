@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Run clang-tidy over the project's own sources.
+
+Usage:
+    run_clang_tidy.py [--build-dir build] [--jobs N] [--fix] [paths...]
+
+Reads compile_commands.json from the build directory (exported by CMake;
+see CMAKE_EXPORT_COMPILE_COMMANDS in the top-level CMakeLists.txt),
+filters it to first-party translation units (src/, tests/, bench/,
+examples/ — third-party and generated code are skipped), and runs
+clang-tidy with the checked-in .clang-tidy profile. Findings print in
+compiler format; the exit status is non-zero if any file produced one, so
+CI can gate on it directly.
+
+Positional paths restrict the run (substring match against the TU path),
+e.g. `run_clang_tidy.py src/harp` while iterating on one subsystem.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+FIRST_PARTY = ("src/", "tests/", "bench/", "examples/")
+
+
+def find_clang_tidy() -> str:
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    sys.exit("error: clang-tidy not found on PATH")
+
+
+def load_translation_units(build_dir: str, filters: list[str]) -> list[str]:
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    try:
+        with open(db_path, encoding="utf-8") as f:
+            db = json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"error: {db_path} not found — configure CMake first "
+                 "(compile_commands.json is exported automatically)")
+    root = os.path.dirname(os.path.abspath(db_path))
+    files = []
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", root), entry["file"]))
+        rel = os.path.relpath(path, start=os.path.dirname(root))
+        if not rel.startswith(FIRST_PARTY):
+            continue
+        if filters and not any(f in rel for f in filters):
+            continue
+        files.append(path)
+    return sorted(set(files))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding compile_commands.json")
+    parser.add_argument("--jobs", type=int,
+                        default=max(1, os.cpu_count() or 1),
+                        help="parallel clang-tidy processes")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply suggested fixes in place")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to TUs whose path contains any of "
+                             "these substrings")
+    args = parser.parse_args()
+
+    tidy = find_clang_tidy()
+    files = load_translation_units(args.build_dir, args.paths)
+    if not files:
+        sys.exit("error: no matching translation units in the compile "
+                 "database")
+
+    cmd = [tidy, "-p", args.build_dir, "--quiet"]
+    if args.fix:
+        cmd.append("--fix")
+        args.jobs = 1  # concurrent fixes to shared headers corrupt files
+
+    failed = 0
+
+    def run_one(path: str) -> tuple[str, int, str]:
+        proc = subprocess.run(cmd + [path], capture_output=True, text=True)
+        return path, proc.returncode, proc.stdout + proc.stderr
+
+    print(f"clang-tidy ({tidy}): {len(files)} translation units, "
+          f"{args.jobs} jobs", file=sys.stderr)
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for path, code, output in pool.map(run_one, files):
+            # clang-tidy exits non-zero when WarningsAsErrors matched.
+            if code != 0 or "error:" in output or "warning:" in output:
+                failed += 1
+                sys.stdout.write(output)
+    print(f"clang-tidy: {failed} of {len(files)} files with findings",
+          file=sys.stderr)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

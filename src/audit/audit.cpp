@@ -1,0 +1,227 @@
+#include "audit/audit.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "obs/obs.hpp"
+
+namespace harp::audit {
+
+namespace {
+
+std::string node_layer_tag(NodeId node, int layer) {
+  return "node " + std::to_string(node) + " layer " + std::to_string(layer);
+}
+
+}  // namespace
+
+std::string check_partitions(const net::Topology& topo,
+                             const core::InterfaceSet& up,
+                             const core::InterfaceSet& down,
+                             const core::PartitionTable& parts,
+                             const net::SlotframeConfig& frame) {
+  return core::validate_partitions(topo, up, down, parts, frame);
+}
+
+std::string check_interfaces(const net::Topology& topo,
+                             const core::InterfaceSet& ifs, Direction dir) {
+  if (ifs.num_nodes() != topo.size()) {
+    return std::string(to_string(dir)) + " interface set sized for " +
+           std::to_string(ifs.num_nodes()) + " nodes, topology has " +
+           std::to_string(topo.size());
+  }
+  const std::string dtag = std::string(to_string(dir)) + " ";
+  for (NodeId v = 0; v < topo.size(); ++v) {
+    const int own = topo.link_layer(v);
+    const auto& children = topo.children(v);
+    for (int layer : ifs.layers(v)) {
+      const core::ResourceComponent comp = ifs.component(v, layer);
+      const auto& layout = ifs.layout(v, layer);
+      // A subtree only spans layers from its own link layer downward.
+      // (No upper bound: a node whose children departed legitimately
+      // keeps deeper components as reservations.)
+      if (layer < own) {
+        return dtag + "component of " + node_layer_tag(v, layer) +
+               " reported above the node's own link layer " +
+               std::to_string(own);
+      }
+      if (layer == own) {
+        if (!layout.empty()) {
+          return dtag + "own-layer component of " + node_layer_tag(v, layer) +
+                 " carries a composition layout";
+        }
+        continue;
+      }
+      // Composed layer: the layout must place exactly the children that
+      // report a component at this layer, once each, dimension-exact,
+      // disjoint, and inside the composite box.
+      std::set<NodeId> placed;
+      std::int64_t placed_area = 0;
+      for (const packing::Placement& p : layout) {
+        const auto child = static_cast<NodeId>(p.id);
+        if (std::find(children.begin(), children.end(), child) ==
+            children.end()) {
+          return dtag + "layout of " + node_layer_tag(v, layer) +
+                 " places node " + std::to_string(child) +
+                 ", which is not a child";
+        }
+        if (!placed.insert(child).second) {
+          return dtag + "layout of " + node_layer_tag(v, layer) +
+                 " places child " + std::to_string(child) + " twice";
+        }
+        const core::ResourceComponent cc = ifs.component(child, layer);
+        if (cc.empty()) {
+          return dtag + "layout of " + node_layer_tag(v, layer) +
+                 " places child " + std::to_string(child) +
+                 ", which reports no component there";
+        }
+        if (p.w != cc.slots || p.h != cc.channels) {
+          return dtag + "layout of " + node_layer_tag(v, layer) +
+                 " places child " + std::to_string(child) + " as " +
+                 std::to_string(p.w) + "x" + std::to_string(p.h) +
+                 " but the child reports " + to_string(cc);
+        }
+        if (!p.inside(comp.slots, comp.channels)) {
+          return dtag + "placement " + packing::to_string(p) +
+                 " escapes the composite box " + to_string(comp) + " of " +
+                 node_layer_tag(v, layer);
+        }
+        placed_area += p.area();
+      }
+      for (std::size_t i = 0; i < layout.size(); ++i) {
+        for (std::size_t j = i + 1; j < layout.size(); ++j) {
+          if (layout[i].overlaps(layout[j])) {
+            return dtag + "placements " + packing::to_string(layout[i]) +
+                   " and " + packing::to_string(layout[j]) + " of " +
+                   node_layer_tag(v, layer) + " overlap";
+          }
+        }
+      }
+      if (placed_area > comp.cells()) {
+        return dtag + "composite of " + node_layer_tag(v, layer) +
+               " is not monotone: children occupy " +
+               std::to_string(placed_area) + " cells, the composite offers " +
+               std::to_string(comp.cells());
+      }
+      for (NodeId child : children) {
+        if (!ifs.component(child, layer).empty() && !placed.contains(child)) {
+          return dtag + "child " + std::to_string(child) +
+                 " reports a component at layer " + std::to_string(layer) +
+                 " but is missing from the layout of node " +
+                 std::to_string(v);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string check_schedule(const net::Topology& topo,
+                           const net::TrafficMatrix& traffic,
+                           const core::Schedule& schedule,
+                           const net::SlotframeConfig& frame) {
+  return core::validate_schedule(topo, traffic, schedule, frame);
+}
+
+std::string check_schedule_in_partitions(const net::Topology& topo,
+                                         const core::PartitionTable& parts,
+                                         const core::Schedule& schedule) {
+  if (schedule.num_nodes() != topo.size()) {
+    return "schedule sized for " + std::to_string(schedule.num_nodes()) +
+           " nodes, topology has " + std::to_string(topo.size());
+  }
+  for (NodeId child = 1; child < topo.size(); ++child) {
+    const NodeId parent = topo.parent(child);
+    const int layer = topo.link_layer(parent);
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      const auto& cells = schedule.cells(child, dir);
+      if (cells.empty()) continue;
+      const core::Partition part = parts.get(dir, parent, layer);
+      if (part.empty()) {
+        return "link child=" + std::to_string(child) + " dir=" +
+               std::string(to_string(dir)) +
+               " holds cells but its parent " + std::to_string(parent) +
+               " has no scheduling partition at layer " +
+               std::to_string(layer);
+      }
+      for (Cell c : cells) {
+        if (!part.contains(c)) {
+          return "cell " + to_string(c) + " of link child=" +
+                 std::to_string(child) + " dir=" +
+                 std::string(to_string(dir)) +
+                 " lies outside the scheduling partition " + to_string(part) +
+                 " of parent " + std::to_string(parent);
+        }
+      }
+    }
+  }
+  return {};
+}
+
+std::string check_engine_state(const net::Topology& topo,
+                               const net::TrafficMatrix& traffic,
+                               const net::SlotframeConfig& frame,
+                               const core::InterfaceSet& up,
+                               const core::InterfaceSet& down,
+                               const core::PartitionTable& parts,
+                               const core::Schedule& schedule) {
+  if (auto err = check_interfaces(topo, up, Direction::kUp); !err.empty()) {
+    return err;
+  }
+  if (auto err = check_interfaces(topo, down, Direction::kDown);
+      !err.empty()) {
+    return err;
+  }
+  if (auto err = check_partitions(topo, up, down, parts, frame);
+      !err.empty()) {
+    return err;
+  }
+  if (auto err = check_schedule(topo, traffic, schedule, frame);
+      !err.empty()) {
+    return err;
+  }
+  return check_schedule_in_partitions(topo, parts, schedule);
+}
+
+std::string check_restored(const core::InterfaceSet& ifs_before,
+                           const core::InterfaceSet& ifs_after,
+                           const core::PartitionTable& parts_before,
+                           const core::PartitionTable& parts_after,
+                           const core::Schedule& sched_before,
+                           const core::Schedule& sched_after) {
+  if (!(ifs_before == ifs_after)) {
+    return "rollback failed to restore the interface set";
+  }
+  if (!(parts_before == parts_after)) {
+    return "rollback failed to restore the partition table";
+  }
+  if (!(sched_before == sched_after)) {
+    return "rollback failed to restore the schedule";
+  }
+  return {};
+}
+
+std::string check_queue_conservation(std::uint64_t generated,
+                                     std::uint64_t delivered,
+                                     std::uint64_t dropped,
+                                     std::uint64_t backlog) {
+  if (generated == delivered + dropped + backlog) return {};
+  return "queue conservation violated: generated " +
+         std::to_string(generated) + " != delivered " +
+         std::to_string(delivered) + " + dropped " + std::to_string(dropped) +
+         " + queued " + std::to_string(backlog);
+}
+
+// `node` only travels in the trace event, which HARP_OBS=OFF compiles out.
+void fail(const char* check, const std::string& detail,
+          [[maybe_unused]] NodeId node) {
+  HARP_OBS_EVENT({.type = obs::EventType::kAuditFail,
+                  .a = obs::TraceSink::global().register_phase(check),
+                  .b = node});
+  log::error() << "audit[" << check << "] " << detail;
+  harp::fail(std::string("audit[") + check + "]: " + detail);
+}
+
+}  // namespace harp::audit

@@ -5,8 +5,16 @@
 // Internal invariants that should be impossible to violate use HARP_ASSERT,
 // which is active in all build types: this is control-plane code where a
 // silent scheduling corruption is far worse than a crash.
+//
+// By default a failed HARP_ASSERT throws harp::Error so tests can observe
+// violations. Building with -DHARP_ASSERT_ABORT=ON (CMake option) makes it
+// print the failure and abort() instead: under sanitizers or a debugger
+// that yields a native stack trace at the exact faulting frame rather than
+// an exception swallowed (or re-thrown) far from its origin.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 #include <string>
 
@@ -32,15 +40,33 @@ class InfeasibleError : public Error {
   explicit InfeasibleError(const std::string& what) : Error(what) {}
 };
 
+/// True when assertion failures abort() instead of throwing (so tests that
+/// deliberately provoke an assertion can skip themselves).
+#ifdef HARP_ASSERT_ABORT
+inline constexpr bool kAssertAborts = true;
+#else
+inline constexpr bool kAssertAborts = false;
+#endif
+
+[[noreturn]] inline void fail(const std::string& what) {
+#ifdef HARP_ASSERT_ABORT
+  std::fputs(what.c_str(), stderr);
+  std::fputc('\n', stderr);
+  std::abort();
+#else
+  throw Error(what);
+#endif
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line) {
-  throw Error(std::string("assertion failed: ") + expr + " at " + file + ":" +
-              std::to_string(line));
+  fail(std::string("assertion failed: ") + expr + " at " + file + ":" +
+       std::to_string(line));
 }
 
 }  // namespace harp
 
-/// Always-on invariant check. Throws harp::Error on failure so tests can
-/// observe violations instead of aborting the process.
+/// Always-on invariant check. Throws harp::Error on failure (or aborts
+/// under HARP_ASSERT_ABORT) so violations never pass silently.
 #define HARP_ASSERT(expr) \
   ((expr) ? static_cast<void>(0) : ::harp::assert_fail(#expr, __FILE__, __LINE__))

@@ -2,10 +2,21 @@
 
 #include <algorithm>
 
+#include "audit/audit.hpp"
 #include "common/error.hpp"
 #include "harp/adjustment.hpp"
 #include "harp/compose.hpp"
 #include "obs/obs.hpp"
+
+/// Re-derives every engine invariant from scratch (partition disjointness
+/// and containment, interface/composition consistency, schedule rules,
+/// in-partition discipline). Expanded inside HarpEngine member functions
+/// at each mutation point; a no-op (arguments unevaluated) when the audit
+/// layer is compiled out.
+#define HARP_ENGINE_AUDIT(where)                                       \
+  HARP_AUDIT(where,                                                    \
+             ::harp::audit::check_engine_state(topo_, traffic_, frame_, up_, \
+                                               down_, parts_, schedule_))
 
 namespace harp::core {
 
@@ -133,6 +144,7 @@ void HarpEngine::bootstrap() {
     parts_ = allocate_partitions(topo_, up_, down_, frame_).partitions;
   }
   rebuild_schedule();
+  HARP_ENGINE_AUDIT("engine.bootstrap");
 }
 
 void HarpEngine::rebuild_schedule() {
@@ -214,6 +226,7 @@ HarpEngine::CompactionReport HarpEngine::recompact() {
     down_ = old_down;
     parts_ = old_parts;
     rebuild_schedule();
+    HARP_ENGINE_AUDIT("engine.recompact_restore");
     return report;
   }
   report.performed = true;
@@ -225,6 +238,7 @@ HarpEngine::CompactionReport HarpEngine::recompact() {
       }
     }
   }
+  HARP_ENGINE_AUDIT("engine.recompact");
   return report;
 }
 
@@ -284,6 +298,7 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
     rebuild_links(dir, {q});
     report.kind = AdjustmentKind::kLocalRelease;
     report.satisfied = true;
+    HARP_ENGINE_AUDIT("engine.adjust_release");
     return report;
   }
 
@@ -296,6 +311,7 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
     report.kind = AdjustmentKind::kLocalSchedule;
     report.satisfied = true;
     report.resolved_at = q;
+    HARP_ENGINE_AUDIT("engine.adjust_local");
     return report;
   }
 
@@ -303,13 +319,28 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
   // exactly the new demand (headroom is a bootstrap-time property:
   // re-requesting it here would inflate every escalation).
   std::set<NodeId> dirty_parents;
+#if HARP_AUDIT_ENABLED
+  // Snapshot the tables the climb may touch: a rejected escalation must
+  // leave them byte-identical (AdjustTxn's rollback contract).
+  const InterfaceSet& live_ifs = dir == Direction::kUp ? up_ : down_;
+  const InterfaceSet ifs_snapshot = live_ifs;
+  const PartitionTable parts_snapshot = parts_;
+  const Schedule sched_snapshot = schedule_;
+#endif
   report = climb(q, layer, dir, raw, dirty_parents);
   if (!report.satisfied) {
     traffic_.set_demand(child, dir, old_cells);  // admission denied
+#if HARP_AUDIT_ENABLED
+    HARP_AUDIT("engine.climb_rollback",
+               audit::check_restored(ifs_snapshot, live_ifs, parts_snapshot,
+                                     parts_, sched_snapshot, schedule_));
+    HARP_ENGINE_AUDIT("engine.adjust_reject");
+#endif
   } else {
     // q's demand changed even when its partition box did not move.
     dirty_parents.insert(q);
     rebuild_links(dir, dirty_parents);
+    HARP_ENGINE_AUDIT("engine.adjust_commit");
   }
   return report;
 }
@@ -341,6 +372,7 @@ HarpEngine::TopoChangeReport HarpEngine::attach_leaf(NodeId parent,
     request_demand(node, Direction::kUp, 0);
     request_demand(node, Direction::kDown, 0);
   }
+  HARP_ENGINE_AUDIT("engine.attach_leaf");
   return report;
 }
 
@@ -357,6 +389,7 @@ HarpEngine::TopoChangeReport HarpEngine::detach_leaf(NodeId leaf) {
   report.node = leaf;
   report.up = request_demand(leaf, Direction::kUp, 0);
   report.down = request_demand(leaf, Direction::kDown, 0);
+  HARP_ENGINE_AUDIT("engine.detach_leaf");
   return report;
 }
 
@@ -422,6 +455,7 @@ HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
     const auto down_back = request_demand(leaf, Direction::kDown, old_down);
     HARP_ASSERT(up_back.satisfied && down_back.satisfied);
   }
+  HARP_ENGINE_AUDIT("engine.reparent_leaf");
   return report;
 }
 

@@ -59,6 +59,10 @@ class PartitionTable {
   };
   std::vector<Row> rows(Direction dir) const;
 
+  /// Deep equality over both directions; see InterfaceSet::operator==.
+  friend bool operator==(const PartitionTable&, const PartitionTable&) =
+      default;
+
  private:
   using PerNode = std::map<int, Partition>;
   std::vector<PerNode> up_;

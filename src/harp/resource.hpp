@@ -114,10 +114,16 @@ class InterfaceSet {
   /// Sum of cells over one node's interface.
   std::int64_t interface_cells(NodeId node) const;
 
+  /// Deep equality (components and layouts). The audit layer compares
+  /// snapshots against post-rollback state to prove an undo was lossless.
+  friend bool operator==(const InterfaceSet&, const InterfaceSet&) = default;
+
  private:
   struct Entry {
     ResourceComponent comp;
     std::vector<packing::Placement> layout;
+
+    friend bool operator==(const Entry&, const Entry&) = default;
   };
   // layer -> entry; std::map keeps layers ordered for iteration.
   std::vector<std::map<int, Entry>> nodes_;

@@ -58,6 +58,10 @@ class Schedule {
   /// Total number of assigned cells.
   std::size_t total_cells() const;
 
+  /// Deep equality (cell-for-cell, order included); used by the audit
+  /// layer's rollback checks.
+  friend bool operator==(const Schedule&, const Schedule&) = default;
+
  private:
   std::vector<std::vector<Cell>> up_;    // indexed by child node
   std::vector<std::vector<Cell>> down_;

@@ -20,6 +20,7 @@ const char* to_string(EventType t) {
     case EventType::kMsgSend: return "msg_send";
     case EventType::kMsgDeliver: return "msg_deliver";
     case EventType::kPhase: return "phase";
+    case EventType::kAuditFail: return "audit_fail";
   }
   return "?";
 }
@@ -148,6 +149,12 @@ void TraceSink::write_jsonl(std::ostream& out) const {
       case EventType::kPhase:
         line["phase"] = phase_name(static_cast<std::uint16_t>(e.a));
         line["ns"] = e.value;
+        break;
+      case EventType::kAuditFail:
+        // Check names are interned through the phase-name table (they are
+        // static strings exactly like HARP_OBS_SCOPE labels).
+        line["check"] = phase_name(static_cast<std::uint16_t>(e.a));
+        if (e.b != kNoNode) line["node"] = e.b;
         break;
     }
     line.dump(out, /*indent=*/0);

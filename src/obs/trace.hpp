@@ -45,6 +45,7 @@ enum class EventType : std::uint8_t {
   kMsgSend,       // HARP protocol message queued at its source
   kMsgDeliver,    // HARP protocol message delivered over a mgmt cell
   kPhase,         // scoped wall-clock phase timing (HARP_OBS_SCOPE)
+  kAuditFail,     // invariant audit violation (a = interned check-name id)
 };
 
 /// Stable wire name of an event type ("tx_attempt", "phase", ...).

@@ -85,6 +85,14 @@ void DataPlane::run_slots(AbsoluteSlot n) {
     generate(now_);
     transmit(now_);
     ++now_;
+#if HARP_AUDIT_ENABLED
+    if (now_ % config_.frame.length == 0) {
+      HARP_AUDIT("sim.queue_conservation",
+                 audit::check_queue_conservation(audit_generated_,
+                                                 audit_delivered_,
+                                                 audit_dropped_, backlog()));
+    }
+#endif
   }
 }
 
@@ -129,8 +137,16 @@ void DataPlane::remove_tasks_from(NodeId node) {
   const auto gone = [&](const Packet& p) {
     return std::binary_search(removed.begin(), removed.end(), p.task);
   };
-  for (auto& q : up_queue_) std::erase_if(q, gone);
-  for (auto& q : down_queue_) std::erase_if(q, gone);
+  for (auto& q : up_queue_) {
+    HARP_AUDIT_ONLY(audit_dropped_ += static_cast<std::uint64_t>(
+                        std::count_if(q.begin(), q.end(), gone));)
+    std::erase_if(q, gone);
+  }
+  for (auto& q : down_queue_) {
+    HARP_AUDIT_ONLY(audit_dropped_ += static_cast<std::uint64_t>(
+                        std::count_if(q.begin(), q.end(), gone));)
+    std::erase_if(q, gone);
+  }
 }
 
 void DataPlane::add_interference(ChannelId channel, AbsoluteSlot from,
@@ -209,6 +225,7 @@ void DataPlane::generate(AbsoluteSlot t) {
     if (r.at == t) {
       metrics_.on_generated(task.spec.source);
       obs_.generated->inc();
+      HARP_AUDIT_ONLY(++audit_generated_;)
       enqueue(up_queue_[task.spec.source],
               Packet{task.spec.id, task.spec.source,
                      net::Topology::gateway(), t},
@@ -224,6 +241,7 @@ void DataPlane::enqueue(std::deque<Packet>& queue, Packet pkt, NodeId at,
   if (queue.size() >= config_.queue_capacity) {
     metrics_.on_dropped(pkt.source);
     obs_.dropped->inc();
+    HARP_AUDIT_ONLY(++audit_dropped_;)
     HARP_OBS_EVENT({.type = obs::EventType::kQueueDrop,
                     .a = pkt.source,
                     .slot = now_});
@@ -252,6 +270,7 @@ void DataPlane::record_delivery(const Packet& pkt, AbsoluteSlot t,
                        config_.frame.slot_seconds,
                    met});
   obs_.delivered->inc();
+  HARP_AUDIT_ONLY(++audit_delivered_;)
   if (!met) obs_.deadline_misses->inc();
   HARP_OBS_EVENT({.type = obs::EventType::kDeliver,
                   .aux = static_cast<std::uint8_t>(met ? 1 : 0),
@@ -272,6 +291,7 @@ void DataPlane::deliver_up(Packet pkt, AbsoluteSlot t) {
     if (hop == kNoNode) {
       metrics_.on_dropped(pkt.source);  // destination roamed mid-flight
       obs_.dropped->inc();
+      HARP_AUDIT_ONLY(++audit_dropped_;)
       HARP_OBS_EVENT({.type = obs::EventType::kRouteDrop,
                       .a = pkt.source,
                       .b = pkt.destination,
@@ -294,6 +314,7 @@ void DataPlane::deliver_down(NodeId at, Packet pkt, AbsoluteSlot t) {
   if (hop == kNoNode) {
     metrics_.on_dropped(pkt.source);  // destination roamed mid-flight
     obs_.dropped->inc();
+    HARP_AUDIT_ONLY(++audit_dropped_;)
     HARP_OBS_EVENT({.type = obs::EventType::kRouteDrop,
                     .a = pkt.source,
                     .b = pkt.destination,

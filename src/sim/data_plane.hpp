@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/rng.hpp"
 #include "harp/schedule.hpp"
 #include "net/task.hpp"
@@ -203,6 +204,16 @@ class DataPlane {
   std::vector<std::uint16_t> node_count_;
 
   ObsCounters obs_{resolve_obs_counters()};
+
+#if HARP_AUDIT_ENABLED
+  /// Audit-only conservation ledger, independent of LatencyRecorder (which
+  /// callers may clear() mid-run): every generated packet must end up
+  /// delivered, dropped (overflow / route loss / purged with a departing
+  /// device) or queued. Checked at every slotframe boundary.
+  std::uint64_t audit_generated_{0};
+  std::uint64_t audit_delivered_{0};
+  std::uint64_t audit_dropped_{0};
+#endif
 };
 
 }  // namespace harp::sim

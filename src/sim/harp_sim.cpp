@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "audit/audit.hpp"
 #include "common/error.hpp"
 #include "net/traffic.hpp"
 #include "obs/obs.hpp"
@@ -63,6 +64,14 @@ void HarpSimulation::run_to_mgmt_idle(AbsoluteSlot timeout_slots,
     }
     step(run_data);
   }
+  // Once the management plane quiesces, the union of every agent's cell
+  // assignments must be a legal TSCH schedule (collision-free, half-duplex,
+  // inside the slotframe). Sufficiency is audited with a zero-demand
+  // traffic matrix: mid-transient demand bookkeeping lives in the agents,
+  // not here.
+  HARP_AUDIT("sim.mgmt_schedule",
+             audit::check_schedule(topo_, net::TrafficMatrix(topo_.size()),
+                                   current_schedule(), options_.frame));
 }
 
 AbsoluteSlot HarpSimulation::bootstrap(AbsoluteSlot timeout_frames) {

@@ -47,8 +47,12 @@ TEST(Rng, BelowOneAlwaysZero) {
 }
 
 TEST(Rng, BelowZeroThrows) {
+#ifdef HARP_ASSERT_ABORT
+  GTEST_SKIP() << "assertion failures abort in this build";
+#else
   Rng rng(3);
   EXPECT_THROW(rng.below(0), Error);
+#endif
 }
 
 TEST(Rng, BetweenInclusiveBounds) {
@@ -152,8 +156,12 @@ TEST(Stats, MergeCombines) {
 TEST(Stats, EmptyThrowsOnMoments) {
   Stats s;
   EXPECT_TRUE(s.empty());
+#ifdef HARP_ASSERT_ABORT
+  GTEST_SKIP() << "assertion failures abort in this build";
+#else
   EXPECT_THROW(s.mean(), Error);
   EXPECT_THROW(s.percentile(50), Error);
+#endif
 }
 
 TEST(Types, CellOrderingAndHash) {
@@ -181,12 +189,16 @@ TEST(Types, ToStringFormats) {
 }
 
 TEST(Error, AssertThrowsWithLocation) {
+#ifdef HARP_ASSERT_ABORT
+  GTEST_SKIP() << "assertion failures abort in this build";
+#else
   try {
     HARP_ASSERT(1 == 2);
     FAIL() << "expected throw";
   } catch (const Error& e) {
     EXPECT_NE(std::string(e.what()).find("1 == 2"), std::string::npos);
   }
+#endif
 }
 
 TEST(Error, HierarchyIsCatchable) {

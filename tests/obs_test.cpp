@@ -483,6 +483,20 @@ TEST(TraceAux, MsgTypeNamesPinnedToProtoEnum) {
   }
 }
 
+TEST(TraceAux, AuditFailRendersCheckNameAndNode) {
+  TraceSink sink;
+  sink.enable(2);
+  const std::uint16_t check = sink.register_phase("engine.bootstrap");
+  sink.emit({.type = EventType::kAuditFail, .a = check, .b = 7});
+  std::ostringstream out;
+  sink.write_jsonl(out);
+  const std::string line = out.str();
+  EXPECT_NE(line.find("\"type\":\"audit_fail\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"check\":\"engine.bootstrap\""), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("\"node\":7"), std::string::npos) << line;
+}
+
 TEST(TraceAux, DirectionNamesPinnedToCommonEnum) {
   EXPECT_EQ(static_cast<int>(harp::Direction::kUp), 0);
   EXPECT_EQ(static_cast<int>(harp::Direction::kDown), 1);
