@@ -7,6 +7,10 @@
 // random layouts, reporting how many sibling partitions each policy moves
 // and how often each finds a feasible layout at all.
 //
+// One fleet trial = one random layout per box configuration (default
+// --trials 300, the historical layout count); --jobs fans the layouts
+// out. The table shows across-layout means.
+//
 // Expected shape: both succeed equally often (the full repack is Alg. 2's
 // own last resort), but neighbor-first moves a small fraction of the
 // siblings where the naive policy moves most of them.
@@ -19,6 +23,18 @@
 using namespace harp;
 
 namespace {
+
+constexpr std::uint64_t kBaseSeed = 3000;
+
+struct Cfg {
+  const char* name;
+  int slots, channels, siblings;
+};
+constexpr Cfg kCfgs[] = {
+    {"20x4", 20, 4, 5},
+    {"40x8", 40, 8, 8},
+    {"60x16", 60, 16, 12},
+};
 
 struct Scenario {
   core::ResourceComponent box;
@@ -76,60 +92,72 @@ core::AdjustOutcome full_repack(const Scenario& s) {
   return out;
 }
 
+obs::Json run_trial(const runner::TrialSpec& spec) {
+  obs::Json results = obs::Json::object();
+  obs::Json& configs = results["configs"];
+  configs = obs::Json::object();
+  for (std::size_t c = 0; c < std::size(kCfgs); ++c) {
+    const Cfg& cfg = kCfgs[c];
+    // Per-config stream: one config's draws never perturb the others.
+    Rng rng(derive_seed(spec.seed, c));
+    const Scenario s =
+        random_scenario(rng, cfg.slots, cfg.channels, cfg.siblings);
+    if (s.layout.size() < 3) continue;  // degenerate layout: skip this cfg
+    const auto a =
+        core::adjust_partition_layout(s.box, s.layout, s.grow_id, s.grown);
+    const auto n = full_repack(s);
+    obs::Json& row = configs[cfg.name];
+    row["alg2_ok"] = a.success ? 1 : 0;
+    row["naive_ok"] = n.success ? 1 : 0;
+    if (a.success) row["alg2_moved"] = a.moved.size();
+    if (n.success) row["naive_moved"] = n.moved.size();
+  }
+  return results;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
-  constexpr int kTrials = 300;
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.trials_set) args.trials = 300;  // historical layout count
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
 
   std::printf("Ablation: Alg. 2 neighbor-first adjustment vs full repack\n");
-  std::printf("(%d random layouts per row; 'moved' = sibling partitions "
-              "relocated => messages down those branches)\n\n",
-              kTrials);
+  std::printf("(%zu random layouts per row, %zu job%s; 'moved' = sibling "
+              "partitions relocated => messages down those branches)\n\n",
+              fleet.trial_results.size(), fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
   bench::Table table({"box", "siblings", "alg2-moved", "naive-moved",
                       "alg2-ok", "naive-ok"},
                      13);
 
-  struct Cfg {
-    const char* name;
-    int slots, channels, siblings;
-  };
-  const Cfg cfgs[] = {
-      {"20x4", 20, 4, 5},
-      {"40x8", 40, 8, 8},
-      {"60x16", 60, 16, 12},
-  };
-
-  for (const Cfg& cfg : cfgs) {
-    Stats alg2_moved, naive_moved;
-    int alg2_ok = 0, naive_ok = 0, considered = 0;
-    for (int trial = 0; trial < kTrials; ++trial) {
-      Rng rng(3000 + static_cast<std::uint64_t>(trial));
-      const Scenario s =
-          random_scenario(rng, cfg.slots, cfg.channels, cfg.siblings);
-      if (s.layout.size() < 3) continue;
-      ++considered;
-      const auto a = core::adjust_partition_layout(s.box, s.layout, s.grow_id,
-                                                   s.grown);
-      const auto n = full_repack(s);
-      if (a.success) {
-        ++alg2_ok;
-        alg2_moved.add(static_cast<double>(a.moved.size()));
-      }
-      if (n.success) {
-        ++naive_ok;
-        naive_moved.add(static_cast<double>(n.moved.size()));
-      }
-    }
+  for (const Cfg& cfg : kCfgs) {
+    const std::string base = "configs." + std::string(cfg.name) + ".";
+    const auto mean = [&](const char* key) -> const obs::Json* {
+      const obs::Json* summary = fleet.aggregate.find(base + key);
+      return summary == nullptr ? nullptr : summary->find("mean");
+    };
+    const obs::Json* alg2_moved = mean("alg2_moved");
+    const obs::Json* naive_moved = mean("naive_moved");
+    const obs::Json* alg2_ok = mean("alg2_ok");
+    const obs::Json* naive_ok = mean("naive_ok");
     table.row({cfg.name, std::to_string(cfg.siblings),
-               bench::fmt(alg2_moved.mean(), 2),
-               bench::fmt(naive_moved.mean(), 2),
-               bench::pct(static_cast<double>(alg2_ok) / considered),
-               bench::pct(static_cast<double>(naive_ok) / considered)});
+               alg2_moved == nullptr ? "-"
+                                     : bench::fmt(alg2_moved->number(), 2),
+               naive_moved == nullptr ? "-"
+                                      : bench::fmt(naive_moved->number(), 2),
+               alg2_ok == nullptr ? "-" : bench::pct(alg2_ok->number()),
+               naive_ok == nullptr ? "-" : bench::pct(naive_ok->number())});
   }
   table.print();
-  harp::bench::JsonReport report("ablation_adjustment", args);
-  report.results()["table"] = table.to_json();
-  report.write();
+  std::printf("\n[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("ablation_adjustment", args);
+  report.results() = fleet.trial_results.front();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

@@ -9,6 +9,10 @@
 // gateway-initiated recompaction and reports what it reclaims and how
 // many partitions must be re-announced (the maintenance cost).
 //
+// One fleet trial = one random 400-event churn sequence; --trials
+// averages the trajectory and the recompaction yield over sequences,
+// --jobs fans them out.
+//
 // Expected shape: over-reserve grows with churn and plateaus near the
 // admission ceiling; recompaction returns the reserve to ~the slack
 // baseline at the cost of re-announcing most partitions.
@@ -20,8 +24,11 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 11;
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
   net::SlotframeConfig frame;
   frame.length = 397;
   frame.data_slots = 360;
@@ -29,22 +36,22 @@ int main(int argc, char** argv) {
   const auto tasks = net::uniform_echo_tasks(topo, frame.length);
   core::HarpEngine engine(topo, tasks, frame, {.own_slack = 1});
 
-  std::printf("Ablation: reservation fragmentation and recompaction\n");
-  std::printf("(50-node testbed, random demand churn in [0,4] cells per "
-              "link)\n\n");
-  bench::Table table({"churn-events", "demand", "reserved", "over-reserve"},
-                     14);
-
-  Rng rng(11);
+  obs::Json results = obs::Json::object();
+  obs::Json& samples = results["samples"];
+  samples = obs::Json::array();
   const auto sample = [&](int events) {
     const double demand = static_cast<double>(engine.traffic().total_cells());
     const double reserved = static_cast<double>(engine.reserved_cells());
-    table.row({std::to_string(events), bench::fmt(demand, 0),
-               bench::fmt(reserved, 0),
-               bench::pct((reserved - demand) / reserved)});
+    obs::Json row;
+    row["events"] = events;
+    row["demand_cells"] = demand;
+    row["reserved_cells"] = reserved;
+    row["over_reserve"] = (reserved - demand) / reserved;
+    samples.push_back(std::move(row));
   };
 
   sample(0);
+  Rng rng(spec.seed);
   int performed = 0;
   for (int event = 1; event <= 400; ++event) {
     const NodeId child = static_cast<NodeId>(
@@ -55,24 +62,69 @@ int main(int argc, char** argv) {
     if (r.satisfied) ++performed;
     if (event % 100 == 0) sample(event);
   }
-  table.print();
 
   const auto report = engine.recompact();
-  std::printf("\nrecompaction: reserved %lld -> %lld cells "
-              "(%zu partitions re-announced, %d churn events were "
+  obs::Json& recomp = results["recompaction"];
+  recomp["reserved_before"] = report.reserved_before;
+  recomp["reserved_after"] = report.reserved_after;
+  recomp["partitions_changed"] = report.partitions_changed;
+  recomp["churn_satisfied"] = performed;
+  recomp["valid"] = engine.validate().empty() ? 1 : 0;
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
+  std::printf("Ablation: reservation fragmentation and recompaction\n");
+  std::printf("(50-node testbed, random demand churn in [0,4] cells per "
+              "link; %zu trial%s x %zu job%s)\n\n",
+              fleet.trial_results.size(),
+              fleet.trial_results.size() == 1 ? "" : "s", fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+  bench::Table table({"churn-events", "demand", "reserved", "over-reserve"},
+                     14);
+
+  for (int i = 0; i <= 4; ++i) {
+    const std::string base = "samples." + std::to_string(i) + ".";
+    const auto mean = [&](const char* key) -> double {
+      const obs::Json* summary = fleet.aggregate.find(base + key);
+      const obs::Json* m = summary == nullptr ? nullptr : summary->find("mean");
+      return m == nullptr ? 0.0 : m->number();
+    };
+    table.row({std::to_string(i * 100), bench::fmt(mean("demand_cells"), 0),
+               bench::fmt(mean("reserved_cells"), 0),
+               bench::pct(mean("over_reserve"))});
+  }
+  table.print();
+
+  const auto recomp_mean = [&](const char* key) -> double {
+    const obs::Json* summary =
+        fleet.aggregate.find(std::string("recompaction.") + key);
+    const obs::Json* m = summary == nullptr ? nullptr : summary->find("mean");
+    return m == nullptr ? 0.0 : m->number();
+  };
+  std::printf("\nrecompaction: reserved %0.0f -> %0.0f cells "
+              "(%0.1f partitions re-announced, %0.1f churn events were "
               "satisfiable)\n",
-              static_cast<long long>(report.reserved_before),
-              static_cast<long long>(report.reserved_after),
-              report.partitions_changed, performed);
+              recomp_mean("reserved_before"), recomp_mean("reserved_after"),
+              recomp_mean("partitions_changed"),
+              recomp_mean("churn_satisfied"));
   std::printf("validation after recompaction: %s\n",
-              engine.validate().empty() ? "collision-free, isolated"
-                                        : engine.validate().c_str());
-  harp::bench::JsonReport json("ablation_compaction", args);
-  json.results()["table"] = table.to_json();
-  json.results()["recompaction"]["reserved_before"] = report.reserved_before;
-  json.results()["recompaction"]["reserved_after"] = report.reserved_after;
-  json.results()["recompaction"]["partitions_changed"] =
-      report.partitions_changed;
-  json.write();
+              recomp_mean("valid") == 1.0 ? "collision-free, isolated"
+                                          : "VIOLATIONS in some trials");
+  bench::print_aggregate(fleet, "recompaction.");
+  std::printf("[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport json("ablation_compaction", args);
+  json.results() = fleet.trial_results.front();
+  json.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

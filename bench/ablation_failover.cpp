@@ -7,6 +7,10 @@
 // non-tree extension). This bench measures the HARP messages each
 // response costs, over the leaf nodes of random meshes.
 //
+// One fleet trial = one random 30-node mesh evaluated at every standby
+// level (the same mesh per level — the paired design); default --trials
+// 6, the historical mesh count; --jobs fans the meshes out.
+//
 // Expected shape: with a COLD standby the first failovers pay the
 // secondary hierarchy's build-out; a hot standby (1-2 pre-reserved cells
 // per link) drops failover to a handful of local messages — cheaper and
@@ -20,70 +24,117 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 1;
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
   net::SlotframeConfig frame;
   frame.length = 397;   // roomy split: both hierarchies stay admissible
   frame.data_slots = 360;
 
+  obs::Json results = obs::Json::object();
+  obs::Json& levels = results["standby"];
+  levels = obs::Json::object();
+  for (int standby = 0; standby <= 2; ++standby) {
+    Stats failover_msgs, reparent_msgs;
+    int failover_ok = 0, reparent_ok = 0, considered = 0;
+
+    // Re-seeded per standby level: every level sees the SAME mesh.
+    Rng rng(spec.seed);
+    const auto graph = mesh::random_mesh(30, rng);
+    std::vector<net::Task> tasks;
+    for (NodeId v = 1; v < graph.size(); ++v) {
+      tasks.push_back(
+          {.id = v, .source = v, .period_slots = 397, .echo = true});
+    }
+    mesh::MultiTreeHarp multi(graph, tasks, {frame, 0.35, 0, standby});
+    const auto& primary = multi.topology(mesh::Tree::kPrimary);
+    const auto& secondary = multi.topology(mesh::Tree::kSecondary);
+    core::HarpEngine single(
+        primary, net::derive_traffic(primary, tasks, frame), frame, tasks);
+
+    for (NodeId v = 1; v < primary.size(); ++v) {
+      if (!primary.is_leaf(v)) continue;
+      if (secondary.parent(v) == primary.parent(v)) continue;
+      ++considered;
+
+      const auto f = multi.failover(v);
+      if (f.satisfied) {
+        ++failover_ok;
+        failover_msgs.add(static_cast<double>(f.messages));
+        multi.failover(v);  // restore for the next measurement
+      }
+
+      const NodeId home = primary.parent(v);
+      const auto r = single.reparent_leaf(v, secondary.parent(v));
+      if (r.satisfied()) {
+        ++reparent_ok;
+        reparent_msgs.add(static_cast<double>(r.total_messages()));
+        single.reparent_leaf(v, home);  // move back for the next event
+      }
+    }
+
+    obs::Json& row = levels[std::to_string(standby)];
+    row["considered"] = considered;
+    row["failover_ok_fraction"] =
+        static_cast<double>(failover_ok) / std::max(considered, 1);
+    row["reparent_ok_fraction"] =
+        static_cast<double>(reparent_ok) / std::max(considered, 1);
+    if (!failover_msgs.empty()) {
+      row["failover_messages"] = failover_msgs.mean();
+    }
+    if (!reparent_msgs.empty()) {
+      row["reparent_messages"] = reparent_msgs.mean();
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.trials_set) args.trials = 6;  // historical mesh count
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
   std::printf("Ablation: failover (two hierarchies) vs reparent (one)\n");
-  std::printf("(random 30-node meshes; every leaf with a diverse backup "
-              "uplink reacts to interference)\n\n");
+  std::printf("(%zu random 30-node meshes, %zu job%s; every leaf with a "
+              "diverse backup uplink reacts to interference)\n\n",
+              fleet.trial_results.size(), fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
   bench::Table table({"standby", "fail-msgs", "fail-ok", "repar-msgs",
                       "repar-ok"},
                      13);
 
   for (int standby = 0; standby <= 2; ++standby) {
-    Stats failover_msgs, reparent_msgs;
-    int failover_ok = 0, reparent_ok = 0, considered = 0;
-    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
-      Rng rng(seed);
-      const auto graph = mesh::random_mesh(30, rng);
-      std::vector<net::Task> tasks;
-      for (NodeId v = 1; v < graph.size(); ++v) {
-        tasks.push_back(
-            {.id = v, .source = v, .period_slots = 397, .echo = true});
-      }
-      mesh::MultiTreeHarp multi(graph, tasks, {frame, 0.35, 0, standby});
-      const auto& primary = multi.topology(mesh::Tree::kPrimary);
-      const auto& secondary = multi.topology(mesh::Tree::kSecondary);
-      core::HarpEngine single(
-          primary, net::derive_traffic(primary, tasks, frame), frame, tasks);
-
-      for (NodeId v = 1; v < primary.size(); ++v) {
-        if (!primary.is_leaf(v)) continue;
-        if (secondary.parent(v) == primary.parent(v)) continue;
-        ++considered;
-
-        const auto f = multi.failover(v);
-        if (f.satisfied) {
-          ++failover_ok;
-          failover_msgs.add(static_cast<double>(f.messages));
-          multi.failover(v);  // restore for the next measurement
-        }
-
-        const NodeId home = primary.parent(v);
-        const auto r = single.reparent_leaf(v, secondary.parent(v));
-        if (r.satisfied()) {
-          ++reparent_ok;
-          reparent_msgs.add(static_cast<double>(r.total_messages()));
-          single.reparent_leaf(v, home);  // move back for the next event
-        }
-      }
-    }
+    const std::string base = "standby." + std::to_string(standby) + ".";
+    const auto mean = [&](const char* key) -> const obs::Json* {
+      const obs::Json* summary = fleet.aggregate.find(base + key);
+      return summary == nullptr ? nullptr : summary->find("mean");
+    };
+    const obs::Json* fail_msgs = mean("failover_messages");
+    const obs::Json* repar_msgs = mean("reparent_messages");
+    const obs::Json* fail_ok = mean("failover_ok_fraction");
+    const obs::Json* repar_ok = mean("reparent_ok_fraction");
     table.row({std::to_string(standby),
-               failover_msgs.empty() ? "-" : bench::fmt(failover_msgs.mean(), 1),
-               bench::pct(static_cast<double>(failover_ok) /
-                          std::max(considered, 1)),
-               reparent_msgs.empty() ? "-" : bench::fmt(reparent_msgs.mean(), 1),
-               bench::pct(static_cast<double>(reparent_ok) /
-                          std::max(considered, 1))});
+               fail_msgs == nullptr ? "-" : bench::fmt(fail_msgs->number(), 1),
+               fail_ok == nullptr ? "-" : bench::pct(fail_ok->number()),
+               repar_msgs == nullptr ? "-"
+                                     : bench::fmt(repar_msgs->number(), 1),
+               repar_ok == nullptr ? "-" : bench::pct(repar_ok->number())});
   }
   table.print();
   std::printf("\nstandby = hot-standby cells per secondary link; msgs = "
               "HARP messages per interference response.\n");
-  harp::bench::JsonReport report("ablation_failover", args);
-  report.results()["table"] = table.to_json();
-  report.write();
+  std::printf("[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("ablation_failover", args);
+  report.results() = fleet.trial_results.front();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

@@ -7,6 +7,10 @@
 // we compose interfaces both ways and compare the cells each reserves at
 // the gateway against the task set's actual demand.
 //
+// One fleet trial = one random topology per depth row (default --trials
+// 20, the historical topology count); --jobs fans the topologies out.
+// The table shows across-topology means.
+//
 // Expected shape: the monolithic abstraction reserves severalfold more
 // idle cells (the white areas of Fig. 3) — cells no other subtree can
 // use — and the gap persists across depths; the layered design's waste
@@ -22,6 +26,9 @@
 using namespace harp;
 
 namespace {
+
+constexpr std::uint64_t kBaseSeed = 500;
+constexpr int kDepths[] = {3, 4, 5, 6, 8};
 
 /// Gateway uplink super-partition size with LAYERED interfaces: sum over
 /// layers of the composed component's slots; cells = sum of areas.
@@ -70,50 +77,74 @@ Cost monolithic_cost(const net::Topology& topo,
   return {composed.composite.slots, composed.composite.cells()};
 }
 
+obs::Json run_trial(const runner::TrialSpec& spec) {
+  obs::Json results = obs::Json::object();
+  obs::Json& depths = results["depths"];
+  depths = obs::Json::object();
+  for (int depth : kDepths) {
+    // Per-depth stream: one row's topology draw never perturbs the others.
+    Rng rng(derive_seed(spec.seed, static_cast<std::uint64_t>(depth)));
+    const auto topo = net::random_tree(
+        {.num_nodes = 50, .num_layers = depth, .max_children = 4}, rng);
+    const auto tasks = net::uniform_echo_tasks(topo, 199);
+    net::SlotframeConfig frame;
+    const auto traffic = net::derive_traffic(topo, tasks, frame);
+    std::int64_t demand = 0;
+    for (NodeId v = 1; v < topo.size(); ++v) demand += traffic.uplink(v);
+
+    const Cost lay = layered_cost(topo, traffic, 16);
+    const Cost mono = monolithic_cost(topo, traffic, 16);
+    obs::Json& row = depths[std::to_string(depth)];
+    row["demand_cells"] = demand;
+    row["layered_cells"] = lay.cells;
+    row["mono_cells"] = mono.cells;
+    row["layered_waste"] = static_cast<double>(lay.cells - demand) /
+                           static_cast<double>(lay.cells);
+    row["mono_waste"] = static_cast<double>(mono.cells - demand) /
+                        static_cast<double>(mono.cells);
+  }
+  return results;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.trials_set) args.trials = 20;  // historical topology count
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
   std::printf("Ablation (Fig. 3): layered interfaces vs monolithic blocks\n");
-  std::printf("(uplink super-partition cost at the gateway; 20 random "
-              "topologies per row; demand = subtree sizes)\n\n");
+  std::printf("(uplink super-partition cost at the gateway; %zu random "
+              "topologies per row, %zu job%s; demand = subtree sizes)\n\n",
+              fleet.trial_results.size(), fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
   bench::Table table({"layers", "demand", "lay-cells", "mono-cells",
                       "lay-waste", "mono-waste"},
                      13);
 
-  bench::Timer timer;
-  for (int depth : {3, 4, 5, 6, 8}) {
-    Stats demand_cells, lay_cells, mono_cells, lay_waste, mono_waste;
-    for (int t = 0; t < 20; ++t) {
-      Rng rng(500 + static_cast<std::uint64_t>(t) * 7 +
-              static_cast<std::uint64_t>(depth));
-      const auto topo = net::random_tree(
-          {.num_nodes = 50, .num_layers = depth, .max_children = 4}, rng);
-      const auto tasks = net::uniform_echo_tasks(topo, 199);
-      net::SlotframeConfig frame;
-      const auto traffic = net::derive_traffic(topo, tasks, frame);
-      std::int64_t demand = 0;
-      for (NodeId v = 1; v < topo.size(); ++v) demand += traffic.uplink(v);
-
-      const Cost lay = layered_cost(topo, traffic, 16);
-      const Cost mono = monolithic_cost(topo, traffic, 16);
-      demand_cells.add(static_cast<double>(demand));
-      lay_cells.add(static_cast<double>(lay.cells));
-      mono_cells.add(static_cast<double>(mono.cells));
-      lay_waste.add(static_cast<double>(lay.cells - demand) /
-                    static_cast<double>(lay.cells));
-      mono_waste.add(static_cast<double>(mono.cells - demand) /
-                     static_cast<double>(mono.cells));
-    }
-    table.row({std::to_string(depth), bench::fmt(demand_cells.mean(), 0),
-               bench::fmt(lay_cells.mean(), 0), bench::fmt(mono_cells.mean(), 0),
-               bench::pct(lay_waste.mean()), bench::pct(mono_waste.mean())});
+  for (int depth : kDepths) {
+    const std::string base = "depths." + std::to_string(depth) + ".";
+    const auto mean = [&](const char* key) -> double {
+      const obs::Json* summary = fleet.aggregate.find(base + key);
+      const obs::Json* m = summary == nullptr ? nullptr : summary->find("mean");
+      return m == nullptr ? 0.0 : m->number();
+    };
+    table.row({std::to_string(depth), bench::fmt(mean("demand_cells"), 0),
+               bench::fmt(mean("layered_cells"), 0),
+               bench::fmt(mean("mono_cells"), 0),
+               bench::pct(mean("layered_waste")),
+               bench::pct(mean("mono_waste"))});
   }
   table.print();
   std::printf("\nwaste = fraction of reserved cells no link needs.\n");
   std::printf("[%0.1f s]\n", timer.seconds());
-  harp::bench::JsonReport report("ablation_layered_interface", args);
-  report.results()["table"] = table.to_json();
-  report.write();
+
+  bench::JsonReport report("ablation_layered_interface", args);
+  report.results() = fleet.trial_results.front();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

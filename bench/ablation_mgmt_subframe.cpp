@@ -10,6 +10,10 @@
 // reports, per split, the highest uniform echo rate the 50-node network
 // can admit, plus the measured adjustment latency at a light load.
 //
+// The admissibility probe is deterministic; --trials varies the
+// simulation seed (PDR loss draws) behind the adjustment-latency
+// measurement, --jobs fans the trials out.
+//
 // Expected shape: admissible rate falls as the management share grows;
 // adjustment latency stays ~constant (dedicated TX cells), confirming the
 // testbed's small-management-share choice.
@@ -22,6 +26,9 @@
 using namespace harp;
 
 namespace {
+
+constexpr std::uint64_t kBaseSeed = 4;
+constexpr SlotId kMgmtSplits[] = {6, 9, 19, 32, 64, 99};
 
 /// Highest uniform packets-per-slotframe echo rate (in 1/16 steps) that
 /// bootstraps on the testbed tree for the given frame split.
@@ -44,22 +51,17 @@ double max_admissible_rate(const net::SlotframeConfig& frame) {
   return best;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
-  std::printf("Ablation: management sub-frame sizing\n");
-  std::printf("(50-node testbed; admissible rate = max uniform echo "
-              "pkt/slotframe; event = +2 cells on a layer-5 link at half "
-              "load)\n\n");
-  bench::Table table({"mgmt-slots", "data-cells", "max-rate", "boot(s)",
-                      "adj(s)", "adj-SF"},
-                     13);
-
-  for (SlotId mgmt : {6, 9, 19, 32, 64, 99}) {
+obs::Json run_trial(const runner::TrialSpec& spec) {
+  obs::Json results = obs::Json::object();
+  obs::Json& splits = results["splits"];
+  splits = obs::Json::object();
+  for (SlotId mgmt : kMgmtSplits) {
     net::SlotframeConfig frame;
     frame.data_slots = frame.length - mgmt;
-    const double max_rate = max_admissible_rate(frame);
+
+    obs::Json& row = splits[std::to_string(mgmt)];
+    row["data_cells"] = frame.data_cells();
+    row["max_rate"] = max_admissible_rate(frame);
 
     const auto topo = net::testbed_tree();
     // Light (half-rate) load so the dynamic event is admissible even for
@@ -67,7 +69,7 @@ int main(int argc, char** argv) {
     const auto tasks = net::uniform_echo_tasks(topo, 2 * frame.length);
     sim::HarpSimulation::Options options{frame};
     options.own_slack = 1;
-    options.seed = 4;
+    options.seed = spec.seed;
     try {
       sim::HarpSimulation sim(topo, tasks, options);
       const AbsoluteSlot boot = sim.bootstrap();
@@ -75,21 +77,70 @@ int main(int argc, char** argv) {
       const NodeId child = topo.children(40).front();  // deep link
       const int cur = sim.agent(40).child_demand(child, Direction::kUp);
       const auto s = sim.change_link_demand(child, Direction::kUp, cur + 2);
-      table.row({std::to_string(mgmt), std::to_string(frame.data_cells()),
-                 bench::fmt(max_rate, 2),
-                 bench::fmt(static_cast<double>(boot) * frame.slot_seconds),
-                 bench::fmt(s.elapsed_seconds),
-                 std::to_string(s.elapsed_slotframes)});
+      row["admissible"] = 1;
+      row["bootstrap_s"] = static_cast<double>(boot) * frame.slot_seconds;
+      row["adjust_s"] = s.elapsed_seconds;
+      row["adjust_slotframes"] = s.elapsed_slotframes;
     } catch (const InfeasibleError&) {
-      table.row({std::to_string(mgmt), std::to_string(frame.data_cells()),
-                 bench::fmt(max_rate, 2), "inadmissible", "-", "-"});
+      row["admissible"] = 0;
     }
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
+  std::printf("Ablation: management sub-frame sizing\n");
+  std::printf("(50-node testbed; admissible rate = max uniform echo "
+              "pkt/slotframe; event = +2 cells on a layer-5 link at half "
+              "load; %zu trial%s x %zu job%s)\n\n",
+              fleet.trial_results.size(),
+              fleet.trial_results.size() == 1 ? "" : "s", fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+  bench::Table table({"mgmt-slots", "data-cells", "max-rate", "boot(s)",
+                      "adj(s)", "adj-SF"},
+                     13);
+
+  for (SlotId mgmt : kMgmtSplits) {
+    const std::string base = "splits." + std::to_string(mgmt) + ".";
+    const auto mean = [&](const char* key) -> const obs::Json* {
+      const obs::Json* summary = fleet.aggregate.find(base + key);
+      return summary == nullptr ? nullptr : summary->find("mean");
+    };
+    const obs::Json* data_cells = mean("data_cells");
+    const obs::Json* max_rate = mean("max_rate");
+    const obs::Json* boot = mean("bootstrap_s");
+    if (boot == nullptr) {
+      table.row({std::to_string(mgmt),
+                 data_cells == nullptr
+                     ? "-"
+                     : bench::fmt(data_cells->number(), 0),
+                 max_rate == nullptr ? "-" : bench::fmt(max_rate->number(), 2),
+                 "inadmissible", "-", "-"});
+      continue;
+    }
+    table.row({std::to_string(mgmt), bench::fmt(data_cells->number(), 0),
+               bench::fmt(max_rate->number(), 2),
+               bench::fmt(boot->number()),
+               bench::fmt(mean("adjust_s")->number()),
+               bench::fmt(mean("adjust_slotframes")->number(), 1)});
   }
   table.print();
   std::printf("\ncontrol latency is flat (every node owns a management TX "
               "cell); the split's real cost is admissible data rate.\n");
-  harp::bench::JsonReport report("ablation_mgmt_subframe", args);
-  report.results()["table"] = table.to_json();
-  report.write();
+  bench::print_aggregate(fleet, "splits.");
+  std::printf("[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("ablation_mgmt_subframe", args);
+  report.results() = fleet.trial_results.front();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

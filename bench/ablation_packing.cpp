@@ -7,6 +7,12 @@
 // and on larger stress instances: achieved strip height relative to the
 // area/height lower bound, plus runtime.
 //
+// One fleet trial = one random instance per row (default --trials 40, the
+// historical instance count); --jobs fans the instances out. Quality is
+// aggregated across trials; runtime is wall-clock and therefore measured
+// separately in the main thread (it must stay out of the deterministic
+// per-trial results, which feed the fleet fingerprint).
+//
 // Expected shape: skyline dominates or ties the shelf heuristics on
 // quality at comparable speed; Bottom-Left is competitive on quality but
 // an order of magnitude slower on large instances.
@@ -27,6 +33,9 @@ using packing::Rect;
 
 namespace {
 
+constexpr std::uint64_t kBaseSeed = 900;
+constexpr int kTimeReps = 40;
+
 struct Algo {
   const char* name;
   std::function<packing::StripResult(std::vector<Rect>, Dim)> run;
@@ -39,57 +48,101 @@ struct Instance {
   Dim strip;
 };
 
+const Algo kAlgos[] = {
+    {"skyline", packing::pack_strip},
+    {"FFDH", packing::pack_ffdh},
+    {"NFDH", packing::pack_nfdh},
+    {"bottom-left", packing::pack_bottom_left},
+};
+constexpr Instance kInstances[] = {
+    {"harp-small (n=6, 16ch)", 6, 4, 20, 16},
+    {"harp-wide (n=12, 16ch)", 12, 8, 12, 16},
+    {"mixed (n=50)", 50, 10, 10, 24},
+    {"stress (n=300)", 300, 12, 8, 32},
+};
+
+std::vector<Rect> random_rects(const Instance& inst, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Rect> rects;
+  for (std::size_t i = 0; i < inst.count; ++i) {
+    rects.push_back({static_cast<Dim>(rng.between(1, inst.max_w)),
+                     static_cast<Dim>(rng.between(1, inst.max_h)), i});
+  }
+  return rects;
+}
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
+  obs::Json results = obs::Json::object();
+  obs::Json& instances = results["instances"];
+  instances = obs::Json::array();
+  for (std::size_t n = 0; n < std::size(kInstances); ++n) {
+    const Instance& inst = kInstances[n];
+    // Per-instance stream: one row's rectangle draws never perturb the
+    // others.
+    const std::vector<Rect> rects =
+        random_rects(inst, derive_seed(spec.seed, n));
+    const Dim lb = packing::strip_height_lower_bound(rects, inst.strip);
+    obs::Json row;
+    row["instance"] = inst.name;
+    for (const Algo& algo : kAlgos) {
+      const auto result = algo.run(rects, inst.strip);
+      HARP_ASSERT(packing::validate_packing(result.placements, inst.strip,
+                                            result.height, &rects)
+                      .empty());
+      row[algo.name] = static_cast<double>(result.height) /
+                       static_cast<double>(std::max<Dim>(lb, 1));
+    }
+    instances.push_back(std::move(row));
+  }
+  return results;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
-  const Algo algos[] = {
-      {"skyline", packing::pack_strip},
-      {"FFDH", packing::pack_ffdh},
-      {"NFDH", packing::pack_nfdh},
-      {"bottom-left", packing::pack_bottom_left},
-  };
-  const Instance instances[] = {
-      {"harp-small (n=6, 16ch)", 6, 4, 20, 16},
-      {"harp-wide (n=12, 16ch)", 12, 8, 12, 16},
-      {"mixed (n=50)", 50, 10, 10, 24},
-      {"stress (n=300)", 300, 12, 8, 32},
-  };
-  constexpr int kTrials = 40;
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.trials_set) args.trials = 40;  // historical instance count
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
 
   std::printf("Ablation: strip-packing heuristics for Alg. 1\n");
-  std::printf("(quality = achieved height / lower bound, averaged over %d "
-              "random instances)\n\n",
-              kTrials);
-  bench::Table table(
-      {"instance", "algo", "quality", "time(us)"}, 24);
+  std::printf("(quality = achieved height / lower bound, averaged over %zu "
+              "random instances, %zu job%s)\n\n",
+              fleet.trial_results.size(), fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+  bench::Table table({"instance", "algo", "quality", "time(us)"}, 24);
 
-  for (const Instance& inst : instances) {
-    for (const Algo& algo : algos) {
-      Stats quality;
-      bench::Timer timer;
-      for (int trial = 0; trial < kTrials; ++trial) {
-        Rng rng(900 + static_cast<std::uint64_t>(trial));
-        std::vector<Rect> rects;
-        for (std::size_t i = 0; i < inst.count; ++i) {
-          rects.push_back({static_cast<Dim>(rng.between(1, inst.max_w)),
-                           static_cast<Dim>(rng.between(1, inst.max_h)), i});
-        }
-        const Dim lb = packing::strip_height_lower_bound(rects, inst.strip);
-        const auto result = algo.run(rects, inst.strip);
-        HARP_ASSERT(packing::validate_packing(result.placements, inst.strip,
-                                              result.height, &rects)
-                        .empty());
-        quality.add(static_cast<double>(result.height) /
-                    static_cast<double>(std::max<Dim>(lb, 1)));
-      }
-      table.row({inst.name, algo.name, bench::fmt(quality.mean(), 3),
-                 bench::fmt(timer.seconds() * 1e6 / kTrials, 1)});
+  for (std::size_t n = 0; n < std::size(kInstances); ++n) {
+    const Instance& inst = kInstances[n];
+    // Runtime: packing alone, on pre-generated deterministic instances.
+    std::vector<std::vector<Rect>> rep_rects;
+    for (int rep = 0; rep < kTimeReps; ++rep) {
+      rep_rects.push_back(random_rects(
+          inst, derive_seed(args.base_seed(kBaseSeed),
+                            100 + static_cast<std::uint64_t>(rep))));
+    }
+    for (const Algo& algo : kAlgos) {
+      const std::string path =
+          "instances." + std::to_string(n) + "." + algo.name;
+      const obs::Json* summary = fleet.aggregate.find(path);
+      const obs::Json* mean =
+          summary == nullptr ? nullptr : summary->find("mean");
+
+      bench::Timer clock;
+      for (const auto& rects : rep_rects) algo.run(rects, inst.strip);
+      table.row({inst.name, algo.name,
+                 mean == nullptr ? "-" : bench::fmt(mean->number(), 3),
+                 bench::fmt(clock.seconds() * 1e6 / kTimeReps, 1)});
     }
   }
   table.print();
-  harp::bench::JsonReport report("ablation_packing", args);
-  report.results()["table"] = table.to_json();
-  report.write();
+  std::printf("\n[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("ablation_packing", args);
+  report.results() = fleet.trial_results.front();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

@@ -7,6 +7,10 @@
 // — total cells reserved beyond the true demand. This quantifies design
 // choice 4 of DESIGN.md: headroom buys adjustment locality with bandwidth.
 //
+// One fleet trial = one random 30-event sequence, replayed identically at
+// every slack level (the paired design); --trials averages over event
+// sequences, --jobs fans them out.
+//
 // Expected shape: slack 0 escalates nearly every event; one spare cell per
 // link absorbs most; two absorbs nearly all; reserved-cell overhead grows
 // linearly with slack.
@@ -19,18 +23,18 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const harp::bench::Args args = harp::bench::Args::parse(argc, argv);
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 77;
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
   net::SlotframeConfig frame;
   frame.length = 397;  // roomy frame so every slack level bootstraps
   frame.data_slots = 360;
 
-  std::printf("Ablation: provisioning headroom (own_slack)\n");
-  std::printf("(testbed topology, uniform echo tasks; 30 random +1 demand "
-              "events per engine)\n\n");
-  bench::Table table({"slack", "local", "msgs/event", "reserved", "demand"},
-                     13);
-
+  obs::Json results = obs::Json::object();
+  obs::Json& levels = results["slack"];
+  levels = obs::Json::object();
   for (int slack = 0; slack <= 3; ++slack) {
     const auto topo = net::testbed_tree();
     const auto tasks = net::uniform_echo_tasks(topo, frame.length);
@@ -47,7 +51,8 @@ int main(int argc, char** argv) {
     }
     const std::int64_t demand = engine.traffic().total_cells();
 
-    Rng rng(77);
+    // Re-seeded per slack level: every level sees the SAME event sequence.
+    Rng rng(spec.seed);
     int local = 0, total = 0;
     Stats msgs;
     for (int event = 0; event < 30; ++event) {
@@ -63,16 +68,55 @@ int main(int argc, char** argv) {
       if (r.messages.empty()) ++local;
     }
 
-    table.row({std::to_string(slack),
-               bench::pct(static_cast<double>(local) / std::max(total, 1)),
-               bench::fmt(msgs.mean(), 1), std::to_string(reserved),
-               std::to_string(demand)});
+    obs::Json& row = levels[std::to_string(slack)];
+    row["local_fraction"] =
+        static_cast<double>(local) / std::max(total, 1);
+    row["messages_per_event"] = msgs.mean();
+    row["reserved_cells"] = reserved;
+    row["demand_cells"] = demand;
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
+  std::printf("Ablation: provisioning headroom (own_slack)\n");
+  std::printf("(testbed topology, uniform echo tasks; 30 random +1 demand "
+              "events per engine; %zu trial%s x %zu job%s)\n\n",
+              fleet.trial_results.size(),
+              fleet.trial_results.size() == 1 ? "" : "s", fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+  bench::Table table({"slack", "local", "msgs/event", "reserved", "demand"},
+                     13);
+
+  for (int slack = 0; slack <= 3; ++slack) {
+    const std::string base = "slack." + std::to_string(slack) + ".";
+    const auto mean = [&](const char* key) -> double {
+      const obs::Json* summary = fleet.aggregate.find(base + key);
+      const obs::Json* m = summary == nullptr ? nullptr : summary->find("mean");
+      return m == nullptr ? 0.0 : m->number();
+    };
+    table.row({std::to_string(slack), bench::pct(mean("local_fraction")),
+               bench::fmt(mean("messages_per_event"), 1),
+               bench::fmt(mean("reserved_cells"), 0),
+               bench::fmt(mean("demand_cells"), 0)});
   }
   table.print();
   std::printf("\nlocal = events absorbed with zero HARP messages; reserved "
               "= scheduling-partition cells vs true demand.\n");
-  harp::bench::JsonReport report("ablation_slack", args);
-  report.results()["table"] = table.to_json();
-  report.write();
+  bench::print_aggregate(fleet, "slack.");
+  std::printf("[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("ablation_slack", args);
+  report.results() = fleet.trial_results.front();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

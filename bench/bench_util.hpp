@@ -17,6 +17,8 @@
 #include <vector>
 
 #include "obs/obs.hpp"
+#include "runner/fleet.hpp"
+#include "runner/plan.hpp"
 
 namespace harp::bench {
 
@@ -96,15 +98,31 @@ class Timer {
 ///   --trace <path>   write captured trace events as JSON Lines
 ///   --minutes <m>    override the simulated duration (binaries that
 ///                    simulate wall-clock time; others ignore it)
+///   --trials <n>     replications to run (default 1); each trial gets
+///                    its own seed derived from the base seed
+///   --jobs <m>       worker threads for the fleet (default 1, 0 = all
+///                    hardware threads)
+///   --seed <s>       override the binary's base seed
 /// Requesting --json or --trace turns the observability layer on
 /// (trace sink + phase timers) before the experiment runs.
 struct Args {
   std::string json_path;
   std::string trace_path;
   double minutes = 0.0;
+  std::size_t trials = 1;
+  bool trials_set = false;
+  std::size_t jobs = 1;
+  std::uint64_t seed = 0;
+  bool seed_set = false;
 
   bool machine_output() const {
     return !json_path.empty() || !trace_path.empty();
+  }
+
+  /// The fleet's base seed: --seed when given, else the binary's
+  /// historical default (fig9's 42, table2's 2, ...).
+  std::uint64_t base_seed(std::uint64_t default_seed) const {
+    return seed_set ? seed : default_seed;
   }
 
   static Args parse(int argc, char** argv) {
@@ -116,6 +134,17 @@ struct Args {
           std::exit(2);
         }
         return argv[++i];
+      };
+      const auto need_uint = [&](const char* flag) -> unsigned long long {
+        const char* value = need_value(flag);
+        char* end = nullptr;
+        const unsigned long long v = std::strtoull(value, &end, 10);
+        if (end == value || *end != '\0') {
+          std::fprintf(stderr, "%s: %s expects a non-negative integer, "
+                       "got '%s'\n", argv[0], flag, value);
+          std::exit(2);
+        }
+        return v;
       };
       if (std::strcmp(argv[i], "--json") == 0) {
         args.json_path = need_value("--json");
@@ -130,10 +159,23 @@ struct Args {
                        "got '%s'\n", argv[0], value);
           std::exit(2);
         }
+      } else if (std::strcmp(argv[i], "--trials") == 0) {
+        args.trials = static_cast<std::size_t>(need_uint("--trials"));
+        args.trials_set = true;
+        if (args.trials == 0) {
+          std::fprintf(stderr, "%s: --trials must be >= 1\n", argv[0]);
+          std::exit(2);
+        }
+      } else if (std::strcmp(argv[i], "--jobs") == 0) {
+        args.jobs = static_cast<std::size_t>(need_uint("--jobs"));
+      } else if (std::strcmp(argv[i], "--seed") == 0) {
+        args.seed = need_uint("--seed");
+        args.seed_set = true;
       } else {
         std::fprintf(stderr,
                      "usage: %s [--json <path>] [--trace <path>]"
-                     " [--minutes <m>]\n",
+                     " [--minutes <m>] [--trials <n>] [--jobs <m>]"
+                     " [--seed <s>]\n",
                      argv[0]);
         std::exit(2);
       }
@@ -142,6 +184,43 @@ struct Args {
     return args;
   }
 };
+
+/// Runs `fn` for --trials replications across --jobs workers, seeding
+/// each trial from base_seed(default_seed) via the plan's derived
+/// sub-streams. Trace capture and phase timers inside trials follow the
+/// --trace/--json flags (each trial records into its own context; the
+/// report shard-merges them).
+inline runner::FleetResult run_trials(const Args& args,
+                                      std::uint64_t default_seed,
+                                      const runner::TrialFn& fn) {
+  const runner::TrialPlan plan = runner::TrialPlan::replications(
+      args.base_seed(default_seed), args.trials);
+  runner::FleetOptions opts;
+  opts.jobs = args.jobs;
+  opts.trace = !args.trace_path.empty();
+  opts.timing = args.machine_output();
+  return runner::run_fleet(plan, opts, fn);
+}
+
+/// Prints the across-trial mean ± 95% CI for every aggregated path whose
+/// dotted name starts with `prefix` (all paths when empty). No-op for a
+/// single trial, where the aggregate adds nothing over the run itself.
+inline void print_aggregate(const runner::FleetResult& fleet,
+                            const std::string& prefix = "") {
+  if (fleet.trial_results.size() < 2) return;
+  const obs::Json::Object* paths = fleet.aggregate.as_object();
+  if (paths == nullptr) return;
+  std::printf("\naggregate over %zu trials (mean +/- ci95):\n",
+              fleet.trial_results.size());
+  for (const obs::Json::Member& m : *paths) {
+    if (!prefix.empty() && m.first.rfind(prefix, 0) != 0) continue;
+    const obs::Json* mean = m.second.find("mean");
+    const obs::Json* ci = m.second.find("ci95");
+    if (mean == nullptr || ci == nullptr) continue;
+    std::printf("  %-40s %12.4f +/- %.4f\n", m.first.c_str(), mean->number(),
+                ci->number());
+  }
+}
 
 /// Assembles and writes the machine-readable result document
 /// (docs/OBSERVABILITY.md "Bench report format"):
@@ -164,21 +243,10 @@ class JsonReport {
       doc["experiment"] = experiment_;
       doc["results"] = std::move(results_);
       doc["metrics"] = obs::MetricsRegistry::global().to_json();
-      std::ofstream out(args_.json_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", args_.json_path.c_str());
-        std::exit(1);
-      }
-      doc.dump(out);
-      out << "\n";
-      std::printf("[json report: %s]\n", args_.json_path.c_str());
+      write_json(doc);
     }
     if (!args_.trace_path.empty()) {
-      std::ofstream out(args_.trace_path);
-      if (!out) {
-        std::fprintf(stderr, "cannot write %s\n", args_.trace_path.c_str());
-        std::exit(1);
-      }
+      std::ofstream out = open(args_.trace_path);
       obs::TraceSink::global().write_jsonl(out);
       std::printf("[trace: %s, %zu events, %llu overwritten]\n",
                   args_.trace_path.c_str(), obs::TraceSink::global().size(),
@@ -187,7 +255,61 @@ class JsonReport {
     }
   }
 
+  /// Fleet variant (docs/OBSERVABILITY.md "Fleet report format"):
+  /// `results` stays the first trial's document — existing consumers keep
+  /// working — and the fleet adds `fleet` (run parameters + the
+  /// determinism fingerprint), `trials` (every per-trial document) and
+  /// `aggregate` (dotted path -> summary stats). `metrics` becomes the
+  /// shard-merged registry snapshot; `--trace` emits every trial's
+  /// events tagged with their trial index.
+  void write(const runner::FleetResult& fleet,
+             std::uint64_t base_seed) {
+    if (!args_.json_path.empty()) {
+      obs::Json doc;
+      doc["schema"] = "harp-obs/1";
+      doc["experiment"] = experiment_;
+      doc["results"] = std::move(results_);
+      obs::Json& meta = doc["fleet"];
+      meta["trials"] = static_cast<std::uint64_t>(fleet.trial_results.size());
+      meta["jobs"] = static_cast<std::uint64_t>(fleet.jobs);
+      meta["base_seed"] = base_seed;
+      char fp[32];
+      std::snprintf(fp, sizeof fp, "%016llx",
+                    static_cast<unsigned long long>(fleet.fingerprint));
+      meta["fingerprint"] = fp;
+      meta["wall_seconds"] = fleet.wall_seconds;
+      obs::Json& trials = doc["trials"];
+      trials = obs::Json::array();
+      for (const obs::Json& t : fleet.trial_results) trials.push_back(t);
+      doc["aggregate"] = fleet.aggregate;
+      doc["metrics"] = fleet.merged_metrics.to_json();
+      write_json(doc);
+    }
+    if (!args_.trace_path.empty()) {
+      std::ofstream out = open(args_.trace_path);
+      fleet.write_trace_jsonl(out);
+      std::printf("[trace: %s, %zu trial shards]\n", args_.trace_path.c_str(),
+                  fleet.contexts.size());
+    }
+  }
+
  private:
+  std::ofstream open(const std::string& path) {
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    return out;
+  }
+
+  void write_json(const obs::Json& doc) {
+    std::ofstream out = open(args_.json_path);
+    doc.dump(out);
+    out << "\n";
+    std::printf("[json report: %s]\n", args_.json_path.c_str());
+  }
+
   std::string experiment_;
   Args args_;
   obs::Json results_;

@@ -7,6 +7,10 @@
 // partition (resolved locally); the second exhausts them and triggers a
 // partition adjustment request up the tree.
 //
+// With --trials N the timeline repeats with per-trial derived seeds
+// (base seed 15) across --jobs workers; the report aggregates the step
+// costs and series points across trials (docs/RUNNER.md).
+//
 // Expected shape: latency near one slotframe at rate 1; a small bump at
 // the first step that settles quickly; a larger, longer spike at the
 // second step (adjustment takes management-plane round trips), settling
@@ -20,17 +24,16 @@ using namespace harp;
 
 namespace {
 
-/// Runs `frames` slotframes and prints one latency sample per bucket.
+constexpr std::uint64_t kBaseSeed = 15;
+constexpr NodeId kNode = 15;  // layer-3 relay, the paper's Node 15 analogue
+
+/// Runs `frames` slotframes, one series point per bucket.
 void trace(sim::HarpSimulation& sim, NodeId node, int frames, int bucket,
-           bench::Table& table, obs::Json& series, const char* phase) {
+           obs::Json& series, const char* phase) {
   for (int f = 0; f < frames; f += bucket) {
     sim.data().metrics().clear();
     sim.run_frames(static_cast<AbsoluteSlot>(bucket));
     const auto& lat = sim.metrics().node_latency(node);
-    table.row({bench::fmt(sim.now_seconds(), 1),
-               lat.empty() ? "-" : bench::fmt(lat.mean()),
-               lat.empty() ? "-" : bench::fmt(lat.max()),
-               std::to_string(lat.count()), phase});
     obs::Json point;
     point["time_s"] = sim.now_seconds();
     if (!lat.empty()) {
@@ -43,59 +46,92 @@ void trace(sim::HarpSimulation& sim, NodeId node, int frames, int bucket,
   }
 }
 
-}  // namespace
+void step_json(obs::Json& results, const char* name,
+               const sim::MgmtPlane::Summary& s) {
+  obs::Json& step = results[name];
+  step["harp_messages"] = s.harp_messages;
+  step["elapsed_s"] = s.elapsed_seconds;
+  step["slotframes"] = s.elapsed_slotframes;
+}
 
-int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::parse(argc, argv);
+obs::Json run_trial(const runner::TrialSpec& spec) {
   const net::Topology topo = net::testbed_tree();
   net::SlotframeConfig frame;
   frame.data_slots = 190;
-  const NodeId kNode = 15;  // layer-3 relay, the paper's Node 15 analogue
-
   const auto tasks = net::uniform_echo_tasks(topo, frame.length);
   sim::HarpSimulation::Options options{frame};
   options.own_slack = 1;  // idle cells per partition, as on the testbed
-  options.seed = 15;
+  options.seed = spec.seed;
   options.queue_capacity = 512;
   sim::HarpSimulation sim(topo, tasks, options);
   sim.bootstrap();
 
-  std::printf("Fig. 10: node %u end-to-end latency under rate steps\n", kNode);
-  std::printf("(rate 1 -> 1.5 -> 3 pkt/slotframe; slotframe %.2f s)\n\n",
-              frame.frame_seconds());
-  bench::Table table({"time(s)", "avg-lat(s)", "max-lat(s)", "pkts", "phase"});
-  bench::JsonReport report("fig10_dynamic_latency", args);
-  obs::Json& series = report.results()["series"];
+  obs::Json results = obs::Json::object();
+  obs::Json& series = results["series"];
+  trace(sim, kNode, 24, 4, series, "rate=1");
+  const auto s1 = sim.change_task_rate(kNode, 133);  // 1.5 pkt/slotframe
+  trace(sim, kNode, 24, 4, series, "rate=1.5");
+  const auto s2 = sim.change_task_rate(kNode, 66);  // ~3 pkt/slotframe
+  trace(sim, kNode, 144, 8, series, "rate=3");
+  step_json(results, "step1", s1);
+  step_json(results, "step2", s2);
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
 
   bench::Timer timer;
-  trace(sim, kNode, 24, 4, table, series, "rate=1");
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
 
-  const auto s1 = sim.change_task_rate(kNode, 133);  // 1.5 pkt/slotframe
-  trace(sim, kNode, 24, 4, table, series, "rate=1.5");
+  std::printf("Fig. 10: node %u end-to-end latency under rate steps\n", kNode);
+  std::printf("(rate 1 -> 1.5 -> 3 pkt/slotframe; %zu trial%s x %zu job%s)"
+              "\n\n",
+              fleet.trial_results.size(),
+              fleet.trial_results.size() == 1 ? "" : "s", fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
 
-  const auto s2 = sim.change_task_rate(kNode, 66);  // ~3 pkt/slotframe
-  trace(sim, kNode, 144, 8, table, series, "rate=3");
-
+  const obs::Json& first = fleet.trial_results.front();
+  bench::Table table({"time(s)", "avg-lat(s)", "max-lat(s)", "pkts", "phase"});
+  const obs::Json* series = first.find("series");
+  if (const obs::Json::Array* points =
+          series == nullptr ? nullptr : series->as_array()) {
+    for (const obs::Json& p : *points) {
+      const obs::Json* avg = p.find("avg_latency_s");
+      const obs::Json* max = p.find("max_latency_s");
+      const obs::Json* phase = p.find("phase");
+      table.row({bench::fmt(p.find("time_s")->number(), 1),
+                 avg == nullptr ? "-" : bench::fmt(avg->number()),
+                 max == nullptr ? "-" : bench::fmt(max->number()),
+                 std::to_string(
+                     static_cast<long long>(p.find("packets")->number())),
+                 phase != nullptr && phase->as_string() != nullptr
+                     ? *phase->as_string()
+                     : "?"});
+    }
+  }
   table.print();
-  std::printf("\nstep 1 (1 -> 1.5): %zu HARP msgs, %.2f s, %llu slotframes"
-              " (local when 0 msgs)\n",
-              s1.harp_messages, s1.elapsed_seconds,
-              static_cast<unsigned long long>(s1.elapsed_slotframes));
-  std::printf("step 2 (1.5 -> 3): %zu HARP msgs, %.2f s, %llu slotframes"
-              " (partition adjustment)\n",
-              s2.harp_messages, s2.elapsed_seconds,
-              static_cast<unsigned long long>(s2.elapsed_slotframes));
+
+  const auto print_step = [&](const char* key, const char* label) {
+    const obs::Json* s = first.find(key);
+    if (s == nullptr) return;
+    std::printf("%s: %lld HARP msgs, %.2f s, %lld slotframes\n", label,
+                static_cast<long long>(s->find("harp_messages")->number()),
+                s->find("elapsed_s")->number(),
+                static_cast<long long>(s->find("slotframes")->number()));
+  };
+  std::printf("\n");
+  print_step("step1", "step 1 (1 -> 1.5, local when 0 msgs)");
+  print_step("step2", "step 2 (1.5 -> 3, partition adjustment)");
+  bench::print_aggregate(fleet, "step");
   std::printf("[%0.1f s]\n", timer.seconds());
 
-  const auto step_json = [&](const char* name,
-                             const sim::MgmtPlane::Summary& s) {
-    obs::Json& step = report.results()[name];
-    step["harp_messages"] = s.harp_messages;
-    step["elapsed_s"] = s.elapsed_seconds;
-    step["slotframes"] = s.elapsed_slotframes;
-  };
-  step_json("step1", s1);
-  step_json("step2", s2);
-  report.write();
+  bench::JsonReport report("fig10_dynamic_latency", args);
+  report.results() = first;
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

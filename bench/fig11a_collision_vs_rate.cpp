@@ -7,6 +7,11 @@
 // exercised by Fig. 11(b)). Schedulers: Random, MSF, LDSF and HARP.
 // Reported: mean collision probability over the topologies.
 //
+// One fleet trial = one random topology (its tree drawn from the trial's
+// derived seed), evaluated at every rate by every scheduler — the
+// paper's paired design. --trials overrides the topology count (default
+// 100); --jobs fans the topologies out across workers.
+//
 // Expected shape: the three baselines grow roughly linearly with the
 // rate; HARP stays at zero throughout.
 #include <memory>
@@ -18,59 +23,85 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::parse(argc, argv);
-  constexpr int kTopologies = 100;
-  constexpr int kMaxRate = 8;
+namespace {
 
+constexpr std::uint64_t kBaseSeed = 1000;
+constexpr int kMaxRate = 8;
+const char* const kSchedulerNames[] = {"Random", "MSF", "LDSF", "HARP"};
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
   net::SlotframeConfig frame;
   frame.data_slots = frame.length;  // the whole 199-slot frame is schedulable
 
-  std::unique_ptr<sched::Scheduler> schedulers[] = {
+  const std::unique_ptr<sched::Scheduler> schedulers[] = {
       sched::make_random_scheduler(), sched::make_msf_scheduler(),
       sched::make_ldsf_scheduler(), sched::make_harp_scheduler()};
 
-  std::printf("Fig. 11(a): collision probability vs data rate\n");
-  std::printf("(100 random 50-node 5-layer topologies, 199 slots x 16 "
-              "channels)\n\n");
-  bench::Table table({"rate", "Random", "MSF", "LDSF", "HARP"});
-  bench::JsonReport report("fig11a_collision_vs_rate", args);
-  obs::Json& series = report.results()["series"];
+  Rng topo_rng(spec.seed);
+  const auto topo = net::random_tree(
+      {.num_nodes = 50, .num_layers = 5, .max_children = 4}, topo_rng);
 
-  bench::Timer timer;
+  obs::Json results = obs::Json::object();
+  obs::Json& series = results["series"];
   for (int rate = 1; rate <= kMaxRate; ++rate) {
-    double sum[4] = {0, 0, 0, 0};
-    for (int t = 0; t < kTopologies; ++t) {
-      Rng topo_rng(1000 + static_cast<std::uint64_t>(t));
-      const auto topo = net::random_tree(
-          {.num_nodes = 50, .num_layers = 5, .max_children = 4}, topo_rng);
-      net::TrafficMatrix traffic(topo.size());
-      for (NodeId v = 1; v < topo.size(); ++v) {
-        traffic.set_uplink(v, rate);
-      }
-      for (int s = 0; s < 4; ++s) {
-        Rng rng(7777 + static_cast<std::uint64_t>(t) * 17 +
-                static_cast<std::uint64_t>(rate));
-        const auto schedule = schedulers[s]->build(topo, traffic, frame, rng);
-        sum[s] += sched::collision_probability(topo, schedule);
-      }
+    net::TrafficMatrix traffic(topo.size());
+    for (NodeId v = 1; v < topo.size(); ++v) {
+      traffic.set_uplink(v, rate);
     }
-    table.row({std::to_string(rate), bench::pct(sum[0] / kTopologies),
-               bench::pct(sum[1] / kTopologies),
-               bench::pct(sum[2] / kTopologies),
-               bench::pct(sum[3] / kTopologies)});
     obs::Json point;
     point["rate_cells"] = rate;
-    point["collision_probability"]["Random"] = sum[0] / kTopologies;
-    point["collision_probability"]["MSF"] = sum[1] / kTopologies;
-    point["collision_probability"]["LDSF"] = sum[2] / kTopologies;
-    point["collision_probability"]["HARP"] = sum[3] / kTopologies;
+    obs::Json& probs = point["collision_probability"];
+    for (int s = 0; s < 4; ++s) {
+      // Per-rate scheduler stream: changing one rate's draw never
+      // perturbs the others.
+      Rng rng(derive_seed(spec.seed, 100 + static_cast<std::uint64_t>(rate)));
+      const auto schedule = schedulers[s]->build(topo, traffic, frame, rng);
+      probs[kSchedulerNames[s]] =
+          sched::collision_probability(topo, schedule);
+    }
     series.push_back(std::move(point));
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.trials_set) args.trials = 100;  // the paper's topology count
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
+  std::printf("Fig. 11(a): collision probability vs data rate\n");
+  std::printf("(%zu random 50-node 5-layer topologies, 199 slots x 16 "
+              "channels, %zu job%s)\n\n",
+              fleet.trial_results.size(), fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+  bench::Table table({"rate", "Random", "MSF", "LDSF", "HARP"});
+
+  // Each row is the across-topology mean — the quantity the paper plots.
+  for (int rate = 1; rate <= kMaxRate; ++rate) {
+    std::vector<std::string> row = {std::to_string(rate)};
+    for (const char* scheduler : kSchedulerNames) {
+      const std::string path = "series." + std::to_string(rate - 1) +
+                               ".collision_probability." + scheduler;
+      const obs::Json* summary = fleet.aggregate.find(path);
+      const obs::Json* mean =
+          summary == nullptr ? nullptr : summary->find("mean");
+      row.push_back(mean == nullptr ? "-" : bench::pct(mean->number()));
+    }
+    table.row(std::move(row));
   }
   table.print();
   std::printf("\n[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("fig11a_collision_vs_rate", args);
+  report.results() = fleet.trial_results.front();
   // Paper reference (Fig. 11a): HARP collision-free at every rate.
   report.results()["paper"]["harp_collision_probability"] = 0.0;
-  report.write();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

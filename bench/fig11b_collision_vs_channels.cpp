@@ -5,6 +5,10 @@
 // per-link demand fixed at 3 cells/slotframe both directions, channel
 // count reduced from 16 down to 2.
 //
+// One fleet trial = one random topology evaluated at every channel count
+// by every scheduler (the paired design); --trials overrides the
+// topology count (default 100), --jobs fans the topologies out.
+//
 // Expected shape: the baselines' collision probability rises sharply as
 // channels shrink; HARP remains collision-free while isolation can admit
 // the demand (> 4 channels) and only then picks up a small residue —
@@ -18,61 +22,85 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::parse(argc, argv);
-  constexpr int kTopologies = 100;
-  constexpr int kRate = 3;
+namespace {
 
-  std::unique_ptr<sched::Scheduler> schedulers[] = {
+constexpr std::uint64_t kBaseSeed = 1000;
+constexpr int kRate = 3;
+const char* const kSchedulerNames[] = {"Random", "MSF", "LDSF", "HARP"};
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
+  const std::unique_ptr<sched::Scheduler> schedulers[] = {
       sched::make_random_scheduler(), sched::make_msf_scheduler(),
       sched::make_ldsf_scheduler(), sched::make_harp_scheduler()};
 
-  std::printf("Fig. 11(b): collision probability vs number of channels\n");
-  std::printf("(100 random 50-node 5-layer topologies, 199 slots, demand "
-              "%d cells/link)\n\n",
-              kRate);
-  bench::Table table({"channels", "Random", "MSF", "LDSF", "HARP"});
-  bench::JsonReport report("fig11b_collision_vs_channels", args);
-  obs::Json& series = report.results()["series"];
+  Rng topo_rng(spec.seed);
+  const auto topo = net::random_tree(
+      {.num_nodes = 50, .num_layers = 5, .max_children = 4}, topo_rng);
+  net::TrafficMatrix traffic(topo.size());
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    traffic.set_uplink(v, kRate);
+    traffic.set_downlink(v, kRate);
+  }
 
-  bench::Timer timer;
+  obs::Json results = obs::Json::object();
+  obs::Json& series = results["series"];
   for (int channels = 16; channels >= 2; channels -= 2) {
     net::SlotframeConfig frame;
     frame.num_channels = static_cast<ChannelId>(channels);
     frame.data_slots = frame.length;
-    double sum[4] = {0, 0, 0, 0};
-    for (int t = 0; t < kTopologies; ++t) {
-      Rng topo_rng(1000 + static_cast<std::uint64_t>(t));
-      const auto topo = net::random_tree(
-          {.num_nodes = 50, .num_layers = 5, .max_children = 4}, topo_rng);
-      net::TrafficMatrix traffic(topo.size());
-      for (NodeId v = 1; v < topo.size(); ++v) {
-        traffic.set_uplink(v, kRate);
-        traffic.set_downlink(v, kRate);
-      }
-      for (int s = 0; s < 4; ++s) {
-        Rng rng(5555 + static_cast<std::uint64_t>(t) * 13 +
-                static_cast<std::uint64_t>(channels));
-        const auto schedule = schedulers[s]->build(topo, traffic, frame, rng);
-        sum[s] += sched::collision_probability(topo, schedule);
-      }
-    }
-    table.row({std::to_string(channels), bench::pct(sum[0] / kTopologies),
-               bench::pct(sum[1] / kTopologies),
-               bench::pct(sum[2] / kTopologies),
-               bench::pct(sum[3] / kTopologies)});
     obs::Json point;
     point["channels"] = channels;
-    point["collision_probability"]["Random"] = sum[0] / kTopologies;
-    point["collision_probability"]["MSF"] = sum[1] / kTopologies;
-    point["collision_probability"]["LDSF"] = sum[2] / kTopologies;
-    point["collision_probability"]["HARP"] = sum[3] / kTopologies;
+    obs::Json& probs = point["collision_probability"];
+    for (int s = 0; s < 4; ++s) {
+      Rng rng(derive_seed(spec.seed,
+                          200 + static_cast<std::uint64_t>(channels)));
+      const auto schedule = schedulers[s]->build(topo, traffic, frame, rng);
+      probs[kSchedulerNames[s]] =
+          sched::collision_probability(topo, schedule);
+    }
     series.push_back(std::move(point));
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.trials_set) args.trials = 100;  // the paper's topology count
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
+  std::printf("Fig. 11(b): collision probability vs number of channels\n");
+  std::printf("(%zu random 50-node 5-layer topologies, 199 slots, demand "
+              "%d cells/link, %zu job%s)\n\n",
+              fleet.trial_results.size(), kRate, fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+  bench::Table table({"channels", "Random", "MSF", "LDSF", "HARP"});
+
+  int index = 0;
+  for (int channels = 16; channels >= 2; channels -= 2, ++index) {
+    std::vector<std::string> row = {std::to_string(channels)};
+    for (const char* scheduler : kSchedulerNames) {
+      const std::string path = "series." + std::to_string(index) +
+                               ".collision_probability." + scheduler;
+      const obs::Json* summary = fleet.aggregate.find(path);
+      const obs::Json* mean =
+          summary == nullptr ? nullptr : summary->find("mean");
+      row.push_back(mean == nullptr ? "-" : bench::pct(mean->number()));
+    }
+    table.row(std::move(row));
   }
   table.print();
   std::printf("\n[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("fig11b_collision_vs_channels", args);
+  report.results() = fleet.trial_results.front();
   // Paper reference (Fig. 11b): HARP stays collision-free above 4 channels.
   report.results()["paper"]["harp_collision_free_above_channels"] = 4;
-  report.write();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

@@ -9,11 +9,13 @@
 // PUT-intf/PUT-part messages; APaS = hop-enumerated 3l-1 round trip
 // through the root.
 //
+// One fleet trial = one random topology (default --trials 10, the
+// historical topology count); --jobs fans the topologies out. The table
+// shows the across-topology mean per layer.
+//
 // Expected shape: APaS grows linearly in the layer (3l-1); HARP stays
 // nearly flat and low because most requests are absorbed by the parent's
 // idle cells or a one-level adjustment.
-#include <map>
-
 #include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
@@ -24,65 +26,100 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::parse(argc, argv);
-  constexpr int kTopologies = 10;
+namespace {
 
+constexpr std::uint64_t kBaseSeed = 31;
+constexpr int kMaxLayer = 10;
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
   net::SlotframeConfig frame;
   frame.length = 397;  // roomier slotframe so 10-layer demand fits
   frame.data_slots = 360;
 
-  std::printf("Fig. 12: adjustment overhead per layer, APaS vs HARP\n");
-  std::printf("(%d random 81-node 10-layer topologies, +1 cell per link)\n\n",
-              kTopologies);
+  Rng rng(spec.seed);
+  const auto topo = net::random_tree(
+      {.num_nodes = 81, .num_layers = 10, .max_children = 4}, rng);
+  // Light uniform load so both systems admit every +1 increase.
+  net::TrafficMatrix traffic(topo.size());
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    traffic.set_uplink(v, 1);
+    traffic.set_downlink(v, 1);
+  }
+  core::HarpEngine harp_engine(topo, traffic, frame, {}, {.own_slack = 2});
+  sched::ApasScheduler apas(topo, traffic, frame);
 
-  std::map<int, Stats> harp_pkts, apas_pkts;
-  bench::Timer timer;
+  Stats harp_pkts[kMaxLayer + 1], apas_pkts[kMaxLayer + 1];
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    const int layer = topo.node_layer(v);
+    const int cur = harp_engine.traffic().uplink(v);
 
-  for (int t = 0; t < kTopologies; ++t) {
-    Rng rng(31 + static_cast<std::uint64_t>(t));
-    const auto topo = net::random_tree(
-        {.num_nodes = 81, .num_layers = 10, .max_children = 4}, rng);
-    // Light uniform load so both systems admit every +1 increase.
-    net::TrafficMatrix traffic(topo.size());
-    for (NodeId v = 1; v < topo.size(); ++v) {
-      traffic.set_uplink(v, 1);
-      traffic.set_downlink(v, 1);
+    const auto hr = harp_engine.request_demand(v, Direction::kUp, cur + 1);
+    if (hr.satisfied) {
+      // Request from the affected node to its parent + the final cell
+      // update, plus the HARP partition messages.
+      harp_pkts[layer].add(2.0 + static_cast<double>(hr.messages.size()));
     }
-    core::HarpEngine harp_engine(topo, traffic, frame, {},
-                                 {.own_slack = 2});
-    sched::ApasScheduler apas(topo, traffic, frame);
-
-    for (NodeId v = 1; v < topo.size(); ++v) {
-      const int layer = topo.node_layer(v);
-      const int cur = harp_engine.traffic().uplink(v);
-
-      const auto hr = harp_engine.request_demand(v, Direction::kUp, cur + 1);
-      if (hr.satisfied) {
-        // Request from the affected node to its parent + the final cell
-        // update, plus the HARP partition messages.
-        harp_pkts[layer].add(2.0 + static_cast<double>(hr.messages.size()));
-      }
-      const auto ar = apas.request_demand(v, Direction::kUp, cur + 1);
-      if (ar.satisfied) {
-        apas_pkts[layer].add(static_cast<double>(ar.packets()));
-      }
+    const auto ar = apas.request_demand(v, Direction::kUp, cur + 1);
+    if (ar.satisfied) {
+      apas_pkts[layer].add(static_cast<double>(ar.packets()));
     }
   }
+
+  obs::Json results = obs::Json::object();
+  obs::Json& layers = results["layers"];
+  layers = obs::Json::object();
+  for (int layer = 1; layer <= kMaxLayer; ++layer) {
+    if (apas_pkts[layer].empty() && harp_pkts[layer].empty()) continue;
+    obs::Json& point = layers[std::to_string(layer)];
+    if (!apas_pkts[layer].empty()) {
+      point["apas_packets_mean"] = apas_pkts[layer].mean();
+    }
+    if (!harp_pkts[layer].empty()) {
+      point["harp_packets_mean"] = harp_pkts[layer].mean();
+    }
+  }
+  return results;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  if (!args.trials_set) args.trials = 10;  // historical topology count
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
+  std::printf("Fig. 12: adjustment overhead per layer, APaS vs HARP\n");
+  std::printf("(%zu random 81-node 10-layer topologies, +1 cell per link, "
+              "%zu job%s)\n\n",
+              fleet.trial_results.size(), fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
 
   bench::JsonReport report("fig12_adjustment_vs_layer", args);
   obs::Json& series = report.results()["series"];
   bench::Table table({"layer", "APaS-pkts", "HARP-pkts", "3l-1"});
-  for (const auto& [layer, stats] : apas_pkts) {
-    const auto it = harp_pkts.find(layer);
-    table.row({std::to_string(layer), bench::fmt(stats.mean(), 1),
-               it == harp_pkts.end() ? "-" : bench::fmt(it->second.mean(), 1),
+  for (int layer = 1; layer <= kMaxLayer; ++layer) {
+    const std::string base = "layers." + std::to_string(layer) + ".";
+    const obs::Json* apas = fleet.aggregate.find(base + "apas_packets_mean");
+    const obs::Json* harp = fleet.aggregate.find(base + "harp_packets_mean");
+    if (apas == nullptr && harp == nullptr) continue;
+    const auto mean_cell = [](const obs::Json* summary) {
+      const obs::Json* mean =
+          summary == nullptr ? nullptr : summary->find("mean");
+      return mean == nullptr ? std::string("-") : bench::fmt(mean->number(), 1);
+    };
+    table.row({std::to_string(layer), mean_cell(apas), mean_cell(harp),
                std::to_string(3 * layer - 1)});
     obs::Json point;
     point["layer"] = layer;
-    point["apas_packets_mean"] = stats.mean();
-    if (it != harp_pkts.end()) {
-      point["harp_packets_mean"] = it->second.mean();
+    if (apas != nullptr && apas->find("mean") != nullptr) {
+      point["apas_packets_mean"] = apas->find("mean")->number();
+    }
+    if (harp != nullptr && harp->find("mean") != nullptr) {
+      point["harp_packets_mean"] = harp->find("mean")->number();
     }
     // Paper reference: APaS costs 3l-1 packets at layer l.
     point["paper_apas_packets"] = 3 * layer - 1;
@@ -90,6 +127,6 @@ int main(int argc, char** argv) {
   }
   table.print();
   std::printf("\n[%0.1f s]\n", timer.seconds());
-  report.write();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

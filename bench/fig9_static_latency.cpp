@@ -9,6 +9,11 @@
 // simulator with a light loss model standing in for environmental
 // interference.
 //
+// With --trials N the same setup repeats with per-trial seeds derived
+// from the plan (base seed 42 by default, override with --seed) across
+// --jobs workers; the report then carries per-trial documents plus
+// mean/median/p95/CI aggregates (docs/RUNNER.md).
+//
 // Expected shape: average end-to-end latency close to one slotframe
 // (1.99 s) for every node, rising mildly with the node's layer; deeper
 // nodes show more variance due to loss-induced retries.
@@ -20,8 +25,11 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::parse(argc, argv);
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 42;
+
+obs::Json run_trial(const runner::TrialSpec& spec, double minutes) {
   const net::Topology topo = net::testbed_tree();
   net::SlotframeConfig frame;  // 199 x 16, 10 ms slots
   frame.data_slots = 190;
@@ -31,35 +39,18 @@ int main(int argc, char** argv) {
   options.pdr = 0.98;      // mild environmental interference
   options.own_slack = 1;   // spare cell per scheduling partition: loss
                            // retries drain instead of accumulating
-  options.seed = 42;
+  options.seed = spec.seed;
   sim::HarpSimulation sim(topo, tasks, options);
 
-  bench::Timer timer;
   const AbsoluteSlot boot = sim.bootstrap();
-  const double minutes = args.minutes > 0.0 ? args.minutes : 30.0;
   sim.run_frames(
       static_cast<AbsoluteSlot>(minutes * 60.0 / frame.frame_seconds()));
 
-  std::printf("Fig. 9: per-node end-to-end latency, static setup\n");
-  std::printf("(50 nodes, 5 hops, 2 s echo task per node, %0.0f min, "
-              "PDR %.2f; bootstrap took %.2f s)\n\n",
-              minutes, options.pdr,
-              static_cast<double>(boot) * frame.slot_seconds);
-
-  bench::JsonReport report("fig9_static_latency", args);
-  obs::Json& nodes = report.results()["nodes"];
-
-  // Nodes sorted by ascending layer, like the paper's x-axis.
-  bench::Table table({"node", "layer", "avg-lat(s)", "p95(s)", "delivered"});
+  obs::Json results = obs::Json::object();
+  obs::Json& nodes = results["nodes"];
   for (int layer = 1; layer <= topo.depth(); ++layer) {
     for (NodeId v : topo.nodes_at_layer(layer)) {
       const auto& lat = sim.metrics().node_latency(v);
-      const double delivered = static_cast<double>(lat.count()) /
-                               static_cast<double>(sim.metrics().generated(v));
-      table.row({std::to_string(v), std::to_string(layer),
-                 lat.empty() ? "-" : bench::fmt(lat.mean()),
-                 lat.empty() ? "-" : bench::fmt(lat.percentile(95)),
-                 bench::pct(delivered)});
       obs::Json entry;
       entry["node"] = v;
       entry["layer"] = layer;
@@ -69,31 +60,85 @@ int main(int argc, char** argv) {
         entry["max_latency_s"] = lat.max();
       }
       entry["packets"] = lat.count();
-      entry["delivered_fraction"] = delivered;
+      entry["delivered_fraction"] =
+          static_cast<double>(lat.count()) /
+          static_cast<double>(sim.metrics().generated(v));
       nodes.push_back(std::move(entry));
     }
   }
-  table.print();
 
   Stats all;
   for (NodeId v = 1; v < topo.size(); ++v) {
     all.merge(sim.metrics().node_latency(v));
   }
-  std::printf("\noverall: mean %.2f s, p95 %.2f s, max %.2f s "
-              "(slotframe = %.2f s)\n",
-              all.mean(), all.percentile(95), all.max(),
-              frame.frame_seconds());
-  std::printf("[%0.1f s]\n", timer.seconds());
-
-  obs::Json& overall = report.results()["overall"];
+  obs::Json& overall = results["overall"];
   overall["minutes"] = minutes;
   overall["bootstrap_s"] = static_cast<double>(boot) * frame.slot_seconds;
   overall["mean_latency_s"] = all.mean();
   overall["p95_latency_s"] = all.percentile(95);
   overall["max_latency_s"] = all.max();
   overall["slotframe_s"] = frame.frame_seconds();
+  return results;
+}
+
+std::string cell(const obs::Json* v, int precision = 2) {
+  return v == nullptr ? "-" : bench::fmt(v->number(), precision);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  const double minutes = args.minutes > 0.0 ? args.minutes : 30.0;
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [&](const runner::TrialSpec& spec) { return run_trial(spec, minutes); });
+
+  std::printf("Fig. 9: per-node end-to-end latency, static setup\n");
+  std::printf("(50 nodes, 5 hops, 2 s echo task per node, %0.0f min, "
+              "PDR 0.98, %zu trial%s x %zu job%s)\n\n",
+              minutes, fleet.trial_results.size(),
+              fleet.trial_results.size() == 1 ? "" : "s", fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+
+  // The human-readable table shows the first trial, like the single runs
+  // this harness historically printed; the aggregate block and the JSON
+  // report carry the across-trial statistics.
+  const obs::Json& first = fleet.trial_results.front();
+  bench::Table table({"node", "layer", "avg-lat(s)", "p95(s)", "delivered"});
+  const obs::Json* nodes_doc = first.find("nodes");
+  if (const obs::Json::Array* nodes =
+          nodes_doc == nullptr ? nullptr : nodes_doc->as_array();
+      nodes != nullptr) {
+    for (const obs::Json& entry : *nodes) {
+      const obs::Json* frac = entry.find("delivered_fraction");
+      table.row({std::to_string(
+                     static_cast<long long>(entry.find("node")->number())),
+                 std::to_string(
+                     static_cast<long long>(entry.find("layer")->number())),
+                 cell(entry.find("avg_latency_s")),
+                 cell(entry.find("p95_latency_s")),
+                 bench::pct(frac == nullptr ? 0.0 : frac->number())});
+    }
+  }
+  table.print();
+
+  const obs::Json* overall = first.find("overall");
+  std::printf("\noverall (trial 0): mean %.2f s, p95 %.2f s, max %.2f s "
+              "(slotframe = %.2f s)\n",
+              overall->find("mean_latency_s")->number(),
+              overall->find("p95_latency_s")->number(),
+              overall->find("max_latency_s")->number(),
+              overall->find("slotframe_s")->number());
+  bench::print_aggregate(fleet, "overall.");
+  std::printf("[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("fig9_static_latency", args);
+  report.results() = first;
   // Paper reference (Fig. 9): per-node averages hug one slotframe.
   report.results()["paper"]["mean_latency_s"] = 1.99;
-  report.write();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

@@ -7,6 +7,10 @@
 // HARP messages exchanged, and the wall-clock time / slotframes the
 // reconfiguration took over the management plane.
 //
+// With --trials N the event sequence repeats with per-trial derived
+// seeds (base seed 2) across --jobs workers; the report aggregates every
+// event's cost across trials (docs/RUNNER.md).
+//
 // Expected shape (Table II): events resolved at the immediate parent cost
 // ~2 messages and about one slotframe; events crossing several layers
 // cost proportionally more messages and slotframes, with the involved
@@ -18,8 +22,11 @@
 
 using namespace harp;
 
-int main(int argc, char** argv) {
-  const bench::Args args = bench::Args::parse(argc, argv);
+namespace {
+
+constexpr std::uint64_t kBaseSeed = 2;
+
+obs::Json run_trial(const runner::TrialSpec& spec) {
   const net::Topology topo = net::testbed_tree();
   net::SlotframeConfig frame;
   frame.data_slots = 190;
@@ -27,7 +34,7 @@ int main(int argc, char** argv) {
 
   sim::HarpSimulation::Options options{frame};
   options.own_slack = 1;  // testbed-like idle cells inside each partition
-  options.seed = 2;
+  options.seed = spec.seed;
   sim::HarpSimulation sim(topo, tasks, options);
   sim.bootstrap();
   sim.run_frames(5);
@@ -50,16 +57,8 @@ int main(int argc, char** argv) {
       {30, Direction::kUp, 2},    // C_{30,4} grows: multi-layer climb
   };
 
-  std::printf("Table II: partition adjustment overhead per event\n");
-  std::printf("(event = link demand growth; Msg counts PUT-intf/PUT-part "
-              "only, as in the paper)\n\n");
-  bench::Table table({"event", "layer", "nodes", "layers", "msg", "time(s)",
-                      "SF"});
-
-  bench::JsonReport report("table2_adjustment_overhead", args);
-  obs::Json& rows = report.results()["events"];
-
-  bench::Timer timer;
+  obs::Json results = obs::Json::object();
+  obs::Json& rows = results["events"];
   for (const Event& e : events) {
     const NodeId child = topo.children(e.node).front();
     const int layer = topo.link_layer(e.node);
@@ -68,10 +67,6 @@ int main(int argc, char** argv) {
     char label[64];
     std::snprintf(label, sizeof label, "C%u,%d:+%d(%s)", e.node, layer,
                   e.delta, to_string(e.dir));
-    table.row({label, std::to_string(layer), std::to_string(s.nodes.size()),
-               std::to_string(s.layers), std::to_string(s.harp_messages),
-               bench::fmt(s.elapsed_seconds),
-               std::to_string(s.elapsed_slotframes)});
     obs::Json row;
     row["event"] = label;
     row["layer"] = layer;
@@ -83,12 +78,61 @@ int main(int argc, char** argv) {
     rows.push_back(std::move(row));
     sim.run_frames(3);  // settle between events
   }
+  return results;
+}
+
+std::string int_cell(const obs::Json& row, const char* key) {
+  const obs::Json* v = row.find(key);
+  return v == nullptr
+             ? "-"
+             : std::to_string(static_cast<long long>(v->number()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+
+  bench::Timer timer;
+  const runner::FleetResult fleet = bench::run_trials(
+      args, kBaseSeed,
+      [](const runner::TrialSpec& spec) { return run_trial(spec); });
+
+  std::printf("Table II: partition adjustment overhead per event\n");
+  std::printf("(event = link demand growth; Msg counts PUT-intf/PUT-part "
+              "only, as in the paper; %zu trial%s x %zu job%s)\n\n",
+              fleet.trial_results.size(),
+              fleet.trial_results.size() == 1 ? "" : "s", fleet.jobs,
+              fleet.jobs == 1 ? "" : "s");
+  bench::Table table({"event", "layer", "nodes", "layers", "msg", "time(s)",
+                      "SF"});
+
+  const obs::Json& first = fleet.trial_results.front();
+  const obs::Json* events = first.find("events");
+  if (const obs::Json::Array* rows =
+          events == nullptr ? nullptr : events->as_array()) {
+    for (const obs::Json& row : *rows) {
+      const obs::Json* label = row.find("event");
+      table.row({label != nullptr && label->as_string() != nullptr
+                     ? *label->as_string()
+                     : "?",
+                 int_cell(row, "layer"), int_cell(row, "nodes_involved"),
+                 int_cell(row, "layers_spanned"),
+                 int_cell(row, "harp_messages"),
+                 bench::fmt(row.find("elapsed_s")->number()),
+                 int_cell(row, "slotframes")});
+    }
+  }
   table.print();
+  bench::print_aggregate(fleet, "events.");
   std::printf("\n[%0.1f s]\n", timer.seconds());
+
+  bench::JsonReport report("table2_adjustment_overhead", args);
+  report.results() = first;
   // Paper reference (Table II): parent-resolved events cost ~2 messages
   // in about one slotframe.
   report.results()["paper"]["local_event_messages"] = 2;
   report.results()["paper"]["local_event_slotframes"] = 1;
-  report.write();
+  report.write(fleet, args.base_seed(kBaseSeed));
   return 0;
 }

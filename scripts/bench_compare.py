@@ -15,6 +15,12 @@ The gate enforces three things:
      (same workload, same seeds => any difference means an optimization
      changed simulation semantics, which no tolerance can excuse).
 
+Both single-run and fleet-aggregated reports (docs/RUNNER.md) are
+accepted: a dotted metric is read from `results` when present there, and
+falls back to the across-trial mean in `aggregate` otherwise — so a
+baseline recorded single-run stays comparable after a bench grows
+--trials support.
+
 Exits non-zero with a per-check report on any violation, so CI can run it
 directly. docs/PERFORMANCE.md describes the workload and how to refresh
 the baseline.
@@ -24,16 +30,35 @@ import json
 import sys
 
 
-def load_results(path):
+def load_report(path):
     with open(path, encoding="utf-8") as fh:
         report = json.load(fh)
     if report.get("schema") != "harp-obs/1":
         sys.exit(f"{path}: schema is {report.get('schema')!r}, "
                  "expected 'harp-obs/1'")
-    try:
-        return report["results"]
-    except KeyError:
+    if "results" not in report:
         sys.exit(f"{path}: missing top-level 'results'")
+    report["_path"] = path
+    return report
+
+
+def metric(report, dotted):
+    """Resolves a dotted path: `results` first, then the fleet aggregate's
+    across-trial mean."""
+    node = report["results"]
+    for part in dotted.split("."):
+        if isinstance(node, dict) and part in node:
+            node = node[part]
+        else:
+            node = None
+            break
+    if node is not None:
+        return node
+    summary = report.get("aggregate", {}).get(dotted)
+    if summary is not None:
+        return summary["mean"]
+    sys.exit(f"{report['_path']}: metric '{dotted}' in neither results "
+             "nor aggregate")
 
 
 def parse_tolerance(text):
@@ -54,13 +79,13 @@ def main():
     args = ap.parse_args()
 
     tol = parse_tolerance(args.tolerance)
-    base = load_results(args.baseline)
-    cand = load_results(args.candidate)
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
 
     failures = []
 
-    base_tput = base["sim"]["slots_per_sec"]
-    cand_tput = cand["sim"]["slots_per_sec"]
+    base_tput = metric(base, "sim.slots_per_sec")
+    cand_tput = metric(cand, "sim.slots_per_sec")
     floor = base_tput * (1.0 - tol)
     verdict = "ok" if cand_tput >= floor else "REGRESSION"
     print(f"sim.slots_per_sec: baseline {base_tput:,.0f}  "
@@ -68,8 +93,8 @@ def main():
     if cand_tput < floor:
         failures.append("sim throughput regressed beyond tolerance")
 
-    base_med = base["adjust"]["median_ns"]
-    cand_med = cand["adjust"]["median_ns"]
+    base_med = metric(base, "adjust.median_ns")
+    cand_med = metric(cand, "adjust.median_ns")
     ceiling = base_med * (1.0 + tol)
     verdict = "ok" if cand_med <= ceiling else "REGRESSION"
     print(f"adjust.median_ns:  baseline {base_med:,.0f}  "
@@ -77,8 +102,11 @@ def main():
     if cand_med > ceiling:
         failures.append("adjustment median latency regressed beyond tolerance")
 
-    base_sum = base["sim"]["checksum"]
-    cand_sum = cand["sim"]["checksum"]
+    # The determinism checksum never aggregates: it must match exactly, so
+    # it is always read from `results` (trial 0 in a fleet report — every
+    # trial of the fixed workload shares it).
+    base_sum = metric(base, "sim.checksum")
+    cand_sum = metric(cand, "sim.checksum")
     for key in sorted(set(base_sum) | set(cand_sum)):
         b, c = base_sum.get(key), cand_sum.get(key)
         if b != c:

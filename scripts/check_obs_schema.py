@@ -5,8 +5,12 @@ Usage:
     check_obs_schema.py report.json [trace.jsonl ...]
 
 For each `--json` report: verifies the harp-obs/1 envelope and that every
-metric name in the snapshot is documented. For each `.jsonl` trace:
-verifies every line parses and every event type is documented. Exits
+metric name in the snapshot is documented. Reports produced by the
+experiment-fleet runner (docs/RUNNER.md) additionally carry `fleet`,
+`trials` and `aggregate` sections; when present these are validated too
+(fleet run parameters, fingerprint format, per-path summary statistics).
+For each `.jsonl` trace: verifies every line parses, every event type is
+documented, and any `trial` shard tag is a non-negative integer. Exits
 non-zero listing anything undocumented, so the doc and the code cannot
 drift apart silently.
 """
@@ -27,6 +31,41 @@ def documented_names(doc_text):
     return metrics, events
 
 
+FLEET_KEYS = ("trials", "jobs", "base_seed", "fingerprint", "wall_seconds")
+SUMMARY_KEYS = ("count", "mean", "stddev", "min", "max", "median", "p95",
+                "ci95")
+
+
+def check_fleet(path, report, problems):
+    """Validates the fleet sections (docs/RUNNER.md 'Fleet report')."""
+    fleet = report["fleet"]
+    for key in FLEET_KEYS:
+        if key not in fleet:
+            problems.append(f"{path}: fleet section missing '{key}'")
+    fingerprint = fleet.get("fingerprint", "")
+    if not re.fullmatch(r"[0-9a-f]{16}", str(fingerprint)):
+        problems.append(f"{path}: fleet.fingerprint {fingerprint!r} is not "
+                        "16 lowercase hex digits")
+    trials = report.get("trials")
+    if not isinstance(trials, list):
+        problems.append(f"{path}: fleet report missing 'trials' array")
+    elif "trials" in fleet and len(trials) != fleet["trials"]:
+        problems.append(f"{path}: trials array has {len(trials)} entries, "
+                        f"fleet.trials says {fleet['trials']}")
+    aggregate = report.get("aggregate")
+    if not isinstance(aggregate, dict):
+        problems.append(f"{path}: fleet report missing 'aggregate' object")
+        aggregate = {}
+    for dotted, summary in aggregate.items():
+        missing = [k for k in SUMMARY_KEYS if k not in summary]
+        if missing:
+            problems.append(f"{path}: aggregate['{dotted}'] missing "
+                            f"{', '.join(missing)}")
+    n_trials = len(trials) if isinstance(trials, list) else 0
+    print(f"{path}: fleet of {n_trials} trials, "
+          f"{len(aggregate)} aggregated paths checked")
+
+
 def check_report(path, metrics_doc, problems):
     with open(path, encoding="utf-8") as fh:
         report = json.load(fh)
@@ -36,6 +75,8 @@ def check_report(path, metrics_doc, problems):
     if report.get("schema") != "harp-obs/1":
         problems.append(f"{path}: schema is {report.get('schema')!r}, "
                         "expected 'harp-obs/1'")
+    if "fleet" in report:
+        check_fleet(path, report, problems)
     snapshot = report.get("metrics", {})
     seen = 0
     for family in ("counters", "gauges", "histograms"):
@@ -63,6 +104,11 @@ def check_trace(path, events_doc, problems):
             if etype not in events_doc:
                 problems.append(f"{path}:{lineno}: event type {etype!r} not "
                                 f"documented in {DOC.name}")
+            if "trial" in event and not (isinstance(event["trial"], int)
+                                         and event["trial"] >= 0):
+                problems.append(f"{path}:{lineno}: trial tag "
+                                f"{event['trial']!r} is not a non-negative "
+                                "integer")
     print(f"{path}: {seen} events checked")
 
 

@@ -75,4 +75,14 @@ bool Rng::chance(double p) {
 
 Rng Rng::fork() { return Rng((*this)()); }
 
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream) {
+  // Two rounds of the SplitMix64 output mix over a combined state. The
+  // golden-ratio multiplier separates streams even when both inputs are
+  // small consecutive integers (the common case: seed 42, trials 0..N).
+  std::uint64_t x = base_seed + 0x9e3779b97f4a7c15ULL * (stream + 1);
+  std::uint64_t out = splitmix64(x);
+  out ^= splitmix64(x);
+  return out;
+}
+
 }  // namespace harp

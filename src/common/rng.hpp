@@ -62,4 +62,12 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+/// Derives a decorrelated sub-stream seed from a base seed and a stream
+/// index (SplitMix64-style bit mixing). This is how the experiment runner
+/// gives every trial its own independent seed: trial results depend only
+/// on (base_seed, stream), never on worker count or execution order, so
+/// fleets are bit-identical for any --jobs value. Stable across platforms
+/// and releases — persisted reports may embed derived seeds.
+std::uint64_t derive_seed(std::uint64_t base_seed, std::uint64_t stream);
+
 }  // namespace harp

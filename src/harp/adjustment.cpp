@@ -88,9 +88,9 @@ AdjustOutcome adjust_partition_layout(
     throw InvalidArgument("updated component must be non-empty");
   }
   HARP_OBS_SCOPE("harp.adjust.layout_ns");
-  static obs::Counter& layout_calls =
-      obs::MetricsRegistry::global().counter("harp.adjust.layout_calls");
-  layout_calls.inc();
+  static const obs::InstrumentId kLayoutCalls =
+      obs::intern_counter("harp.adjust.layout_calls");
+  obs::MetricsRegistry::global().counter(kLayoutCalls).inc();
   AdjustOutcome out;
   if (updated.slots > box.slots || updated.channels > box.channels) {
     return out;  // cannot possibly fit
@@ -171,9 +171,9 @@ AdjustOutcome adjust_partition_layout(
     }
 
     const std::size_t closest = order.front();
-    static obs::Counter& evictions =
-        obs::MetricsRegistry::global().counter("harp.adjust.evictions");
-    evictions.inc();
+    static const obs::InstrumentId kEvictions =
+        obs::intern_counter("harp.adjust.evictions");
+    obs::MetricsRegistry::global().counter(kEvictions).inc();
     loose.push_back({fixed[closest].w, fixed[closest].h, fixed[closest].id});
     fixed.erase(fixed.begin() + static_cast<std::ptrdiff_t>(closest));
   }

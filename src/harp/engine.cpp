@@ -22,8 +22,21 @@ namespace harp::core {
 
 namespace {
 
-/// Global engine counters (docs/OBSERVABILITY.md `harp.engine.*`),
-/// resolved once. One counter per AdjustmentKind, indexed by the enum.
+/// Engine counters (docs/OBSERVABILITY.md `harp.engine.*`). Names are
+/// interned once per process; instruments are resolved per call against
+/// the calling thread's current context so concurrent trials each record
+/// into their own registry. One counter per AdjustmentKind, indexed by
+/// the enum.
+struct EngineObsIds {
+  obs::InstrumentId requests;
+  obs::InstrumentId by_kind[5];
+  obs::InstrumentId hops;
+  obs::InstrumentId joins;
+  obs::InstrumentId leaves;
+  obs::InstrumentId roams;
+  obs::InstrumentId recompactions;
+};
+
 struct EngineObs {
   obs::Counter* requests;
   obs::Counter* by_kind[5];
@@ -34,24 +47,32 @@ struct EngineObs {
   obs::Counter* recompactions;
 };
 
-EngineObs& engine_obs() {
-  static EngineObs c = [] {
-    auto& reg = obs::MetricsRegistry::global();
-    return EngineObs{
-        &reg.counter("harp.engine.adjust_requests"),
-        {&reg.counter("harp.engine.adjust_no_change"),
-         &reg.counter("harp.engine.adjust_local_release"),
-         &reg.counter("harp.engine.adjust_local_schedule"),
-         &reg.counter("harp.engine.adjust_partition"),
-         &reg.counter("harp.engine.adjust_rejected")},
-        &reg.histogram("harp.engine.adjust_hops", {0, 1, 2, 4, 8, 16}),
-        &reg.counter("harp.engine.joins"),
-        &reg.counter("harp.engine.leaves"),
-        &reg.counter("harp.engine.roams"),
-        &reg.counter("harp.engine.recompactions"),
-    };
-  }();
-  return c;
+EngineObs engine_obs() {
+  static const EngineObsIds ids = {
+      obs::intern_counter("harp.engine.adjust_requests"),
+      {obs::intern_counter("harp.engine.adjust_no_change"),
+       obs::intern_counter("harp.engine.adjust_local_release"),
+       obs::intern_counter("harp.engine.adjust_local_schedule"),
+       obs::intern_counter("harp.engine.adjust_partition"),
+       obs::intern_counter("harp.engine.adjust_rejected")},
+      obs::intern_histogram("harp.engine.adjust_hops", {0, 1, 2, 4, 8, 16}),
+      obs::intern_counter("harp.engine.joins"),
+      obs::intern_counter("harp.engine.leaves"),
+      obs::intern_counter("harp.engine.roams"),
+      obs::intern_counter("harp.engine.recompactions"),
+  };
+  auto& reg = obs::MetricsRegistry::global();
+  return EngineObs{
+      &reg.counter(ids.requests),
+      {&reg.counter(ids.by_kind[0]), &reg.counter(ids.by_kind[1]),
+       &reg.counter(ids.by_kind[2]), &reg.counter(ids.by_kind[3]),
+       &reg.counter(ids.by_kind[4])},
+      &reg.histogram(ids.hops),
+      &reg.counter(ids.joins),
+      &reg.counter(ids.leaves),
+      &reg.counter(ids.roams),
+      &reg.counter(ids.recompactions),
+  };
 }
 
 }  // namespace
@@ -252,7 +273,7 @@ std::string HarpEngine::validate() const {
 
 AdjustmentReport HarpEngine::request_demand(NodeId child, Direction dir,
                                             int new_cells) {
-  EngineObs& eobs = engine_obs();
+  const EngineObs eobs = engine_obs();
   eobs.requests->inc();
   HARP_OBS_EVENT({.type = obs::EventType::kAdjustStart,
                   .aux = static_cast<std::uint8_t>(dir),

@@ -1,0 +1,24 @@
+#include "obs/context.hpp"
+
+namespace harp::obs {
+
+namespace {
+thread_local Context* t_current = nullptr;
+}  // namespace
+
+Context& default_context() {
+  static Context ctx;
+  return ctx;
+}
+
+Context& current_context() {
+  return t_current != nullptr ? *t_current : default_context();
+}
+
+ScopedContext::ScopedContext(Context& ctx) : prev_(t_current) {
+  t_current = &ctx;
+}
+
+ScopedContext::~ScopedContext() { t_current = prev_; }
+
+}  // namespace harp::obs

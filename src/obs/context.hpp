@@ -1,0 +1,56 @@
+// Per-thread observability contexts — the concurrency model of the obs
+// layer (docs/OBSERVABILITY.md "Concurrency contract").
+//
+// A Context bundles one MetricsRegistry, one TraceSink and the phase-timer
+// enable flag. Every access through the `global()` accessors and the
+// HARP_OBS_* macros resolves to the *calling thread's current context*:
+// the process-wide default context unless a ScopedContext has installed a
+// different one on this thread. Instruments inside a context are plain
+// (non-atomic) — a context must only ever be used by one thread at a time.
+//
+// This is what makes fleets of concurrent simulation trials (src/runner)
+// possible without locks on the instrumentation hot path: each trial runs
+// under its own installed Context, records into private instruments, and
+// the runner merges the shards afterwards (MetricsRegistry::merge,
+// TraceSink::write_jsonl with a trial tag).
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace harp::obs {
+
+/// One isolated set of observability state. Cheap to construct (empty
+/// registry, no trace ring until enable()).
+struct Context {
+  MetricsRegistry metrics;
+  TraceSink trace;
+  /// Whether HARP_OBS_SCOPE timers measure under this context (the flag
+  /// behind obs::timing_enabled()).
+  bool timing{false};
+};
+
+/// The process-wide default context — what every thread uses until it
+/// installs its own. Single-threaded programs never see anything else.
+Context& default_context();
+
+/// The calling thread's active context (default_context() unless a
+/// ScopedContext is live on this thread).
+Context& current_context();
+
+/// RAII installer: makes `ctx` the calling thread's current context for
+/// the scope's lifetime, restoring the previous one on exit. The caller
+/// must keep `ctx` alive for the duration and must not share it with
+/// another thread while installed.
+class ScopedContext {
+ public:
+  explicit ScopedContext(Context& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  Context* prev_;
+};
+
+}  // namespace harp::obs

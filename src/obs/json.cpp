@@ -21,6 +21,15 @@ Json& Json::operator[](const std::string& key) {
   return obj->back().second;
 }
 
+const Json* Json::find(const std::string& key) const {
+  const Object* obj = as_object();
+  if (obj == nullptr) return nullptr;
+  for (const Member& m : *obj) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
 void Json::push_back(Json v) {
   if (is_null()) value_ = Array{};
   Array* arr = std::get_if<Array>(&value_);

@@ -44,6 +44,28 @@ class Json {
   bool is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
   bool is_object() const { return std::holds_alternative<Object>(value_); }
   bool is_array() const { return std::holds_alternative<Array>(value_); }
+  bool is_number() const {
+    return std::holds_alternative<double>(value_) ||
+           std::holds_alternative<std::int64_t>(value_) ||
+           std::holds_alternative<std::uint64_t>(value_);
+  }
+
+  /// Numeric value coerced to double (0.0 when not a number) — what the
+  /// experiment runner's aggregation walks over.
+  double number() const {
+    if (const auto* d = std::get_if<double>(&value_)) return *d;
+    if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+      return static_cast<double>(*i);
+    }
+    if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+      return static_cast<double>(*u);
+    }
+    return 0.0;
+  }
+
+  /// Object member lookup without creation; nullptr when this is not an
+  /// object or the key is absent.
+  const Json* find(const std::string& key) const;
 
   /// Object access; creates the member (and coerces a null value into an
   /// object) so documents can be built with plain assignment:
@@ -65,6 +87,9 @@ class Json {
 
   const Object* as_object() const { return std::get_if<Object>(&value_); }
   const Array* as_array() const { return std::get_if<Array>(&value_); }
+  const std::string* as_string() const {
+    return std::get_if<std::string>(&value_);
+  }
 
  private:
   explicit Json(Object o) : value_(std::move(o)) {}

@@ -1,10 +1,78 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 #include "common/error.hpp"
+#include "obs/context.hpp"
 
 namespace harp::obs {
+
+namespace {
+
+// Process-wide name intern tables behind the InstrumentId fast path.
+// Mutex-guarded: interning happens once per call site (function-local
+// static), never on the per-record hot path.
+struct InternTable {
+  std::mutex mu;
+  std::vector<std::string> names;
+  // Histogram table only: custom bucket bounds (empty = default ns
+  // bounds). First interning of a name fixes its bounds.
+  std::vector<std::vector<std::uint64_t>> bounds;
+
+  InstrumentId intern(const char* name, std::vector<std::uint64_t> b = {}) {
+    std::lock_guard<std::mutex> lock(mu);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      if (names[i] == name) return static_cast<InstrumentId>(i);
+    }
+    names.emplace_back(name);
+    bounds.push_back(std::move(b));
+    return static_cast<InstrumentId>(names.size() - 1);
+  }
+
+  std::string name_of(InstrumentId id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return names.at(id);
+  }
+
+  std::vector<std::uint64_t> bounds_of(InstrumentId id) {
+    std::lock_guard<std::mutex> lock(mu);
+    return bounds.at(id);
+  }
+};
+
+InternTable& counter_interns() {
+  static InternTable table;
+  return table;
+}
+
+InternTable& histogram_interns() {
+  static InternTable table;
+  return table;
+}
+
+}  // namespace
+
+InstrumentId intern_counter(const char* name) {
+  return counter_interns().intern(name);
+}
+
+InstrumentId intern_histogram(const char* name) {
+  return histogram_interns().intern(name);
+}
+
+InstrumentId intern_histogram(const char* name,
+                              std::vector<std::uint64_t> bounds) {
+  return histogram_interns().intern(name, std::move(bounds));
+}
+
+std::string counter_name(InstrumentId id) {
+  return counter_interns().name_of(id);
+}
+
+std::string histogram_name(InstrumentId id) {
+  return histogram_interns().name_of(id);
+}
 
 const std::vector<std::uint64_t>& Histogram::default_ns_bounds() {
   static const std::vector<std::uint64_t> bounds = {
@@ -32,6 +100,21 @@ Histogram::Histogram(std::vector<std::uint64_t> bounds)
 std::size_t Histogram::bucket_of(std::uint64_t sample) const {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), sample);
   return static_cast<std::size_t>(it - bounds_.begin());
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw InvalidArgument("cannot merge histograms with different bounds");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  if (other.count_ > 0) {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
 }
 
 void Histogram::reset() {
@@ -65,6 +148,31 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return *slot;
 }
 
+Counter& MetricsRegistry::counter(InstrumentId id) {
+  if (id < counters_by_id_.size() && counters_by_id_[id] != nullptr) {
+    return *counters_by_id_[id];
+  }
+  Counter& c = counter(counter_name(id));
+  if (counters_by_id_.size() <= id) counters_by_id_.resize(id + 1, nullptr);
+  counters_by_id_[id] = &c;
+  return c;
+}
+
+Histogram& MetricsRegistry::histogram(InstrumentId id) {
+  if (id < histograms_by_id_.size() && histograms_by_id_[id] != nullptr) {
+    return *histograms_by_id_[id];
+  }
+  std::vector<std::uint64_t> bounds = histogram_interns().bounds_of(id);
+  Histogram& h = bounds.empty() ? histogram(histogram_name(id))
+                                : histogram(histogram_name(id),
+                                            std::move(bounds));
+  if (histograms_by_id_.size() <= id) {
+    histograms_by_id_.resize(id + 1, nullptr);
+  }
+  histograms_by_id_[id] = &h;
+  return h;
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
   const auto it = counters_.find(name);
   return it == counters_.end() ? nullptr : it->second.get();
@@ -88,6 +196,18 @@ std::vector<std::string> MetricsRegistry::names() const {
   for (const auto& [name, _] : histograms_) out.push_back(name);
   std::sort(out.begin(), out.end());
   return out;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name).inc(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauge(name).add(g->value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name, h->bounds()).merge(*h);
+  }
 }
 
 void MetricsRegistry::reset() {
@@ -127,8 +247,7 @@ Json MetricsRegistry::to_json() const {
 }
 
 MetricsRegistry& MetricsRegistry::global() {
-  static MetricsRegistry registry;
-  return registry;
+  return current_context().metrics;
 }
 
 }  // namespace harp::obs

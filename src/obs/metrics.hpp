@@ -2,10 +2,19 @@
 //
 // The registry is the always-on half of the observability layer (the
 // TraceSink in obs/trace.hpp is the gated, high-volume half). Instrumented
-// code resolves each instrument ONCE (at construction, or through a
-// function-local static inside HARP_OBS_SCOPE) and then updates it with a
-// plain integer add — no lookup, no lock, no allocation on the hot path.
-// The simulator is single-threaded by design; instruments are not atomic.
+// code resolves each instrument cheaply and then updates it with a plain
+// integer add — no lock, no allocation on the hot path. Two resolution
+// styles exist:
+//   * per-instance: an instrumented object resolves references once at
+//     construction via MetricsRegistry::global() (which returns the
+//     constructing thread's current context, see obs/context.hpp) and
+//     caches them for its lifetime;
+//   * per-call-site: free functions and methods shared across contexts
+//     intern the name once into a process-wide InstrumentId (thread-safe,
+//     a function-local static) and resolve it per call with a vector
+//     index into the current context's registry.
+// Instruments are not atomic: one context is only ever driven by one
+// thread at a time (docs/OBSERVABILITY.md "Concurrency contract").
 //
 // Metric names follow the dotted convention specified in
 // docs/OBSERVABILITY.md: `harp.<subsystem>.<metric>[_<unit>]`, e.g.
@@ -22,6 +31,28 @@
 #include "obs/json.hpp"
 
 namespace harp::obs {
+
+/// Process-wide stable id of an interned instrument name. Ids are dense
+/// and small (one per distinct call-site name), so every MetricsRegistry
+/// can memoize id → instrument in a flat vector: resolving through an id
+/// costs one bounds check + one indexed load after the first hit.
+using InstrumentId = std::uint32_t;
+
+/// Interns a counter (resp. histogram) name, returning its process-wide
+/// id. Thread-safe; repeated interning of the same name returns the same
+/// id. Call sites do this once through a function-local static. The
+/// bounds overload records custom bucket bounds used whenever a registry
+/// materializes the histogram through its id (first interning of a name
+/// fixes its bounds).
+InstrumentId intern_counter(const char* name);
+InstrumentId intern_histogram(const char* name);
+InstrumentId intern_histogram(const char* name,
+                              std::vector<std::uint64_t> bounds);
+
+/// Name for an interned id (by value: the intern table may grow
+/// concurrently). Id must have been returned by the matching intern_*.
+std::string counter_name(InstrumentId id);
+std::string histogram_name(InstrumentId id);
 
 /// Monotone event count. `value()` survives until `MetricsRegistry::reset`.
 class Counter {
@@ -78,6 +109,10 @@ class Histogram {
   /// Per-bucket counts; counts().size() == bounds().size() + 1 (overflow).
   const std::vector<std::uint64_t>& counts() const { return counts_; }
 
+  /// Adds another histogram's recorded samples (bucket-wise). Throws
+  /// InvalidArgument when the bucket bounds differ.
+  void merge(const Histogram& other);
+
   void reset();
 
  private:
@@ -106,6 +141,12 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name,
                        std::vector<std::uint64_t> bounds);
 
+  /// Fast-path resolution through interned ids (see intern_counter /
+  /// intern_histogram above): get-or-create on first use per registry,
+  /// a flat vector load afterwards.
+  Counter& counter(InstrumentId id);
+  Histogram& histogram(InstrumentId id);
+
   /// Lookup without creation; nullptr when the name is unknown.
   const Counter* find_counter(const std::string& name) const;
   const Gauge* find_gauge(const std::string& name) const;
@@ -113,6 +154,13 @@ class MetricsRegistry {
 
   /// Every registered metric name, sorted (counters + gauges + histograms).
   std::vector<std::string> names() const;
+
+  /// Adds another registry's recorded values into this one: counters and
+  /// histograms accumulate; gauges accumulate their values too (callers
+  /// merging N shards divide gauges by N for the mean — what the
+  /// experiment runner does, docs/RUNNER.md). Instruments unknown here
+  /// are created on the fly.
+  void merge(const MetricsRegistry& other);
 
   void reset();
 
@@ -122,14 +170,20 @@ class MetricsRegistry {
   ///    "histograms": {name: {count,sum,min,max,mean,buckets:[...]}, ...}}
   Json to_json() const;
 
-  /// The process-wide registry every HARP_OBS_* macro and instrumented
-  /// subsystem records into.
+  /// The registry every HARP_OBS_* macro and instrumented subsystem
+  /// records into: the calling thread's current context's registry
+  /// (obs/context.hpp) — the process-wide default unless a ScopedContext
+  /// is installed, as the experiment runner does per trial.
   static MetricsRegistry& global();
 
  private:
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // Interned-id memos (index: InstrumentId). Entries are created lazily;
+  // pointers are stable because the maps above own the instruments.
+  std::vector<Counter*> counters_by_id_;
+  std::vector<Histogram*> histograms_by_id_;
 };
 
 }  // namespace harp::obs

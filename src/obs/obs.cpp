@@ -1,23 +1,23 @@
 #include "obs/obs.hpp"
 
+#include "obs/context.hpp"
+
 namespace harp::obs {
 
-namespace {
-bool g_timing_enabled = false;
-}  // namespace
+bool timing_enabled() { return current_context().timing; }
 
-bool timing_enabled() { return g_timing_enabled; }
-
-void set_timing_enabled(bool on) { g_timing_enabled = on; }
+void set_timing_enabled(bool on) { current_context().timing = on; }
 
 void enable(std::size_t trace_capacity) {
-  TraceSink::global().enable(trace_capacity);
-  set_timing_enabled(true);
+  Context& ctx = current_context();
+  ctx.trace.enable(trace_capacity);
+  ctx.timing = true;
 }
 
 void disable() {
-  TraceSink::global().disable();
-  set_timing_enabled(false);
+  Context& ctx = current_context();
+  ctx.trace.disable();
+  ctx.timing = false;
 }
 
 }  // namespace harp::obs

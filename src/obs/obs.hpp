@@ -3,29 +3,35 @@
 //
 //   HARP_OBS_SCOPE("harp.engine.compose_ns");
 //     — scoped wall-clock timer; on scope exit records the elapsed
-//       nanoseconds into the named global histogram and emits one `phase`
-//       trace event. Gated by obs::timing_enabled() (default off: the
-//       cost is one branch), removed entirely under HARP_OBS=OFF.
+//       nanoseconds into the named histogram of the *current context*
+//       (obs/context.hpp) and emits one `phase` trace event. Gated by
+//       obs::timing_enabled() (default off: the cost is one branch),
+//       removed entirely under HARP_OBS=OFF. The name is interned once
+//       per call site; the per-context instrument resolves lazily so the
+//       macro stays correct when trials run under per-thread contexts.
 //
 //   HARP_OBS_EVENT({.type = obs::EventType::kCollision, ...});
-//     — records one typed trace event into the global TraceSink
-//       (one branch while the sink is disabled).
+//     — records one typed trace event into the current context's
+//       TraceSink (one branch while the sink is disabled).
 //
 // Counters/gauges are not macro-gated: instrumented classes resolve them
-// once via obs::MetricsRegistry::global() and bump them unconditionally (a
-// plain integer add). See docs/OBSERVABILITY.md for the full contract.
+// once via obs::MetricsRegistry::global() at construction and bump them
+// unconditionally (a plain integer add); shared call sites use interned
+// InstrumentIds. See docs/OBSERVABILITY.md for the full contract.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 
+#include "obs/context.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace harp::obs {
 
-/// Whether HARP_OBS_SCOPE timers measure and record (off by default: two
-/// clock reads per scope are not free on microsecond-scale kernels).
+/// Whether HARP_OBS_SCOPE timers measure and record under the calling
+/// thread's current context (off by default: two clock reads per scope
+/// are not free on microsecond-scale kernels).
 bool timing_enabled();
 void set_timing_enabled(bool on);
 
@@ -46,11 +52,14 @@ inline std::uint64_t now_ns() {
 
 /// RAII phase timer behind HARP_OBS_SCOPE. When timing is disabled at
 /// construction the destructor does nothing (the scope is not recorded,
-/// even if timing gets enabled while it is open).
+/// even if timing gets enabled while it is open). The histogram and
+/// phase id resolve at scope exit against the thread's current context —
+/// deliberately NOT cached in a function-local static, which would bind
+/// every context to whichever one executed the call site first.
 class ScopedTimer {
  public:
-  ScopedTimer(Histogram& hist, std::uint16_t phase_id)
-      : hist_(&hist), phase_id_(phase_id), active_(timing_enabled()) {
+  explicit ScopedTimer(InstrumentId scope_id)
+      : scope_id_(scope_id), active_(timing_enabled()) {
     if (active_) start_ns_ = now_ns();
   }
   ScopedTimer(const ScopedTimer&) = delete;
@@ -58,14 +67,13 @@ class ScopedTimer {
   ~ScopedTimer() {
     if (!active_) return;
     const std::uint64_t elapsed = now_ns() - start_ns_;
-    hist_->record(elapsed);
-    TraceSink::global().emit(
-        {.type = EventType::kPhase, .a = phase_id_, .value = elapsed});
+    Context& ctx = current_context();
+    ctx.metrics.histogram(scope_id_).record(elapsed);
+    ctx.trace.emit_phase(scope_id_, elapsed);
   }
 
  private:
-  Histogram* hist_;
-  std::uint16_t phase_id_;
+  InstrumentId scope_id_;
   bool active_;
   std::uint64_t start_ns_{0};
 };
@@ -77,17 +85,16 @@ class ScopedTimer {
 
 #if HARP_OBS_ENABLED
 
-/// Times the rest of the enclosing scope into the global histogram `name`
-/// (which should end in `_ns`) and emits a `phase` trace event. The
-/// histogram and phase id resolve once per call site.
+/// Times the rest of the enclosing scope into the histogram `name` (which
+/// should end in `_ns`) of the current context and emits a `phase` trace
+/// event. The name interns once per call site; the instrument resolves
+/// per context (first use: map lookup, afterwards: flat vector load).
 #define HARP_OBS_SCOPE(name)                                                  \
-  static ::harp::obs::Histogram& HARP_OBS_CONCAT(harp_obs_hist_, __LINE__) =  \
-      ::harp::obs::MetricsRegistry::global().histogram(name);                 \
-  static const std::uint16_t HARP_OBS_CONCAT(harp_obs_phase_, __LINE__) =     \
-      ::harp::obs::TraceSink::global().register_phase(name);                  \
+  static const ::harp::obs::InstrumentId HARP_OBS_CONCAT(harp_obs_sid_,       \
+                                                         __LINE__) =          \
+      ::harp::obs::intern_histogram(name);                                    \
   ::harp::obs::ScopedTimer HARP_OBS_CONCAT(harp_obs_scope_, __LINE__)(        \
-      HARP_OBS_CONCAT(harp_obs_hist_, __LINE__),                              \
-      HARP_OBS_CONCAT(harp_obs_phase_, __LINE__))
+      HARP_OBS_CONCAT(harp_obs_sid_, __LINE__))
 
 /// Records one trace event; the argument is a braced TraceEvent
 /// initializer. Not evaluated under HARP_OBS=OFF.

@@ -1,6 +1,8 @@
 #include "obs/trace.hpp"
 
+#include "obs/context.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 
 namespace harp::obs {
 
@@ -93,9 +95,28 @@ const char* TraceSink::phase_name(std::uint16_t id) const {
   return id < phase_names_.size() ? phase_names_[id].c_str() : "?";
 }
 
-void TraceSink::write_jsonl(std::ostream& out) const {
+void TraceSink::emit_phase(std::uint32_t scope_id, std::uint64_t elapsed_ns) {
+#if HARP_OBS_ENABLED
+  if (!enabled_) return;
+  if (scope_phase_.size() <= scope_id) {
+    scope_phase_.resize(scope_id + 1, kNoPhase);
+  }
+  if (scope_phase_[scope_id] == kNoPhase) {
+    scope_phase_[scope_id] = register_phase(histogram_name(scope_id));
+  }
+  emit({.type = EventType::kPhase,
+        .a = scope_phase_[scope_id],
+        .value = elapsed_ns});
+#else
+  (void)scope_id;
+  (void)elapsed_ns;
+#endif
+}
+
+void TraceSink::write_jsonl(std::ostream& out, std::int64_t trial) const {
   for (const TraceEvent& e : snapshot()) {
     Json line = Json::object();
+    if (trial >= 0) line["trial"] = trial;
     line["type"] = to_string(e.type);
     if (e.slot != TraceEvent::kNoSlot) line["slot"] = e.slot;
     switch (e.type) {
@@ -162,9 +183,6 @@ void TraceSink::write_jsonl(std::ostream& out) const {
   }
 }
 
-TraceSink& TraceSink::global() {
-  static TraceSink sink;
-  return sink;
-}
+TraceSink& TraceSink::global() { return current_context().trace; }
 
 }  // namespace harp::obs

@@ -118,7 +118,14 @@ class TraceSink {
   std::vector<TraceEvent> snapshot() const;
 
   /// JSON Lines export, oldest event first (docs/OBSERVABILITY.md).
-  void write_jsonl(std::ostream& out) const;
+  /// `trial` >= 0 tags every line with a `"trial"` member — how the
+  /// experiment runner shard-merges per-trial sinks into one stream.
+  void write_jsonl(std::ostream& out, std::int64_t trial = -1) const;
+
+  /// Emits one kPhase event for an interned histogram id (the
+  /// HARP_OBS_SCOPE fast path): resolves and memoizes the scope's phase
+  /// id per sink, so repeated scopes cost one vector load + a ring write.
+  void emit_phase(std::uint32_t scope_id, std::uint64_t elapsed_ns);
 
   /// Interns a phase name for kPhase events; returns its id (the event's
   /// `a` field). Repeated registration of the same name is idempotent.
@@ -136,6 +143,10 @@ class TraceSink {
   std::size_t size_{0};
   std::uint64_t overwritten_{0};
   std::vector<std::string> phase_names_;
+  /// Memo for emit_phase: interned histogram id -> phase id (kNoPhase
+  /// until first use under this sink).
+  std::vector<std::uint16_t> scope_phase_;
+  static constexpr std::uint16_t kNoPhase = 0xffff;
 };
 
 }  // namespace harp::obs

@@ -238,9 +238,9 @@ void HarpAgent::reassign_cells(Direction dir, Transport& t) {
 
 void HarpAgent::on_message(const Message& msg, Transport& t) {
   HARP_OBS_SCOPE("harp.agent.on_message_ns");
-  static obs::Counter& processed =
-      obs::MetricsRegistry::global().counter("harp.agent.msgs_processed");
-  processed.inc();
+  static const obs::InstrumentId kProcessed =
+      obs::intern_counter("harp.agent.msgs_processed");
+  obs::MetricsRegistry::global().counter(kProcessed).inc();
   switch (msg.type) {
     case MsgType::kPostIntf: {
       const auto& payload = std::get<IntfPayload>(msg.payload);
@@ -329,9 +329,9 @@ void HarpAgent::carve_and_grant(Direction dir, int layer, Transport& t) {
 void HarpAgent::change_demand(NodeId child, Direction dir, int cells,
                               Transport& t) {
   HARP_ASSERT(ready_);
-  static obs::Counter& changes =
-      obs::MetricsRegistry::global().counter("harp.agent.demand_changes");
-  changes.inc();
+  static const obs::InstrumentId kChanges =
+      obs::intern_counter("harp.agent.demand_changes");
+  obs::MetricsRegistry::global().counter(kChanges).inc();
   ChildLink& l = link(child);
   const int old = demand(l, dir);
   if (cells == old) return;

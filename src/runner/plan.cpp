@@ -1,0 +1,37 @@
+#include "runner/plan.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace harp::runner {
+
+TrialPlan::TrialPlan(std::uint64_t base_seed, std::size_t points,
+                     std::size_t replications)
+    : base_seed_(base_seed), points_(points), replications_(replications) {
+  if (points == 0) throw InvalidArgument("TrialPlan needs at least one point");
+  if (replications == 0) {
+    throw InvalidArgument("TrialPlan needs at least one replication");
+  }
+  trials_.reserve(points * replications);
+  for (std::size_t p = 0; p < points; ++p) {
+    for (std::size_t r = 0; r < replications; ++r) {
+      trials_.push_back(TrialSpec{
+          .index = p * replications + r,
+          .point = p,
+          .replication = r,
+          .seed = derive_seed(base_seed, r),
+      });
+    }
+  }
+}
+
+TrialPlan TrialPlan::replications(std::uint64_t base_seed, std::size_t n) {
+  return TrialPlan(base_seed, 1, n);
+}
+
+TrialPlan TrialPlan::grid(std::uint64_t base_seed, std::size_t points,
+                          std::size_t replications) {
+  return TrialPlan(base_seed, points, replications);
+}
+
+}  // namespace harp::runner

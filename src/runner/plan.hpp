@@ -1,0 +1,65 @@
+// TrialPlan: expands one experiment description into concrete trials.
+//
+// A plan is an ordered list of TrialSpec entries — the unit of work the
+// fleet executes (src/runner/fleet.hpp). Two axes compose:
+//   * replications: N independent repeats of the same configuration, each
+//     with its own derived seed;
+//   * sweep points: a grid of configurations (schedulers x rates, slack
+//     values, ...) identified by a dense point index the trial function
+//     interprets.
+// Seeds derive from (base_seed, replication) only — NOT from the global
+// trial index — so every sweep point sees the same seed sequence. That is
+// the paper's paired design (Sec. VII-A runs all four schedulers on the
+// same 100 random topologies) and it makes sweep curves directly
+// comparable: common random numbers, lower comparison variance.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace harp::runner {
+
+/// One unit of work: which sweep point, which replication, which seed.
+struct TrialSpec {
+  /// Dense global index: point * replications + replication. Result
+  /// slots are keyed by this, making fleet output independent of
+  /// execution order.
+  std::size_t index{0};
+  /// Sweep point this trial belongs to (0 when the plan has no sweep).
+  std::size_t point{0};
+  /// Replication number within the point.
+  std::size_t replication{0};
+  /// derive_seed(base_seed, replication): identical across points,
+  /// decorrelated across replications.
+  std::uint64_t seed{0};
+};
+
+/// Immutable expansion of (base_seed, sweep points, replications).
+class TrialPlan {
+ public:
+  /// N replications of a single configuration.
+  static TrialPlan replications(std::uint64_t base_seed, std::size_t n);
+
+  /// `points` sweep configurations x `replications` repeats each, in
+  /// point-major order.
+  static TrialPlan grid(std::uint64_t base_seed, std::size_t points,
+                        std::size_t replications);
+
+  const std::vector<TrialSpec>& trials() const { return trials_; }
+  std::size_t size() const { return trials_.size(); }
+  std::size_t points() const { return points_; }
+  std::size_t replications() const { return replications_; }
+  std::uint64_t base_seed() const { return base_seed_; }
+
+ private:
+  TrialPlan(std::uint64_t base_seed, std::size_t points,
+            std::size_t replications);
+
+  std::uint64_t base_seed_;
+  std::size_t points_;
+  std::size_t replications_;
+  std::vector<TrialSpec> trials_;
+};
+
+}  // namespace harp::runner

@@ -1,0 +1,93 @@
+#include "runner/pool.hpp"
+
+#include "common/error.hpp"
+
+namespace harp::runner {
+
+WorkerPool::WorkerPool(std::size_t jobs) {
+  if (jobs == 0) throw InvalidArgument("WorkerPool needs at least one job");
+  threads_.reserve(jobs);
+  for (std::size_t i = 0; i < jobs; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  batch_ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+std::size_t WorkerPool::default_jobs() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void WorkerPool::work_off_batch() {
+  // Hot path: claim indices with one fetch-add each; no lock until the
+  // batch drains or aborts.
+  while (!abort_.load(std::memory_order_relaxed)) {
+    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) break;
+    try {
+      (*fn_)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      abort_.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      batch_ready_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      ++busy_;
+    }
+    work_off_batch();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --busy_;
+    }
+    batch_done_.notify_all();
+  }
+}
+
+void WorkerPool::run(std::size_t count,
+                     const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    count_ = count;
+    first_error_ = nullptr;
+    abort_.store(false, std::memory_order_relaxed);
+    next_.store(0, std::memory_order_relaxed);
+    ++generation_;
+  }
+  batch_ready_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  batch_done_.wait(lock, [&] {
+    return busy_ == 0 && (abort_.load(std::memory_order_relaxed) ||
+                          next_.load(std::memory_order_relaxed) >= count_);
+  });
+  fn_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr err = first_error_;
+    first_error_ = nullptr;
+    std::rethrow_exception(err);
+  }
+}
+
+}  // namespace harp::runner

@@ -1,0 +1,71 @@
+// WorkerPool: fixed-size thread pool for embarrassingly-parallel batches.
+//
+// The experiment runner's execution engine. A pool owns `jobs` persistent
+// worker threads; `run(count, fn)` executes fn(0..count-1) across them and
+// returns when every index has finished. Indices are claimed with a single
+// atomic fetch-add (no per-task locking, no allocation after dispatch), so
+// the scheduling order is nondeterministic — which is why everything the
+// runner computes is keyed by trial index, never by completion order
+// (docs/RUNNER.md "Determinism").
+//
+// Exception contract: the first exception thrown by any fn invocation is
+// captured, remaining unclaimed indices are abandoned, and run() rethrows
+// it on the calling thread once all workers are idle again. The pool stays
+// usable for further batches afterwards.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace harp::runner {
+
+class WorkerPool {
+ public:
+  /// Spawns `jobs` worker threads (at least 1; a 1-job pool is a valid,
+  /// if pointless, way to serialize a batch).
+  explicit WorkerPool(std::size_t jobs);
+  /// Joins all workers. Must not be called while run() is in flight.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  std::size_t jobs() const { return threads_.size(); }
+
+  /// Runs fn(i) for every i in [0, count) across the pool and blocks until
+  /// all claimed indices have finished. Rethrows the first exception any
+  /// invocation threw. Not reentrant: one batch at a time per pool.
+  void run(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+  /// Hardware concurrency with a sane floor (>= 1).
+  static std::size_t default_jobs();
+
+ private:
+  void worker_loop();
+  void work_off_batch();
+
+  std::mutex mu_;
+  std::condition_variable batch_ready_;
+  std::condition_variable batch_done_;
+  std::vector<std::thread> threads_;
+
+  // Batch state, guarded by mu_ except where noted.
+  const std::function<void(std::size_t)>* fn_{nullptr};
+  std::size_t count_{0};
+  std::uint64_t generation_{0};  // bumped per batch so workers wake once
+  std::size_t busy_{0};          // workers inside the current batch
+  bool stop_{false};
+  std::exception_ptr first_error_;  // first failure of the current batch
+
+  // Hot path: workers claim indices lock-free.
+  std::atomic<std::size_t> next_{0};
+  std::atomic<bool> abort_{false};
+};
+
+}  // namespace harp::runner

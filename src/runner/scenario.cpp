@@ -1,0 +1,199 @@
+#include "runner/scenario.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "net/traffic.hpp"
+#include "schedulers/scheduler.hpp"
+#include "sim/harp_sim.hpp"
+
+namespace harp::runner {
+
+namespace {
+
+// Every independent random decision of a scenario draws from its own
+// derived sub-stream so adding a consumer never perturbs the others.
+enum SeedStream : std::uint64_t {
+  kTopologyStream = 0,
+  kSimStream = 1,
+  kSchedulerStream = 2,
+};
+
+net::Topology make_topology(const ScenarioSpec& spec, std::uint64_t seed) {
+  switch (spec.topology) {
+    case ScenarioSpec::TopologyKind::kFig1:
+      return net::fig1_tree();
+    case ScenarioSpec::TopologyKind::kTestbed:
+      return net::testbed_tree();
+    case ScenarioSpec::TopologyKind::kRandom: {
+      Rng rng(derive_seed(seed, kTopologyStream));
+      return net::random_tree(spec.random_tree, rng);
+    }
+  }
+  throw InvalidArgument("unknown topology kind");
+}
+
+std::unique_ptr<sched::Scheduler> make_scheduler(
+    ScenarioSpec::SchedulerKind kind) {
+  switch (kind) {
+    case ScenarioSpec::SchedulerKind::kHarp:
+      return sched::make_harp_scheduler();
+    case ScenarioSpec::SchedulerKind::kRandom:
+      return sched::make_random_scheduler();
+    case ScenarioSpec::SchedulerKind::kMsf:
+      return sched::make_msf_scheduler();
+    case ScenarioSpec::SchedulerKind::kLdsf:
+      return sched::make_ldsf_scheduler();
+  }
+  throw InvalidArgument("unknown scheduler kind");
+}
+
+void apply_action(sim::HarpSimulation& sim, const ScenarioSpec& spec,
+                  const ScenarioSpec::Action& act,
+                  sim::MgmtPlane::Summary& total, std::size_t& actions) {
+  sim::MgmtPlane::Summary s;
+  switch (act.kind) {
+    case ScenarioSpec::Action::Kind::kTaskRate:
+      s = sim.change_task_rate(act.a,
+                               static_cast<std::uint32_t>(act.value));
+      break;
+    case ScenarioSpec::Action::Kind::kLinkDemand:
+      s = sim.change_link_demand(act.a, act.dir, act.value);
+      break;
+    case ScenarioSpec::Action::Kind::kJoin:
+      s = sim.join_node(act.a, act.value, act.value2,
+                        spec.task_period_slots)
+              .summary;
+      break;
+    case ScenarioSpec::Action::Kind::kLeave:
+      s = sim.leave_node(act.a);
+      break;
+    case ScenarioSpec::Action::Kind::kRoam:
+      s = sim.roam_node(act.a, act.b);
+      break;
+  }
+  ++actions;
+  total.harp_messages += s.harp_messages;
+  total.all_messages += s.all_messages;
+  total.bytes += s.bytes;
+  total.elapsed_seconds += s.elapsed_seconds;
+  total.elapsed_slotframes += s.elapsed_slotframes;
+}
+
+obs::Json run_simulation(const ScenarioSpec& spec, std::uint64_t seed) {
+  net::Topology topo = make_topology(spec, seed);
+  std::vector<net::Task> tasks =
+      net::uniform_echo_tasks(topo, spec.task_period_slots);
+
+  sim::HarpSimulation::Options options;
+  options.frame = spec.frame;
+  options.pdr = spec.pdr;
+  options.seed = derive_seed(seed, kSimStream);
+  options.queue_capacity = spec.queue_capacity;
+  options.own_slack = spec.own_slack;
+
+  sim::HarpSimulation sim(std::move(topo), std::move(tasks), options);
+  const AbsoluteSlot bootstrap_slots = sim.bootstrap();
+
+  if (spec.warmup_frames > 0) {
+    sim.run_frames(spec.warmup_frames);
+    sim.data().metrics().clear();  // measure only the steady state
+  }
+
+  // Scripted dynamics interleave with measurement frames. Actions fire at
+  // their at_frame offset (clamped to the measurement window), in stable
+  // timeline order.
+  std::vector<ScenarioSpec::Action> script = spec.dynamics;
+  std::stable_sort(script.begin(), script.end(),
+                   [](const ScenarioSpec::Action& x,
+                      const ScenarioSpec::Action& y) {
+                     return x.at_frame < y.at_frame;
+                   });
+  sim::MgmtPlane::Summary dyn_total;
+  std::size_t dyn_actions = 0;
+  std::uint64_t frame = 0;
+  for (const ScenarioSpec::Action& act : script) {
+    const std::uint64_t at = std::min(act.at_frame, spec.measure_frames);
+    if (at > frame) {
+      sim.run_frames(at - frame);
+      frame = at;
+    }
+    apply_action(sim, spec, act, dyn_total, dyn_actions);
+  }
+  if (spec.measure_frames > frame) {
+    sim.run_frames(spec.measure_frames - frame);
+  }
+
+  const sim::LatencyRecorder& m = sim.metrics();
+  Stats overall;
+  for (NodeId v = 1; v < sim.topology().size(); ++v) {
+    overall.merge(m.node_latency(v));
+  }
+
+  obs::Json out = obs::Json::object();
+  out["mode"] = "simulation";
+  out["nodes"] = static_cast<std::uint64_t>(sim.topology().size());
+  out["bootstrap_slots"] = bootstrap_slots;
+  obs::Json& latency = out["latency"];
+  latency = obs::Json::object();
+  latency["mean_s"] = overall.empty() ? 0.0 : overall.mean();
+  latency["median_s"] = overall.empty() ? 0.0 : overall.median();
+  latency["p95_s"] = overall.empty() ? 0.0 : overall.percentile(95.0);
+  out["generated"] = m.total_generated();
+  out["delivered"] = m.total_delivered();
+  out["dropped"] = m.total_dropped();
+  out["deadline_misses"] = m.total_deadline_misses();
+  out["delivery_ratio"] =
+      m.total_generated() == 0
+          ? 0.0
+          : static_cast<double>(m.total_delivered()) /
+                static_cast<double>(m.total_generated());
+  obs::Json& dyn = out["dynamics"];
+  dyn = obs::Json::object();
+  dyn["actions"] = static_cast<std::uint64_t>(dyn_actions);
+  dyn["harp_messages"] = static_cast<std::uint64_t>(dyn_total.harp_messages);
+  dyn["all_messages"] = static_cast<std::uint64_t>(dyn_total.all_messages);
+  dyn["bytes"] = static_cast<std::uint64_t>(dyn_total.bytes);
+  dyn["seconds"] = dyn_total.elapsed_seconds;
+  return out;
+}
+
+obs::Json run_schedule_build(const ScenarioSpec& spec, std::uint64_t seed) {
+  net::Topology topo = make_topology(spec, seed);
+  const std::vector<net::Task> tasks =
+      net::uniform_echo_tasks(topo, spec.task_period_slots);
+  const net::TrafficMatrix traffic =
+      net::derive_traffic(topo, tasks, spec.frame);
+
+  const std::unique_ptr<sched::Scheduler> scheduler =
+      make_scheduler(spec.scheduler);
+  Rng rng(derive_seed(seed, kSchedulerStream));
+  const core::Schedule schedule =
+      scheduler->build(topo, traffic, spec.frame, rng);
+
+  obs::Json out = obs::Json::object();
+  out["mode"] = "schedule_build";
+  out["scheduler"] = scheduler->name();
+  out["nodes"] = static_cast<std::uint64_t>(topo.size());
+  out["total_cells"] = static_cast<std::uint64_t>(schedule.total_cells());
+  out["collision_probability"] =
+      sched::collision_probability(topo, schedule);
+  return out;
+}
+
+}  // namespace
+
+obs::Json run_scenario(const ScenarioSpec& spec, std::uint64_t seed) {
+  spec.frame.validate();
+  switch (spec.mode) {
+    case ScenarioSpec::Mode::kSimulation:
+      return run_simulation(spec, seed);
+    case ScenarioSpec::Mode::kScheduleBuild:
+      return run_schedule_build(spec, seed);
+  }
+  throw InvalidArgument("unknown scenario mode");
+}
+
+}  // namespace harp::runner

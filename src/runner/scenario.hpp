@@ -1,0 +1,88 @@
+// ScenarioSpec: a declarative, value-typed experiment description.
+//
+// One spec pins everything a trial needs except its seed: topology
+// source (fixed tree or random-tree generator parameters), traffic
+// profile, slotframe configuration, simulation options, run length, a
+// scripted dynamics timeline, and the scheduler under test. Because a
+// spec is a plain value, a TrialPlan can replicate it N times (each
+// replication getting its own derived seed) or sweep a grid of variants,
+// and run_scenario(spec, seed) is a pure function of its two arguments —
+// the property every fleet determinism guarantee rests on.
+//
+// Two modes share the type:
+//   * kSimulation: full HarpSimulation run — bootstrap, warmup, scripted
+//     dynamics, measurement — reporting latency/loss/overhead (the
+//     Fig. 9 / Fig. 10 / Table II shape);
+//   * kScheduleBuild: build one schedule with the chosen scheduler and
+//     report collision probability and cell counts (the Fig. 11 shape) —
+//     no time simulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "net/slotframe.hpp"
+#include "net/topology_gen.hpp"
+#include "obs/json.hpp"
+
+namespace harp::runner {
+
+struct ScenarioSpec {
+  enum class Mode : std::uint8_t { kSimulation, kScheduleBuild };
+  enum class TopologyKind : std::uint8_t { kFig1, kTestbed, kRandom };
+  enum class SchedulerKind : std::uint8_t { kHarp, kRandom, kMsf, kLdsf };
+
+  /// One scripted dynamics action, applied at `at_frame` measurement
+  /// frames into the run (actions at the same frame apply in list order).
+  struct Action {
+    enum class Kind : std::uint8_t {
+      kTaskRate,    // change_task_rate(a, value)
+      kLinkDemand,  // change_link_demand(a, dir, value)
+      kJoin,        // join_node(parent=a, up=value, down=b2 ? ... — see cpp
+      kLeave,       // leave_node(a)
+      kRoam,        // roam_node(a, new_parent=b)
+    };
+    Kind kind{Kind::kTaskRate};
+    std::uint64_t at_frame{0};
+    std::uint32_t a{0};      // task / node / parent id
+    std::uint32_t b{0};      // secondary id (roam target)
+    std::int32_t value{0};   // period_slots / cells / up_cells
+    std::int32_t value2{0};  // down_cells (join)
+    Direction dir{Direction::kUp};
+  };
+
+  std::string name = "scenario";
+  Mode mode{Mode::kSimulation};
+
+  // --- topology ---
+  TopologyKind topology{TopologyKind::kTestbed};
+  net::RandomTreeSpec random_tree;  // used when topology == kRandom
+
+  // --- traffic: uniform echo tasks, one per non-gateway node ---
+  std::uint32_t task_period_slots = 199;
+
+  // --- slotframe + simulation options ---
+  net::SlotframeConfig frame;
+  double pdr = 1.0;
+  std::size_t queue_capacity = 128;
+  int own_slack = 0;
+
+  // --- run length (simulation mode) ---
+  std::uint64_t warmup_frames = 0;
+  std::uint64_t measure_frames = 60;
+
+  // --- scripted dynamics (simulation mode) ---
+  std::vector<Action> dynamics;
+
+  // --- scheduler under test (schedule-build mode) ---
+  SchedulerKind scheduler{SchedulerKind::kHarp};
+};
+
+/// Executes one trial of `spec` with `seed` and returns its result
+/// document (docs/RUNNER.md "Scenario results"). Deterministic in
+/// (spec, seed); records into the caller's current obs context.
+obs::Json run_scenario(const ScenarioSpec& spec, std::uint64_t seed);
+
+}  // namespace harp::runner

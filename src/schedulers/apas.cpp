@@ -33,9 +33,9 @@ ApasScheduler::ApasScheduler(net::Topology topo, net::TrafficMatrix traffic,
 ApasScheduler::Report ApasScheduler::request_demand(NodeId child,
                                                     Direction dir,
                                                     int new_cells) {
-  static obs::Counter& requests =
-      obs::MetricsRegistry::global().counter("harp.sched.apas_requests");
-  requests.inc();
+  static const obs::InstrumentId kRequests =
+      obs::intern_counter("harp.sched.apas_requests");
+  obs::MetricsRegistry::global().counter(kRequests).inc();
   const net::Topology& topo = engine_.topology();
   if (child == net::Topology::gateway() || child >= topo.size()) {
     throw InvalidArgument("demand requests address a non-gateway node");

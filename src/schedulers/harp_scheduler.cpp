@@ -28,9 +28,9 @@ class HarpScheduler final : public Scheduler {
                        Rng& rng) const override {
     frame.validate();
     HARP_OBS_SCOPE("harp.sched.harp_build_ns");
-    static obs::Counter& builds =
-        obs::MetricsRegistry::global().counter("harp.sched.builds");
-    builds.inc();
+    static const obs::InstrumentId kBuilds =
+        obs::intern_counter("harp.sched.builds");
+    obs::MetricsRegistry::global().counter(kBuilds).inc();
 
     // Find the largest uniform admission fraction in [0,1] such that the
     // clamped demand bootstraps, by per-link ceiling of fraction*demand.

@@ -27,9 +27,9 @@ class LdsfScheduler final : public Scheduler {
                        Rng& rng) const override {
     frame.validate();
     HARP_OBS_SCOPE("harp.sched.ldsf_build_ns");
-    static obs::Counter& builds =
-        obs::MetricsRegistry::global().counter("harp.sched.builds");
-    builds.inc();
+    static const obs::InstrumentId kBuilds =
+        obs::intern_counter("harp.sched.builds");
+    obs::MetricsRegistry::global().counter(kBuilds).inc();
     const int depth = std::max(topo.depth(), 1);
 
     // 2*depth equal blocks over the data sub-frame: indices 0..depth-1 for

@@ -23,9 +23,9 @@ class RandomScheduler final : public Scheduler {
                        Rng& rng) const override {
     frame.validate();
     HARP_OBS_SCOPE("harp.sched.random_build_ns");
-    static obs::Counter& builds =
-        obs::MetricsRegistry::global().counter("harp.sched.builds");
-    builds.inc();
+    static const obs::InstrumentId kBuilds =
+        obs::intern_counter("harp.sched.builds");
+    obs::MetricsRegistry::global().counter(kBuilds).inc();
     core::Schedule schedule(topo.size());
     for (NodeId child = 1; child < topo.size(); ++child) {
       for (Direction dir : {Direction::kUp, Direction::kDown}) {

