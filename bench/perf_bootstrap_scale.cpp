@@ -1,0 +1,344 @@
+// Experiment P2 — bootstrap and full-hierarchy-recompute scaling bench.
+//
+// Pins the tentpole of the scale-out work: full hierarchy recomputation —
+// bottom-up interface generation for both directions (Alg. 1), the phase
+// the compose cache memoizes and the worker pool parallelizes — at
+// 220 / 1k / 5k / 10k nodes, measured three ways on identical inputs:
+//   scratch   no memo, serial            — the pre-change from-scratch
+//             path, kept callable so every run carries its own baseline;
+//   cached    warm ComposeMemo, serial   — memoized subtree interfaces;
+//   parallel  warm ComposeMemo + shared WorkerPool (per-layer rounds).
+//
+// Protocol per scale: a seeded demand-churn batch mutates the traffic
+// matrix (with the matching memo invalidations), then each variant
+// regenerates both interface sets; the results are asserted deeply equal
+// every round, and the medians over kRounds give
+//   speedup_cached   = scratch / cached,
+//   speedup_parallel = scratch / parallel.
+// In parallel, three full HarpEngines (cache off / cache on / cache+pool)
+// bootstrap cold (timed), absorb the same churn through request_demand,
+// and recompact() each round — their state_fingerprint()s are asserted
+// bit-identical throughout, and the fingerprint lands in the report so
+// scripts/bench_compare.py can pin cross-machine determinism too.
+// recompact() wall time is reported as context: it includes schedule
+// regeneration and state save/restore, which the cache does not touch.
+//
+// The JSON report (harp-obs/1) carries results.scale.nodes_<N> blocks
+// plus a results.compose_cache summary (totals of the serial rig memos
+// across all scales); BENCH_bootstrap_scale.json is the checked-in
+// baseline the CI bench gate compares against.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "harp/compose_cache.hpp"
+#include "harp/engine.hpp"
+#include "harp/interface_gen.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "obs/obs.hpp"
+#include "runner/pool.hpp"
+
+using namespace harp;
+
+namespace {
+
+// Workload constants. Fixed — reports are only comparable across runs of
+// the identical workload.
+constexpr std::uint64_t kTopoSeed = 42;
+constexpr std::uint64_t kChurnSeed = 1009;
+constexpr int kNumLayers = 7;
+constexpr int kRounds = 5;
+constexpr int kChurnOpsPerRound = 64;
+constexpr std::size_t kScales[] = {220, 1000, 5000, 10000};
+
+struct ChurnOp {
+  NodeId child;
+  Direction dir;
+  int cells;
+};
+
+double median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+/// Slotframe sized for the echo workload at this scale: every node's task
+/// contributes one cell per link on its root path per direction, so about
+/// sum(depth(v)) cells per direction overall. Starts with a margin over
+/// that estimate; make_workload doubles it until the task set is
+/// admissible (packing fragmentation is workload dependent, so the exact
+/// requirement is discovered, not derived).
+net::SlotframeConfig initial_frame(const net::Topology& topo) {
+  std::int64_t sum_depth = 0;
+  for (NodeId v = 1; v < topo.size(); ++v) sum_depth += topo.node_layer(v);
+  net::SlotframeConfig f;
+  f.num_channels = 16;
+  const std::int64_t per_dir =
+      (sum_depth + f.num_channels - 1) / f.num_channels;
+  f.length = static_cast<std::uint32_t>(3 * per_dir + 256);
+  f.data_slots = f.length - 64;
+  return f;
+}
+
+struct Workload {
+  net::Topology topo;
+  std::vector<net::Task> tasks;
+  net::SlotframeConfig frame;
+};
+
+Workload make_workload(std::size_t num_nodes) {
+  Rng topo_rng(derive_seed(kTopoSeed, num_nodes));
+  Workload w{net::random_tree({.num_nodes = num_nodes,
+                               .num_layers = kNumLayers,
+                               .max_children = 4},
+                              topo_rng),
+             {},
+             {}};
+  w.frame = initial_frame(w.topo);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    w.tasks = net::uniform_echo_tasks(w.topo, w.frame.length);
+    try {
+      core::HarpEngine probe(w.topo, w.tasks, w.frame,
+                             {.compose_cache = false});
+      return w;
+    } catch (const InfeasibleError&) {
+      w.frame.length *= 2;
+      w.frame.data_slots = w.frame.length - 64;
+    }
+  }
+  std::fprintf(stderr, "no feasible slotframe found for %zu nodes\n",
+               num_nodes);
+  std::exit(1);
+}
+
+std::vector<ChurnOp> churn_batch(const net::Topology& topo, Rng& rng) {
+  std::vector<ChurnOp> ops;
+  ops.reserve(kChurnOpsPerRound);
+  for (int i = 0; i < kChurnOpsPerRound; ++i) {
+    const NodeId child = 1 + static_cast<NodeId>(rng.below(topo.size() - 1));
+    const Direction dir = rng.chance(0.5) ? Direction::kUp : Direction::kDown;
+    ops.push_back({child, dir, 1 + static_cast<int>(rng.below(3))});
+  }
+  return ops;
+}
+
+std::string fp_hex(std::uint64_t fp) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+/// Asserts all engines agree on the full-state digest; the bench fails
+/// hard on divergence (that would mean the cache or the parallel path is
+/// not a pure accelerator).
+void check_fingerprints(
+    const char* when, std::size_t nodes,
+    std::span<const std::unique_ptr<core::HarpEngine>> engines) {
+  const std::uint64_t want = engines.front()->state_fingerprint();
+  for (const auto& e : engines) {
+    if (e->state_fingerprint() != want) {
+      std::fprintf(stderr,
+                   "FINGERPRINT DIVERGENCE (%s, %zu nodes): %s vs %s\n", when,
+                   nodes, fp_hex(want).c_str(),
+                   fp_hex(e->state_fingerprint()).c_str());
+      std::exit(1);
+    }
+  }
+}
+
+/// Both directions of the hierarchy pipeline — the timed unit. The old
+/// results are released first, as the engine does: a memoized pass then
+/// updates the memo's node table in place instead of cloning it.
+void regenerate(const Workload& w, const net::TrafficMatrix& traffic,
+                core::ComposeMemo* memo, runner::WorkerPool* pool,
+                core::InterfaceSet& up, core::InterfaceSet& down) {
+  const int channels = static_cast<int>(w.frame.num_channels);
+  up = core::InterfaceSet();
+  up = core::generate_interfaces(w.topo, traffic, Direction::kUp, channels,
+                                 /*own_slack=*/0, memo, pool);
+  down = core::InterfaceSet();
+  down = core::generate_interfaces(w.topo, traffic, Direction::kDown,
+                                   channels, /*own_slack=*/0, memo, pool);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Args args = bench::Args::parse(argc, argv);
+  // Bare hot path, as in perf_steady_state: phase timers and trace events
+  // off, counters stay on.
+  obs::disable();
+
+  // One shared pool for every parallel variant (also exercises the
+  // external-pool wiring of EngineOptions).
+  runner::WorkerPool pool(runner::WorkerPool::default_jobs());
+
+  bench::JsonReport report("perf_bootstrap_scale", args);
+  obs::Json& results = report.results();
+  results["layers"] = static_cast<std::int64_t>(kNumLayers);
+  results["rounds"] = static_cast<std::int64_t>(kRounds);
+  results["churn_ops_per_round"] =
+      static_cast<std::int64_t>(kChurnOpsPerRound);
+  results["parallel_jobs"] = static_cast<std::int64_t>(pool.jobs());
+
+  bench::Table table({"nodes", "scratch ms", "cached ms", "parallel ms",
+                      "speedup cached", "speedup parallel"},
+                     18);
+
+  core::ComposeCache::Stats cache_total{};
+  for (const std::size_t num_nodes : kScales) {
+    const Workload w = make_workload(num_nodes);
+
+    // Full engines, one per variant, for the end-to-end determinism
+    // contract (and cold-bootstrap / recompact context timings). Variant
+    // order everywhere: scratch (the pre-change path), cached, parallel.
+    const core::EngineOptions variants[] = {
+        {.compose_cache = false, .jobs = 1},
+        {.compose_cache = true, .jobs = 1},
+        {.compose_cache = true, .pool = &pool},
+    };
+    std::vector<std::unique_ptr<core::HarpEngine>> engines;
+    std::vector<double> bootstrap_ms;
+    for (const core::EngineOptions& opt : variants) {
+      bench::Timer t;
+      engines.push_back(std::make_unique<core::HarpEngine>(w.topo, w.tasks,
+                                                           w.frame, opt));
+      bootstrap_ms.push_back(t.seconds() * 1e3);
+    }
+    check_fingerprints("bootstrap", num_nodes, engines);
+
+    // The pipeline timing rig: its own traffic matrix and one warm memo
+    // per memoized variant, all churned identically. Separate memos keep
+    // the cached and parallel measurements independent — each pass pays
+    // for the same invalidated chains.
+    net::TrafficMatrix traffic = net::derive_traffic(w.topo, w.tasks,
+                                                     w.frame);
+    core::ComposeMemo memo_serial(w.topo.size(), 1 << 16);
+    core::ComposeMemo memo_par(w.topo.size(), 1 << 16);
+    core::InterfaceSet scratch_up, scratch_down, cached_up, cached_down,
+        par_up, par_down;
+    regenerate(w, traffic, &memo_serial, nullptr, cached_up, cached_down);
+    regenerate(w, traffic, &memo_par, &pool, par_up, par_down);
+
+    Rng churn_rng(derive_seed(kChurnSeed, num_nodes));
+    std::vector<double> gen_ms[3];
+    std::vector<double> recompact_ms[3];
+    for (int round = 0; round < kRounds; ++round) {
+      const std::vector<ChurnOp> ops = churn_batch(w.topo, churn_rng);
+
+      // Engines: absorb the churn dynamically, then recompact (context
+      // numbers + fingerprint identity under real engine mutations).
+      for (const auto& e : engines) {
+        for (const ChurnOp& op : ops) {
+          e->request_demand(op.child, op.dir, op.cells);
+        }
+      }
+      check_fingerprints("churn", num_nodes, engines);
+      for (std::size_t v = 0; v < engines.size(); ++v) {
+        bench::Timer t;
+        engines[v]->recompact();
+        recompact_ms[v].push_back(t.seconds() * 1e3);
+      }
+      check_fingerprints("recompact", num_nodes, engines);
+
+      // Rig: same churn applied to the raw inputs (admission control does
+      // not matter here — generation is total), then one timed
+      // regeneration per variant on identical state.
+      for (const ChurnOp& op : ops) {
+        traffic.set_demand(op.child, op.dir, op.cells);
+        const NodeId parent = w.topo.parent(op.child);
+        memo_serial.invalidate_chain(w.topo, op.dir, parent);
+        memo_par.invalidate_chain(w.topo, op.dir, parent);
+      }
+      {
+        bench::Timer t;
+        regenerate(w, traffic, &memo_serial, nullptr, cached_up,
+                   cached_down);
+        gen_ms[1].push_back(t.seconds() * 1e3);
+      }
+      {
+        bench::Timer t;
+        regenerate(w, traffic, &memo_par, &pool, par_up, par_down);
+        gen_ms[2].push_back(t.seconds() * 1e3);
+      }
+      {
+        bench::Timer t;
+        regenerate(w, traffic, nullptr, nullptr, scratch_up, scratch_down);
+        gen_ms[0].push_back(t.seconds() * 1e3);
+      }
+      if (!(scratch_up == cached_up && scratch_down == cached_down &&
+            scratch_up == par_up && scratch_down == par_down)) {
+        std::fprintf(stderr,
+                     "INTERFACE DIVERGENCE (round %d, %zu nodes)\n", round,
+                     num_nodes);
+        return 1;
+      }
+    }
+
+    const double scratch = median(gen_ms[0]);
+    const double cached = median(gen_ms[1]);
+    const double parallel = median(gen_ms[2]);
+    const double speedup_cached = cached > 0.0 ? scratch / cached : 0.0;
+    const double speedup_parallel =
+        parallel > 0.0 ? scratch / parallel : 0.0;
+
+    const core::ComposeCache::Stats stats = memo_serial.cache().stats();
+    cache_total.hits += stats.hits;
+    cache_total.misses += stats.misses;
+    cache_total.inserts += stats.inserts;
+    cache_total.invalidations += stats.invalidations;
+    cache_total.evictions += stats.evictions;
+
+    table.row({std::to_string(num_nodes), bench::fmt(scratch, 3),
+               bench::fmt(cached, 3), bench::fmt(parallel, 3),
+               bench::fmt(speedup_cached, 2),
+               bench::fmt(speedup_parallel, 2)});
+
+    obs::Json& scale =
+        results["scale"]["nodes_" + std::to_string(num_nodes)];
+    scale["nodes"] = static_cast<std::int64_t>(num_nodes);
+    scale["frame_length"] = static_cast<std::int64_t>(w.frame.length);
+    scale["recompute_scratch_ms"] = scratch;
+    scale["recompute_cached_ms"] = cached;
+    scale["recompute_parallel_ms"] = parallel;
+    scale["speedup_cached"] = speedup_cached;
+    scale["speedup_parallel"] = speedup_parallel;
+    scale["bootstrap_scratch_ms"] = bootstrap_ms[0];
+    scale["bootstrap_cached_ms"] = bootstrap_ms[1];
+    scale["bootstrap_parallel_ms"] = bootstrap_ms[2];
+    scale["recompact_wall_scratch_ms"] = median(recompact_ms[0]);
+    scale["recompact_wall_cached_ms"] = median(recompact_ms[1]);
+    scale["recompact_wall_parallel_ms"] = median(recompact_ms[2]);
+    scale["cache_hits"] = static_cast<std::int64_t>(stats.hits);
+    scale["cache_misses"] = static_cast<std::int64_t>(stats.misses);
+    scale["fingerprint"] = fp_hex(engines.front()->state_fingerprint());
+  }
+
+  table.print();
+
+  obs::Json& cache = results["compose_cache"];
+  cache["hits"] = static_cast<std::int64_t>(cache_total.hits);
+  cache["misses"] = static_cast<std::int64_t>(cache_total.misses);
+  cache["inserts"] = static_cast<std::int64_t>(cache_total.inserts);
+  cache["invalidations"] =
+      static_cast<std::int64_t>(cache_total.invalidations);
+  cache["evictions"] = static_cast<std::int64_t>(cache_total.evictions);
+  const std::uint64_t lookups = cache_total.hits + cache_total.misses;
+  cache["hit_rate"] = lookups > 0 ? static_cast<double>(cache_total.hits) /
+                                        static_cast<double>(lookups)
+                                  : 0.0;
+
+  report.write();
+  return 0;
+}

@@ -1,19 +1,41 @@
 #!/usr/bin/env python3
-"""Gate performance regressions against a checked-in benchmark baseline.
+"""Gate performance regressions against checked-in benchmark baselines.
 
 Usage:
-    bench_compare.py baseline.json candidate.json [--tolerance 10%]
+    bench_compare.py baseline.json candidate.json
+                     [baseline2.json candidate2.json ...]
+                     [--tolerance 10%]
+                     [--metric-tolerance NAME=PCT ...]
 
-Both files are harp-obs/1 reports emitted by `perf_steady_state --json`.
-The gate enforces three things:
+Arguments are (baseline, candidate) PAIRS, so one invocation gates every
+benchmark of a CI run through a single code path. All files are
+harp-obs/1 reports; each pair must agree on its `experiment` name, which
+selects the check suite:
 
-  1. throughput  — results.sim.slots_per_sec of the candidate must be at
-     least baseline * (1 - tolerance);
-  2. latency     — results.adjust.median_ns of the candidate must be at
-     most baseline * (1 + tolerance);
-  3. determinism — results.sim.checksum must match the baseline EXACTLY
-     (same workload, same seeds => any difference means an optimization
-     changed simulation semantics, which no tolerance can excuse).
+  perf_steady_state
+    * sim.slots_per_sec   — candidate >= baseline * (1 - tol)
+    * adjust.median_ns    — candidate <= baseline * (1 + tol)
+    * sim.checksum        — EXACT match (fixed workload and seeds: any
+                            difference means an optimization changed
+                            simulation semantics, which no tolerance can
+                            excuse)
+
+  perf_bootstrap_scale
+    * scale.<N>.fingerprint          — EXACT match per scale (engine-state
+                                       fingerprints are seed-determined)
+    * scale.<max N>.speedup_cached   — absolute floor: >= 5.0
+    * scale.<max N>.speedup_parallel — absolute floor: >= 5.0
+    * scale.<max N>.recompute_cached_ms — candidate <= baseline *
+                                       (1 + tol); default tolerance 50%
+                                       (sub-ms timings are noisy — the
+                                       speedup floors carry the real gate)
+
+Per-metric default tolerances exist because not all metrics are equally
+noisy; override any of them with --metric-tolerance, e.g.
+
+    --metric-tolerance scale.nodes_10000.recompute_cached_ms=75%
+
+--tolerance sets the default for metrics without their own override.
 
 Both single-run and fleet-aggregated reports (docs/RUNNER.md) are
 accepted: a dotted metric is read from `results` when present there, and
@@ -21,12 +43,18 @@ falls back to the across-trial mean in `aggregate` otherwise — so a
 baseline recorded single-run stays comparable after a bench grows
 --trials support.
 
-Exits non-zero with a per-check report on any violation, so CI can run it
-directly. docs/PERFORMANCE.md describes the workload and how to refresh
-the baseline.
+A baseline whose `results.reference` block (recorded via --ref-sim /
+--ref-adjust-ns) disagrees with the baseline's own results by more than
+50% triggers a stale-reference WARNING (not a failure): the reference is
+older than the checked-in result and its speedup figures no longer
+describe the current code. Refresh per docs/PERFORMANCE.md.
+
+Exits non-zero with a per-check report on any violation, so CI can run
+it directly.
 """
 import argparse
 import json
+import re
 import sys
 
 
@@ -42,7 +70,7 @@ def load_report(path):
     return report
 
 
-def metric(report, dotted):
+def metric(report, dotted, required=True):
     """Resolves a dotted path: `results` first, then the fleet aggregate's
     across-trial mean."""
     node = report["results"]
@@ -57,6 +85,8 @@ def metric(report, dotted):
     summary = report.get("aggregate", {}).get(dotted)
     if summary is not None:
         return summary["mean"]
+    if not required:
+        return None
     sys.exit(f"{report['_path']}: metric '{dotted}' in neither results "
              "nor aggregate")
 
@@ -70,58 +100,187 @@ def parse_tolerance(text):
     return value / 100.0 if value > 1.0 else value
 
 
+class Check:
+    """One gated metric. kind:
+    'higher' — candidate may drop at most tol below baseline;
+    'lower'  — candidate may rise at most tol above baseline;
+    'exact'  — candidate must equal baseline (scalars or flat dicts);
+    'floor'  — candidate must be >= an absolute constant, baseline is
+               only reported for context."""
+
+    def __init__(self, dotted, kind, tol=None, floor=None):
+        self.dotted = dotted
+        self.kind = kind
+        self.tol = tol        # None -> use the global --tolerance
+        self.floor = floor
+
+    def run(self, base, cand, tol, failures):
+        if self.kind == "exact":
+            self._run_exact(base, cand, failures)
+            return
+        b = metric(base, self.dotted)
+        c = metric(cand, self.dotted)
+        if self.kind == "floor":
+            verdict = "ok" if c >= self.floor else "BELOW FLOOR"
+            print(f"{self.dotted}: baseline {b:,.2f}  candidate {c:,.2f}  "
+                  f"floor {self.floor:,.2f}  [{verdict}]")
+            if c < self.floor:
+                failures.append(f"'{self.dotted}' {c:.2f} is below the "
+                                f"absolute floor {self.floor:.2f}")
+        elif self.kind == "higher":
+            bound = b * (1.0 - tol)
+            verdict = "ok" if c >= bound else "REGRESSION"
+            print(f"{self.dotted}: baseline {b:,.0f}  candidate {c:,.0f}  "
+                  f"floor {bound:,.0f}  [{verdict}]")
+            if c < bound:
+                failures.append(f"'{self.dotted}' regressed beyond "
+                                f"tolerance ({b:,.0f} -> {c:,.0f})")
+        elif self.kind == "lower":
+            bound = b * (1.0 + tol)
+            verdict = "ok" if c <= bound else "REGRESSION"
+            print(f"{self.dotted}: baseline {b:,.3f}  candidate {c:,.3f}  "
+                  f"ceiling {bound:,.3f}  [{verdict}]")
+            if c > bound:
+                failures.append(f"'{self.dotted}' regressed beyond "
+                                f"tolerance ({b:,.3f} -> {c:,.3f})")
+        else:
+            raise AssertionError(self.kind)
+
+    def _run_exact(self, base, cand, failures):
+        # Exact values never aggregate: always read from `results` (trial
+        # 0 in a fleet report — every trial of the fixed workload shares
+        # them).
+        b = metric(base, self.dotted)
+        c = metric(cand, self.dotted)
+        if isinstance(b, dict) or isinstance(c, dict):
+            items = sorted(set(b or {}) | set(c or {}))
+            pairs = [(f"{self.dotted}.{k}", (b or {}).get(k),
+                      (c or {}).get(k)) for k in items]
+        else:
+            pairs = [(self.dotted, b, c)]
+        clean = True
+        for name, bv, cv in pairs:
+            if bv != cv:
+                clean = False
+                print(f"{name}: baseline {bv}  candidate {cv}  [MISMATCH]")
+                failures.append(f"determinism value '{name}' changed "
+                                f"({bv} -> {cv})")
+        if clean:
+            print(f"{self.dotted}: identical  [ok]")
+
+
+def bootstrap_scale_checks(report):
+    """The scale ladder is data-driven: fingerprints are gated at every
+    scale, timing and the speedup floors only at the largest one."""
+    scales = sorted(report["results"].get("scale", {}),
+                    key=lambda k: int(k.split("_")[1]))
+    if not scales:
+        sys.exit(f"{report['_path']}: perf_bootstrap_scale report has no "
+                 "results.scale entries")
+    checks = [Check(f"scale.{s}.fingerprint", "exact") for s in scales]
+    top = scales[-1]
+    checks += [
+        Check(f"scale.{top}.speedup_cached", "floor", floor=5.0),
+        Check(f"scale.{top}.speedup_parallel", "floor", floor=5.0),
+        Check(f"scale.{top}.recompute_cached_ms", "lower", tol=0.50),
+    ]
+    return checks
+
+
+def experiment_checks(name, base):
+    if name == "perf_steady_state":
+        return [
+            Check("sim.slots_per_sec", "higher"),
+            Check("adjust.median_ns", "lower"),
+            Check("sim.checksum", "exact"),
+        ]
+    if name == "perf_bootstrap_scale":
+        return bootstrap_scale_checks(base)
+    sys.exit(f"{base['_path']}: no check suite for experiment {name!r} "
+             "(known: perf_steady_state, perf_bootstrap_scale)")
+
+
+# Reference fields: (reference key, dotted result path).
+REFERENCE_FIELDS = (
+    ("slots_per_sec", "sim.slots_per_sec"),
+    ("adjust_median_ns", "adjust.median_ns"),
+)
+
+
+def warn_stale_reference(report, warnings):
+    """A results.reference block records an earlier run's numbers so the
+    bench can print speedups against them. When the checked-in result has
+    moved more than 50% away, those speedup figures describe a code
+    version that no longer exists — warn so the baseline gets refreshed
+    (docs/PERFORMANCE.md has the flags)."""
+    reference = report["results"].get("reference")
+    if not isinstance(reference, dict):
+        return
+    for ref_key, dotted in REFERENCE_FIELDS:
+        ref = reference.get(ref_key)
+        cur = metric(report, dotted, required=False)
+        if not ref or not cur:
+            continue
+        ratio = cur / ref
+        if ratio > 1.5 or ratio < 1 / 1.5:
+            warnings.append(
+                f"{report['_path']}: reference.{ref_key} ({ref:,.0f}) vs "
+                f"checked-in result ({cur:,.0f}) differ {ratio:.2f}x — the "
+                "reference block is stale; refresh it with --ref-sim / "
+                "--ref-adjust-ns (docs/PERFORMANCE.md)")
+
+
 def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("baseline")
-    ap.add_argument("candidate")
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("reports", nargs="+",
+                    help="baseline/candidate pairs, in order")
     ap.add_argument("--tolerance", default="10%",
-                    help="allowed regression (default: 10%%)")
+                    help="default allowed regression (default: 10%%)")
+    ap.add_argument("--metric-tolerance", action="append", default=[],
+                    metavar="NAME=PCT",
+                    help="override tolerance for one dotted metric "
+                         "(repeatable)")
     args = ap.parse_args()
 
-    tol = parse_tolerance(args.tolerance)
-    base = load_report(args.baseline)
-    cand = load_report(args.candidate)
+    if len(args.reports) % 2 != 0:
+        sys.exit("reports must be (baseline, candidate) pairs — got "
+                 f"{len(args.reports)} files")
+    default_tol = parse_tolerance(args.tolerance)
+    overrides = {}
+    for spec in args.metric_tolerance:
+        m = re.fullmatch(r"([^=]+)=(.+)", spec)
+        if not m:
+            sys.exit(f"--metric-tolerance {spec!r}: expected NAME=PCT")
+        overrides[m.group(1)] = parse_tolerance(m.group(2))
 
     failures = []
+    warnings = []
+    for i in range(0, len(args.reports), 2):
+        base = load_report(args.reports[i])
+        cand = load_report(args.reports[i + 1])
+        name = base.get("experiment")
+        if cand.get("experiment") != name:
+            sys.exit(f"pair mismatch: {base['_path']} is {name!r} but "
+                     f"{cand['_path']} is {cand.get('experiment')!r}")
+        print(f"== {name}: {base['_path']} vs {cand['_path']} ==")
+        for check in experiment_checks(name, base):
+            tol = overrides.get(
+                check.dotted,
+                check.tol if check.tol is not None else default_tol)
+            check.run(base, cand, tol, failures)
+        warn_stale_reference(base, warnings)
+        print()
 
-    base_tput = metric(base, "sim.slots_per_sec")
-    cand_tput = metric(cand, "sim.slots_per_sec")
-    floor = base_tput * (1.0 - tol)
-    verdict = "ok" if cand_tput >= floor else "REGRESSION"
-    print(f"sim.slots_per_sec: baseline {base_tput:,.0f}  "
-          f"candidate {cand_tput:,.0f}  floor {floor:,.0f}  [{verdict}]")
-    if cand_tput < floor:
-        failures.append("sim throughput regressed beyond tolerance")
-
-    base_med = metric(base, "adjust.median_ns")
-    cand_med = metric(cand, "adjust.median_ns")
-    ceiling = base_med * (1.0 + tol)
-    verdict = "ok" if cand_med <= ceiling else "REGRESSION"
-    print(f"adjust.median_ns:  baseline {base_med:,.0f}  "
-          f"candidate {cand_med:,.0f}  ceiling {ceiling:,.0f}  [{verdict}]")
-    if cand_med > ceiling:
-        failures.append("adjustment median latency regressed beyond tolerance")
-
-    # The determinism checksum never aggregates: it must match exactly, so
-    # it is always read from `results` (trial 0 in a fleet report — every
-    # trial of the fixed workload shares it).
-    base_sum = metric(base, "sim.checksum")
-    cand_sum = metric(cand, "sim.checksum")
-    for key in sorted(set(base_sum) | set(cand_sum)):
-        b, c = base_sum.get(key), cand_sum.get(key)
-        if b != c:
-            print(f"checksum.{key}: baseline {b}  candidate {c}  [MISMATCH]")
-            failures.append(f"determinism checksum '{key}' changed "
-                            f"({b} -> {c})")
-    if not failures or all("checksum" not in f for f in failures):
-        print("sim.checksum: identical  [ok]")
-
+    for w in warnings:
+        print(f"WARNING: {w}", file=sys.stderr)
     if failures:
-        print("\nFAIL:", file=sys.stderr)
+        print("FAIL:", file=sys.stderr)
         for f in failures:
             print(f"  - {f}", file=sys.stderr)
         return 1
-    print("\nPASS")
+    print("PASS")
     return 0
 
 

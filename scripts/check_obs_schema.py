@@ -9,6 +9,8 @@ metric name in the snapshot is documented. Reports produced by the
 experiment-fleet runner (docs/RUNNER.md) additionally carry `fleet`,
 `trials` and `aggregate` sections; when present these are validated too
 (fleet run parameters, fingerprint format, per-path summary statistics).
+A `results.compose_cache` section (benches driving the subtree-interface
+memoization) is validated for counter types and hit-rate range.
 For each `.jsonl` trace: verifies every line parses, every event type is
 documented, and any `trial` shard tag is a non-negative integer. Exits
 non-zero listing anything undocumented, so the doc and the code cannot
@@ -34,6 +36,30 @@ def documented_names(doc_text):
 FLEET_KEYS = ("trials", "jobs", "base_seed", "fingerprint", "wall_seconds")
 SUMMARY_KEYS = ("count", "mean", "stddev", "min", "max", "median", "p95",
                 "ci95")
+COMPOSE_CACHE_COUNTERS = ("hits", "misses", "inserts", "invalidations",
+                          "evictions")
+
+
+def check_compose_cache(path, section, problems):
+    """Validates a results.compose_cache summary (emitted by benches that
+    drive the subtree-interface memoization, docs/PERFORMANCE.md): the
+    five running totals must be non-negative integers and hit_rate a
+    fraction in [0, 1]."""
+    for key in COMPOSE_CACHE_COUNTERS:
+        value = section.get(key)
+        if not (isinstance(value, int) and not isinstance(value, bool)
+                and value >= 0):
+            problems.append(f"{path}: compose_cache.{key} is {value!r}, "
+                            "expected a non-negative integer")
+    rate = section.get("hit_rate")
+    if not (isinstance(rate, (int, float)) and not isinstance(rate, bool)
+            and 0.0 <= rate <= 1.0):
+        problems.append(f"{path}: compose_cache.hit_rate is {rate!r}, "
+                        "expected a number in [0, 1]")
+    unknown = set(section) - set(COMPOSE_CACHE_COUNTERS) - {"hit_rate"}
+    for key in sorted(unknown):
+        problems.append(f"{path}: compose_cache has undocumented key "
+                        f"'{key}'")
 
 
 def check_fleet(path, report, problems):
@@ -77,6 +103,11 @@ def check_report(path, metrics_doc, problems):
                         "expected 'harp-obs/1'")
     if "fleet" in report:
         check_fleet(path, report, problems)
+    compose_cache = report.get("results", {}).get("compose_cache")
+    if isinstance(compose_cache, dict):
+        check_compose_cache(path, compose_cache, problems)
+    elif compose_cache is not None:
+        problems.append(f"{path}: results.compose_cache is not an object")
     snapshot = report.get("metrics", {})
     seen = 0
     for family in ("counters", "gauges", "histograms"):

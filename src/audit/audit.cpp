@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "harp/interface_gen.hpp"
 #include "obs/obs.hpp"
 
 namespace harp::audit {
@@ -201,6 +202,41 @@ std::string check_restored(const core::InterfaceSet& ifs_before,
     return "rollback failed to restore the schedule";
   }
   return {};
+}
+
+std::string check_compose_cache(const net::Topology& topo,
+                                const net::TrafficMatrix& traffic,
+                                Direction dir, int num_channels,
+                                int own_slack,
+                                const core::InterfaceSet& cached) {
+  const core::InterfaceSet fresh = core::generate_interfaces(
+      topo, traffic, dir, num_channels, own_slack);
+  if (fresh == cached) return {};
+
+  // Diverged: name the first offending node/layer for the report.
+  const std::string dtag = std::string(to_string(dir)) + " ";
+  for (NodeId v = 0; v < topo.size(); ++v) {
+    const std::vector<int> fresh_layers = fresh.layers(v);
+    const std::vector<int> cached_layers = cached.layers(v);
+    if (fresh_layers != cached_layers) {
+      return dtag + "memoized interface of node " + std::to_string(v) +
+             " reports " + std::to_string(cached_layers.size()) +
+             " layers, from-scratch reports " +
+             std::to_string(fresh_layers.size());
+    }
+    for (int layer : fresh_layers) {
+      if (fresh.component(v, layer) != cached.component(v, layer)) {
+        return dtag + "memoized component of " + node_layer_tag(v, layer) +
+               " is " + to_string(cached.component(v, layer)) +
+               ", from-scratch is " + to_string(fresh.component(v, layer));
+      }
+      if (fresh.layout(v, layer) != cached.layout(v, layer)) {
+        return dtag + "memoized layout of " + node_layer_tag(v, layer) +
+               " diverges from the from-scratch composition";
+      }
+    }
+  }
+  return dtag + "memoized interface set diverges from from-scratch";
 }
 
 std::string check_queue_conservation(std::uint64_t generated,

@@ -94,6 +94,18 @@ std::string check_restored(const core::InterfaceSet& ifs_before,
                            const core::Schedule& sched_before,
                            const core::Schedule& sched_after);
 
+/// Memoization soundness: an interface set produced with the subtree
+/// compose cache (harp/compose_cache.hpp) must be byte-identical to a
+/// from-scratch regeneration under the same inputs — hits are pure
+/// lookups, never approximations. Re-derives the whole set without the
+/// cache (expensive: the engine samples it on power-of-two recomputation
+/// counts under HARP_AUDIT) and reports the first diverging node/layer.
+std::string check_compose_cache(const net::Topology& topo,
+                                const net::TrafficMatrix& traffic,
+                                Direction dir, int num_channels,
+                                int own_slack,
+                                const core::InterfaceSet& cached);
+
 /// Simulator queue conservation: every generated packet is delivered,
 /// dropped (queue overflow / route loss / purged with a departing device)
 /// or still queued — checked at every slotframe boundary.

@@ -4,19 +4,22 @@
 
 #include "common/error.hpp"
 #include "obs/obs.hpp"
-#include "packing/skyline.hpp"
 
 namespace harp::core {
 
-Composition compose_components(const std::vector<ChildComponent>& children,
-                               int num_channels) {
+void compose_components_into(std::span<const ChildComponent> children,
+                             int num_channels, ComposeScratch& scratch,
+                             Composition& out) {
   HARP_OBS_SCOPE("harp.engine.compose_ns");
   if (num_channels <= 0) {
     throw InvalidArgument("num_channels must be positive");
   }
 
-  std::vector<packing::Rect> rects;
-  rects.reserve(children.size());
+  out.composite = {};
+  out.layout.clear();
+
+  std::vector<packing::Rect>& rects = scratch.rects;
+  rects.clear();
   for (const ChildComponent& cc : children) {
     if (cc.comp.empty()) continue;
     if (cc.comp.channels > num_channels) {
@@ -28,35 +31,48 @@ Composition compose_components(const std::vector<ChildComponent>& children,
     rects.push_back({cc.comp.channels, cc.comp.slots,
                      static_cast<std::uint64_t>(cc.child)});
   }
-  if (rects.empty()) return {};
+  if (rects.empty()) return;
 
   // Pass 1: fixed width of M channels, minimize height = slots.
-  const packing::StripResult pass1 = packing::pack_strip(rects, num_channels);
-  const packing::Dim min_slots = pass1.height;
+  packing::pack_strip_into(rects, num_channels, scratch.pack, scratch.pass1);
+  const packing::Dim min_slots = scratch.pass1.height;
 
   // Pass 2: fixed width of n_s^min slots, minimize height = channels.
   // Transpose every rectangle: width = slots, height = channels.
   for (auto& r : rects) std::swap(r.w, r.h);
-  const packing::StripResult pass2 = packing::pack_strip(rects, min_slots);
+  packing::pack_strip_into(rects, min_slots, scratch.pack, scratch.pass2);
 
   // The transposed pass-1 layout is itself a packing into min_slots slots;
   // its channel usage is the widest placement edge. Being a heuristic,
   // pass 2 is not guaranteed to beat it (or even to stay within M
   // channels), so keep whichever uses fewer channels.
   packing::Dim pass1_channels = 0;
-  for (const auto& p : pass1.placements) {
+  for (const auto& p : scratch.pass1.placements) {
     pass1_channels = std::max(pass1_channels, p.right());
   }
-  Composition out;
-  if (pass2.height <= pass1_channels) {
+  if (scratch.pass2.height <= pass1_channels) {
     out.composite = {static_cast<int>(min_slots),
-                     static_cast<int>(pass2.height)};
-    out.layout = pass2.placements;  // already (x=slot, y=channel) oriented
+                     static_cast<int>(scratch.pass2.height)};
+    // Already (x=slot, y=channel) oriented.
+    out.layout = scratch.pass2.placements;
   } else {
     out.composite = {static_cast<int>(min_slots),
                      static_cast<int>(pass1_channels)};
-    out.layout = packing::transpose(pass1.placements);
+    out.layout.resize(scratch.pass1.placements.size());
+    for (std::size_t i = 0; i < out.layout.size(); ++i) {
+      const packing::Placement& p = scratch.pass1.placements[i];
+      out.layout[i] = {p.y, p.x, p.h, p.w, p.id};
+    }
   }
+}
+
+Composition compose_components(const std::vector<ChildComponent>& children,
+                               int num_channels) {
+  // Per-thread scratch: serial callers (climb, bootstrap) and each worker
+  // of parallel composition all reuse their own buffers.
+  thread_local ComposeScratch scratch;
+  Composition out;
+  compose_components_into(children, num_channels, scratch, out);
   return out;
 }
 

@@ -12,12 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
 #include "common/types.hpp"
 #include "harp/resource.hpp"
 #include "packing/rect.hpp"
+#include "packing/skyline.hpp"
 
 namespace harp::core {
 
@@ -35,12 +37,30 @@ struct Composition {
   std::vector<packing::Placement> layout;
 };
 
+/// Reusable buffers for compose_components_into: the rect list and the
+/// two strip-packing passes of the double mapping, plus the packer's own
+/// scratch. One per thread (or per worker slot) keeps the composition hot
+/// path allocation-free in steady state.
+struct ComposeScratch {
+  packing::PackScratch pack;
+  std::vector<packing::Rect> rects;
+  packing::StripResult pass1;
+  packing::StripResult pass2;
+};
+
 /// Composes child components per Alg. 1. Children with empty components
 /// are ignored. Throws InfeasibleError if any child needs more than
 /// `num_channels` channels (cannot fit the strip of pass 1), and
 /// InvalidArgument on num_channels <= 0.
 Composition compose_components(const std::vector<ChildComponent>& children,
                                int num_channels);
+
+/// Scratch-reusing core of compose_components: identical output, with all
+/// intermediate buffers drawn from `scratch` and the result written into
+/// `out` (layout capacity reused).
+void compose_components_into(std::span<const ChildComponent> children,
+                             int num_channels, ComposeScratch& scratch,
+                             Composition& out);
 
 /// The naive single-rectangle abstraction the paper's Fig. 3 argues
 /// against: one bounding component per subtree covering ALL layers at

@@ -7,6 +7,7 @@
 #include "harp/adjustment.hpp"
 #include "harp/compose.hpp"
 #include "obs/obs.hpp"
+#include "runner/pool.hpp"
 
 /// Re-derives every engine invariant from scratch (partition disjointness
 /// and containment, interface/composition consistency, schedule rules,
@@ -35,6 +36,7 @@ struct EngineObsIds {
   obs::InstrumentId leaves;
   obs::InstrumentId roams;
   obs::InstrumentId recompactions;
+  obs::InstrumentId cache[5];
 };
 
 struct EngineObs {
@@ -45,6 +47,8 @@ struct EngineObs {
   obs::Counter* leaves;
   obs::Counter* roams;
   obs::Counter* recompactions;
+  /// hits, misses, inserts, invalidations, evictions — in Stats order.
+  obs::Counter* cache[5];
 };
 
 EngineObs engine_obs() {
@@ -60,6 +64,11 @@ EngineObs engine_obs() {
       obs::intern_counter("harp.engine.leaves"),
       obs::intern_counter("harp.engine.roams"),
       obs::intern_counter("harp.engine.recompactions"),
+      {obs::intern_counter("harp.compose_cache.hits"),
+       obs::intern_counter("harp.compose_cache.misses"),
+       obs::intern_counter("harp.compose_cache.inserts"),
+       obs::intern_counter("harp.compose_cache.invalidations"),
+       obs::intern_counter("harp.compose_cache.evictions")},
   };
   auto& reg = obs::MetricsRegistry::global();
   return EngineObs{
@@ -72,6 +81,9 @@ EngineObs engine_obs() {
       &reg.counter(ids.leaves),
       &reg.counter(ids.roams),
       &reg.counter(ids.recompactions),
+      {&reg.counter(ids.cache[0]), &reg.counter(ids.cache[1]),
+       &reg.counter(ids.cache[2]), &reg.counter(ids.cache[3]),
+       &reg.counter(ids.cache[4])},
   };
 }
 
@@ -141,6 +153,23 @@ HarpEngine::HarpEngine(net::Topology topo, net::TrafficMatrix traffic,
     throw InvalidArgument("traffic matrix does not match topology size");
   }
   if (options_.own_slack < 0) throw InvalidArgument("own_slack must be >= 0");
+  if (options_.compose_cache) {
+    // Capacity 4N: one entry per node/direction in steady state plus churn
+    // margin, so the bulk eviction stays rare.
+    memo_ = std::make_unique<ComposeMemo>(
+        topo_.size(), std::max<std::size_t>(1024, 4 * topo_.size()));
+  }
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    const std::size_t jobs = options_.jobs == 0
+                                 ? runner::WorkerPool::default_jobs()
+                                 : options_.jobs;
+    if (jobs > 1) {
+      owned_pool_ = std::make_unique<runner::WorkerPool>(jobs);
+      pool_ = owned_pool_.get();
+    }
+  }
   bootstrap();
 }
 
@@ -149,23 +178,79 @@ HarpEngine::HarpEngine(net::Topology topo, std::vector<net::Task> tasks,
     : HarpEngine(topo, derive_traffic(topo, tasks, frame), frame, tasks,
                  options) {}
 
+HarpEngine::~HarpEngine() = default;
+HarpEngine::HarpEngine(HarpEngine&&) noexcept = default;
+HarpEngine& HarpEngine::operator=(HarpEngine&&) noexcept = default;
+
 void HarpEngine::bootstrap() {
   HARP_OBS_SCOPE("harp.engine.bootstrap_ns");
+  const int num_channels = static_cast<int>(frame_.num_channels);
   {
     HARP_OBS_SCOPE("harp.engine.interface_gen_ns");
-    up_ = generate_interfaces(topo_, traffic_, Direction::kUp,
-                              static_cast<int>(frame_.num_channels),
-                              options_.own_slack);
+    // Release the live sets first: when they still share the memo's node
+    // table (no drift since the last recompute), this lets the memoized
+    // pass update that table in place instead of cloning it. recompact()
+    // keeps its own rollback snapshots, so nothing is lost.
+    up_ = InterfaceSet();
+    down_ = InterfaceSet();
+    up_ = generate_interfaces(topo_, traffic_, Direction::kUp, num_channels,
+                              options_.own_slack, memo_.get(), pool_);
     down_ = generate_interfaces(topo_, traffic_, Direction::kDown,
-                                static_cast<int>(frame_.num_channels),
-                                options_.own_slack);
+                                num_channels, options_.own_slack, memo_.get(),
+                                pool_);
   }
+  ++recompute_count_;
+  if (memo_) publish_cache_stats();
+#if HARP_AUDIT_ENABLED
+  // The soundness oracle regenerates both interface sets from scratch —
+  // as expensive as what the cache saves — so it samples with exponential
+  // backoff: power-of-two recomputation counts only.
+  if (memo_ && (recompute_count_ & (recompute_count_ - 1)) == 0) {
+    HARP_AUDIT("engine.compose_cache",
+               audit::check_compose_cache(topo_, traffic_, Direction::kUp,
+                                          num_channels, options_.own_slack,
+                                          up_));
+    HARP_AUDIT("engine.compose_cache",
+               audit::check_compose_cache(topo_, traffic_, Direction::kDown,
+                                          num_channels, options_.own_slack,
+                                          down_));
+  }
+#endif
   {
     HARP_OBS_SCOPE("harp.engine.partition_alloc_ns");
     parts_ = allocate_partitions(topo_, up_, down_, frame_).partitions;
   }
   rebuild_schedule();
   HARP_ENGINE_AUDIT("engine.bootstrap");
+}
+
+void HarpEngine::set_demand(NodeId child, Direction dir, int cells) {
+  traffic_.set_demand(child, dir, cells);
+  // The demand of `child`'s link is an input of every ancestor interface
+  // starting at the parent (whose own-layer component sums it). Rollback
+  // writes land here too — conservative re-invalidation is harmless: the
+  // fingerprint recomputes to its old value and hits the cache.
+  if (memo_) memo_->invalidate_chain(topo_, dir, topo_.parent(child));
+}
+
+void HarpEngine::publish_cache_stats() {
+  const ComposeCache::Stats s = memo_->cache().stats();
+  const EngineObs eobs = engine_obs();
+  eobs.cache[0]->inc(s.hits - cache_last_.hits);
+  eobs.cache[1]->inc(s.misses - cache_last_.misses);
+  eobs.cache[2]->inc(s.inserts - cache_last_.inserts);
+  eobs.cache[3]->inc(s.invalidations - cache_last_.invalidations);
+  eobs.cache[4]->inc(s.evictions - cache_last_.evictions);
+  HARP_OBS_EVENT(
+      {.type = obs::EventType::kComposeCache,
+       .a = static_cast<std::uint32_t>(s.hits - cache_last_.hits),
+       .b = static_cast<std::uint32_t>(s.misses - cache_last_.misses),
+       .value = s.inserts - cache_last_.inserts});
+  cache_last_ = s;
+}
+
+ComposeCache::Stats HarpEngine::compose_cache_stats() const {
+  return memo_ ? memo_->cache().stats() : ComposeCache::Stats{};
 }
 
 void HarpEngine::rebuild_schedule() {
@@ -263,6 +348,59 @@ HarpEngine::CompactionReport HarpEngine::recompact() {
   return report;
 }
 
+std::uint64_t HarpEngine::state_fingerprint() const {
+  // FNV-1a over a fully deterministic integer serialization of the
+  // resource state. No floats, no pointers, no container-order ambiguity
+  // (layers ascend, nodes ascend) — the digest is comparable across
+  // machines, which is what lets the bench gate pin it in a baseline.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    const InterfaceSet& ifs = dir == Direction::kUp ? up_ : down_;
+    for (NodeId v = 0; v < topo_.size(); ++v) {
+      for (int layer : ifs.layers(v)) {
+        const ResourceComponent c = ifs.component(v, layer);
+        mix(v);
+        mix(static_cast<std::uint64_t>(layer));
+        mix(static_cast<std::uint64_t>(c.slots));
+        mix(static_cast<std::uint64_t>(c.channels));
+        for (const packing::Placement& p : ifs.layout(v, layer)) {
+          mix(static_cast<std::uint64_t>(p.x));
+          mix(static_cast<std::uint64_t>(p.y));
+          mix(static_cast<std::uint64_t>(p.w));
+          mix(static_cast<std::uint64_t>(p.h));
+          mix(p.id);
+        }
+      }
+      for (int layer : parts_.layers(dir, v)) {
+        const Partition p = parts_.get(dir, v, layer);
+        mix(v);
+        mix(static_cast<std::uint64_t>(layer));
+        mix(static_cast<std::uint64_t>(p.comp.slots));
+        mix(static_cast<std::uint64_t>(p.comp.channels));
+        mix(p.slot);
+        mix(p.channel);
+      }
+      if (v != net::Topology::gateway()) {
+        for (Direction sdir : {Direction::kUp, Direction::kDown}) {
+          for (const Cell& cell : schedule_.cells(v, sdir)) {
+            mix(v);
+            mix(static_cast<std::uint64_t>(sdir));
+            mix(cell.slot);
+            mix(cell.channel);
+          }
+        }
+      }
+    }
+  }
+  return h;
+}
+
 std::string HarpEngine::validate() const {
   if (auto err = validate_partitions(topo_, up_, down_, parts_, frame_);
       !err.empty()) {
@@ -315,7 +453,7 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
   if (new_cells < old_cells) {
     // Sec. V: on decrease the parent releases cells; partitions (and the
     // reported interfaces) stay, keeping the reservation for later grabs.
-    traffic_.set_demand(child, dir, new_cells);
+    set_demand(child, dir, new_cells);
     rebuild_links(dir, {q});
     report.kind = AdjustmentKind::kLocalRelease;
     report.satisfied = true;
@@ -323,7 +461,7 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
     return report;
   }
 
-  traffic_.set_demand(child, dir, new_cells);
+  set_demand(child, dir, new_cells);
   const ResourceComponent raw = own_layer_component(topo_, traffic_, dir, q);
   const Partition current = parts_.get(dir, q, layer);
   if (raw.slots <= current.comp.slots && !current.empty()) {
@@ -350,7 +488,7 @@ AdjustmentReport HarpEngine::request_demand_impl(NodeId child, Direction dir,
 #endif
   report = climb(q, layer, dir, raw, dirty_parents);
   if (!report.satisfied) {
-    traffic_.set_demand(child, dir, old_cells);  // admission denied
+    set_demand(child, dir, old_cells);  // admission denied
 #if HARP_AUDIT_ENABLED
     HARP_AUDIT("engine.climb_rollback",
                audit::check_restored(ifs_snapshot, live_ifs, parts_snapshot,
@@ -376,6 +514,14 @@ HarpEngine::TopoChangeReport HarpEngine::attach_leaf(NodeId parent,
   engine_obs().joins->inc();
   topo_ = topo_.with_leaf(parent);
   const NodeId node = static_cast<NodeId>(topo_.size() - 1);
+  if (memo_) {
+    // The parent's child list changed (its fingerprint mixes child ids,
+    // and it may just have stopped being a leaf), so its whole ancestor
+    // chain is stale in both directions.
+    memo_->resize(topo_.size());
+    memo_->invalidate_chain(topo_, Direction::kUp, parent);
+    memo_->invalidate_chain(topo_, Direction::kDown, parent);
+  }
   traffic_.resize(topo_.size());
   up_.resize(topo_.size());
   down_.resize(topo_.size());
@@ -458,6 +604,14 @@ HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
   // priorities whose paths changed. Priorities feed every parent's RM
   // order, so this is one of the few spots that needs a full rebuild.
   topo_ = topo_.with_parent(leaf, new_parent);
+  if (memo_) {
+    // Both endpoints' child lists changed; their ancestor chains (in the
+    // rewired tree) are stale in both directions.
+    for (Direction d : {Direction::kUp, Direction::kDown}) {
+      memo_->invalidate_chain(topo_, d, old_parent);
+      memo_->invalidate_chain(topo_, d, new_parent);
+    }
+  }
   periods_ = link_periods(topo_, tasks_);
   rebuild_schedule();
   // ...and request the same demands at the new location.
@@ -470,6 +624,12 @@ HarpEngine::TopoChangeReport HarpEngine::reparent_leaf(NodeId leaf,
     request_demand(leaf, Direction::kUp, 0);
     request_demand(leaf, Direction::kDown, 0);
     topo_ = topo_.with_parent(leaf, old_parent);
+    if (memo_) {
+      for (Direction d : {Direction::kUp, Direction::kDown}) {
+        memo_->invalidate_chain(topo_, d, old_parent);
+        memo_->invalidate_chain(topo_, d, new_parent);
+      }
+    }
     periods_ = link_periods(topo_, tasks_);
     rebuild_schedule();
     const auto up_back = request_demand(leaf, Direction::kUp, old_up);

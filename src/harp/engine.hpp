@@ -15,12 +15,15 @@
 // produce identical partitions.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <set>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "harp/compose_cache.hpp"
 #include "harp/interface_gen.hpp"
 #include "harp/partition_alloc.hpp"
 #include "harp/rm_scheduler.hpp"
@@ -83,6 +86,19 @@ struct EngineOptions {
   /// partition beyond the current demand — the "idle cells" of Sec. V
   /// that let small traffic increases resolve locally. 0 = exact fit.
   int own_slack = 0;
+  /// Memoize subtree interfaces across full recomputations (bootstrap,
+  /// recompact): unchanged subtrees are copied from the compose cache
+  /// instead of re-running Alg. 1. Pure accelerator — the produced state
+  /// is bit-identical either way (audited by check_compose_cache).
+  bool compose_cache = true;
+  /// Worker threads for from-scratch interface generation: 1 = serial
+  /// (default), 0 = all hardware threads, n = exactly n. Also a pure
+  /// accelerator: results are identical for any value. Ignored when
+  /// `pool` is set.
+  std::size_t jobs = 1;
+  /// External worker pool to reuse across engines (overrides `jobs`; not
+  /// owned, must outlive the engine). jobs() == 1 means serial.
+  runner::WorkerPool* pool = nullptr;
 };
 
 class HarpEngine {
@@ -96,6 +112,12 @@ class HarpEngine {
   /// Convenience: derives the traffic matrix from the tasks.
   HarpEngine(net::Topology topo, std::vector<net::Task> tasks,
              net::SlotframeConfig frame, EngineOptions options = {});
+
+  // Out-of-line so the header needs no complete runner::WorkerPool.
+  // Movable, not copyable (the compose memo and owned pool are unique).
+  ~HarpEngine();
+  HarpEngine(HarpEngine&&) noexcept;
+  HarpEngine& operator=(HarpEngine&&) noexcept;
 
   const net::Topology& topology() const { return topo_; }
   const net::TrafficMatrix& traffic() const { return traffic_; }
@@ -156,6 +178,18 @@ class HarpEngine {
   /// Returns "" when the state is consistent.
   std::string validate() const;
 
+  /// Deterministic 64-bit digest (FNV-1a over integers only, so it is
+  /// identical across machines) of the full resource state: both
+  /// interface sets, the partition table and the schedule. The equality
+  /// oracle behind the tentpole's determinism contract: the fingerprint
+  /// must be bit-identical with the compose cache on or off and for any
+  /// `jobs` value (tests/compose_cache_test.cpp, bench gate).
+  std::uint64_t state_fingerprint() const;
+
+  /// Compose-cache totals since construction; zeros when the cache is
+  /// disabled.
+  ComposeCache::Stats compose_cache_stats() const;
+
   /// Cells currently held by scheduling partitions (reservations included)
   /// versus the task set's true demand — the fragmentation/over-reserve
   /// gauge.
@@ -180,6 +214,13 @@ class HarpEngine {
  private:
   void bootstrap();
   void rebuild_schedule();
+  /// Sets one link demand and invalidates the compose memo along the
+  /// parent's ancestor chain (every fingerprint that mixes this demand).
+  /// All engine-side demand writes go through here.
+  void set_demand(NodeId child, Direction dir, int cells);
+  /// Publishes the cache-stat deltas since the previous generation pass:
+  /// `harp.compose_cache.*` counters plus one `compose_cache` trace event.
+  void publish_cache_stats();
   /// Incremental counterpart of rebuild_schedule(): re-derives only the
   /// links under the given parents in one direction. Equivalent to a full
   /// rebuild when `parents` covers every node whose scheduling inputs
@@ -209,6 +250,19 @@ class HarpEngine {
   InterfaceSet down_;
   PartitionTable parts_;
   Schedule schedule_;
+
+  /// Subtree-interface memo (null when options_.compose_cache is false).
+  std::unique_ptr<ComposeMemo> memo_;
+  /// Pool owned by this engine when options_.jobs asked for parallelism.
+  std::unique_ptr<runner::WorkerPool> owned_pool_;
+  /// Pool used for generation: external, owned, or null (serial).
+  runner::WorkerPool* pool_{nullptr};
+  /// Full recomputations so far; the audit layer samples the expensive
+  /// cache-soundness oracle on power-of-two counts.
+  std::uint64_t recompute_count_{0};
+  /// Cache totals at the end of the previous generation pass (delta base
+  /// for publish_cache_stats).
+  ComposeCache::Stats cache_last_{};
 };
 
 }  // namespace harp::core

@@ -1,9 +1,88 @@
 #include "harp/interface_gen.hpp"
 
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
 #include "common/error.hpp"
 #include "harp/compose.hpp"
+#include "harp/compose_cache.hpp"
+#include "obs/obs.hpp"
+#include "runner/pool.hpp"
 
 namespace harp::core {
+namespace {
+
+/// Per-thread buffers for one node's derivation. Worker threads of a
+/// parallel pass and the caller's serial path each get their own.
+struct GenScratch {
+  ComposeScratch compose;
+  std::vector<ChildComponent> parts;
+  Composition composed;
+};
+
+GenScratch& gen_scratch() {
+  thread_local GenScratch s;
+  return s;
+}
+
+/// Content fingerprint of the inputs determining `node`'s from-scratch
+/// interface in `dir`: composition parameters, ordered child ids, each
+/// child's demand and — for non-leaf children — subtree fingerprint
+/// (which must already be current: bottom-up processing guarantees it).
+/// Leaf children mix a distinct tag instead, so a leaf and an
+/// empty-interface subtree cannot alias.
+std::uint64_t subtree_fingerprint(const net::Topology& topo,
+                                  const net::TrafficMatrix& traffic,
+                                  Direction dir, int num_channels,
+                                  int own_slack, NodeId node,
+                                  const std::vector<std::uint64_t>& fp) {
+  std::uint64_t h = fp_mix(kFpSeed, static_cast<std::uint64_t>(dir));
+  h = fp_mix(h, static_cast<std::uint64_t>(num_channels));
+  h = fp_mix(h, static_cast<std::uint64_t>(own_slack));
+  for (NodeId child : topo.children(node)) {
+    h = fp_mix(h, child);
+    h = fp_mix(h, static_cast<std::uint64_t>(traffic.demand(child, dir)));
+    if (topo.is_leaf(child)) {
+      h = fp_mix(h, 1);
+    } else {
+      h = fp_mix(h, 2);
+      h = fp_mix(h, fp[child]);
+    }
+  }
+  return h;
+}
+
+/// Alg. 1 for one node (Cases 1 and 2), writing into `ifs`. Children's
+/// entries must be final; the node's own entry must be clear (incremental
+/// passes clear stale nodes before re-deriving).
+void derive_interface(const net::Topology& topo,
+                      const net::TrafficMatrix& traffic, Direction dir,
+                      int num_channels, int own_slack, NodeId node,
+                      InterfaceSet& ifs) {
+  GenScratch& s = gen_scratch();
+
+  // Case 1: the node's own links.
+  const int own_layer = topo.link_layer(node);
+  ifs.set_component(node, own_layer,
+                    own_layer_component(topo, traffic, dir, node, own_slack));
+
+  // Case 2: compose children's interfaces layer by layer.
+  for (int layer = own_layer + 1; layer <= topo.subtree_depth(node); ++layer) {
+    s.parts.clear();
+    for (NodeId child : topo.children(node)) {
+      const ResourceComponent c = ifs.component(child, layer);
+      if (!c.empty()) s.parts.push_back({child, c});
+    }
+    compose_components_into(s.parts, num_channels, s.compose, s.composed);
+    if (s.composed.composite.empty()) continue;
+    ifs.set_component(node, layer, s.composed.composite);
+    ifs.set_layout(node, layer, std::move(s.composed.layout));
+  }
+}
+
+}  // namespace
 
 ResourceComponent own_layer_component(const net::Topology& topo,
                                       const net::TrafficMatrix& traffic,
@@ -26,30 +105,127 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
                                  const net::TrafficMatrix& traffic,
                                  Direction dir, int num_channels,
                                  int own_slack) {
-  InterfaceSet ifs(topo.size());
-  for (NodeId node : topo.nodes_bottom_up()) {
-    if (topo.is_leaf(node)) continue;
+  return generate_interfaces(topo, traffic, dir, num_channels, own_slack,
+                             nullptr, nullptr);
+}
 
-    // Case 1: the node's own links.
-    const int own_layer = topo.link_layer(node);
-    ifs.set_component(node, own_layer,
-                      own_layer_component(topo, traffic, dir, node, own_slack));
+InterfaceSet generate_interfaces(const net::Topology& topo,
+                                 const net::TrafficMatrix& traffic,
+                                 Direction dir, int num_channels,
+                                 int own_slack, ComposeMemo* memo,
+                                 runner::WorkerPool* pool) {
+  InterfaceSet ifs;
 
-    // Case 2: compose children's interfaces layer by layer. Children were
-    // processed earlier (bottom-up order), so their components are final.
-    for (int layer = own_layer + 1; layer <= topo.subtree_depth(node);
-         ++layer) {
-      std::vector<ChildComponent> parts;
-      for (NodeId child : topo.children(node)) {
-        const ResourceComponent c = ifs.component(child, layer);
-        if (!c.empty()) parts.push_back({child, c});
-      }
-      Composition composed = compose_components(parts, num_channels);
-      if (composed.composite.empty()) continue;
-      ifs.set_component(node, layer, composed.composite);
-      ifs.set_layout(node, layer, std::move(composed.layout));
+  std::vector<std::uint64_t>* fp = nullptr;
+  std::vector<std::uint8_t>* valid = nullptr;
+  ComposeCache* cache = nullptr;
+  if (memo != nullptr) {
+    memo->resize(topo.size());
+    const bool structure_changed =
+        memo->begin_pass(topo, dir, num_channels, own_slack);
+    fp = &memo->fingerprints(dir);
+    valid = &memo->valid(dir);
+    cache = &memo->cache();
+    // Incremental regeneration: take over the pristine result of the last
+    // pass and rewrite only the stale nodes. Nodes whose fingerprint is
+    // still valid keep their content without a single write, and when the
+    // caller released its previous result first the node table is updated
+    // in place — no clone, no per-node refcount traffic. Should the memo
+    // have lost its result (a previous pass died mid-way), the validity
+    // bits no longer have content behind them: drop them all.
+    ifs = std::move(memo->last_result(dir));
+    if (ifs.num_nodes() == 0 && topo.size() > 0) {
+      valid->assign(valid->size(), 0);
     }
+    ifs.resize(topo.size());
+    if (structure_changed) {
+      // The hot loop visits only internal nodes, so a node that lost its
+      // last child since the previous pass would keep its stale interface
+      // forever: scrub leaves once per structure change.
+      for (NodeId v = 0; v < topo.size(); ++v) {
+        if (topo.is_leaf(v) && ifs.has_interface(v)) ifs.clear_node(v);
+      }
+    }
+  } else {
+    ifs = InterfaceSet(topo.size());
   }
+
+  // Shared by the serial and parallel paths. Thread safety of the parallel
+  // case: the node table is detached up front, then a worker writes only
+  // `node`'s slots of ifs/fp/valid (distinct objects per node) and reads
+  // only children finalized in earlier rounds; cache find/insert are
+  // internally synchronized.
+  // Called on internal nodes only (the traversal orders below skip
+  // leaves; leaves carry no interface).
+  const auto process = [&](NodeId node, std::uint64_t& fast_hits) {
+    if (memo != nullptr) {
+      if ((*valid)[node] != 0) {
+        // Still valid: the last result's content for this subtree IS the
+        // from-scratch derivation. Nothing to do.
+        ++fast_hits;
+        return;
+      }
+      (*fp)[node] = subtree_fingerprint(topo, traffic, dir, num_channels,
+                                        own_slack, node, *fp);
+      if (std::shared_ptr<const ComposeCache::Entry> entry =
+              cache->find((*fp)[node])) {
+        ifs.set_node_interface(node, std::move(entry));
+        // Validity is set only once the content is in place, so an
+        // exception mid-pass can never leave a valid bit without its
+        // interface behind it.
+        (*valid)[node] = 1;
+        return;
+      }
+      // Derive from a clean slate so no layer of the stale snapshot
+      // survives (the snapshot itself stays intact for its other owners).
+      ifs.clear_node(node);
+    }
+    derive_interface(topo, traffic, dir, num_channels, own_slack, node, ifs);
+    if (memo != nullptr) {
+      cache->insert((*fp)[node], ifs.node_interface(node));
+      (*valid)[node] = 1;
+    }
+  };
+
+  if (pool == nullptr || pool->jobs() <= 1) {
+    std::uint64_t fast_hits = 0;
+    for (NodeId node : topo.internal_bottom_up()) process(node, fast_hits);
+    if (cache != nullptr && fast_hits > 0) cache->note_hits(fast_hits);
+    if (memo != nullptr) memo->last_result(dir) = ifs;
+    return ifs;
+  }
+
+  // Parallel per-layer rounds, deepest non-leaf layer first. The table is
+  // detached before the first round so no worker triggers the lazy
+  // copy-on-write clone. Each worker slot records into its own obs
+  // context (phase histograms preserved via the merge below; trace events
+  // from workers are dropped) and its own padded hit counter (no false
+  // sharing on the hot path).
+  ifs.detach();
+  std::vector<obs::Context> contexts(pool->jobs());
+  for (obs::Context& ctx : contexts) ctx.timing = obs::timing_enabled();
+  struct alignas(64) SlotHits {
+    std::uint64_t n{0};
+  };
+  std::vector<SlotHits> slot_hits(pool->jobs());
+
+  for (int layer = topo.depth() - 1; layer >= 0; --layer) {
+    const std::vector<NodeId>& nodes = topo.internal_at_layer(layer);
+    if (nodes.empty()) continue;
+    pool->run_indexed(nodes.size(), [&](std::size_t slot, std::size_t i) {
+      obs::ScopedContext scoped(contexts[slot]);
+      process(nodes[i], slot_hits[slot].n);
+    });
+  }
+  for (obs::Context& ctx : contexts) {
+    obs::MetricsRegistry::global().merge(ctx.metrics);
+  }
+  if (cache != nullptr) {
+    std::uint64_t fast_hits = 0;
+    for (const SlotHits& s : slot_hits) fast_hits += s.n;
+    if (fast_hits > 0) cache->note_hits(fast_hits);
+  }
+  if (memo != nullptr) memo->last_result(dir) = ifs;
   return ifs;
 }
 

@@ -15,7 +15,13 @@
 #include "harp/resource.hpp"
 #include "net/traffic.hpp"
 
+namespace harp::runner {
+class WorkerPool;
+}
+
 namespace harp::core {
+
+class ComposeMemo;
 
 /// Generates the full interface set for one traffic direction.
 /// `num_channels` is M, the channel count of the slotframe.
@@ -29,6 +35,28 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
                                  const net::TrafficMatrix& traffic,
                                  Direction dir, int num_channels,
                                  int own_slack = 0);
+
+/// Accelerated from-scratch generation: identical output to the overload
+/// above for any (memo, pool) combination — both are pure accelerators.
+///
+/// `memo` (may be null) memoizes whole subtree interfaces under content
+/// fingerprints (harp/compose_cache.hpp): stale fingerprints are
+/// recomputed bottom-up and re-validated, cache hits copy the previously
+/// composed interface instead of re-running Alg. 1.
+///
+/// `pool` (may be null, or jobs() == 1 for serial) composes node layers in
+/// parallel, deepest first: within one node-layer round every node's
+/// interface depends only on children finalized in earlier rounds, so
+/// workers never touch the same node's state. Batch completion barriers
+/// order the rounds. Worker-side phase timers land in per-slot contexts
+/// whose histograms are merged into the caller's registry after the last
+/// round; worker trace events are dropped (docs/OBSERVABILITY.md
+/// "Concurrency contract").
+InterfaceSet generate_interfaces(const net::Topology& topo,
+                                 const net::TrafficMatrix& traffic,
+                                 Direction dir, int num_channels,
+                                 int own_slack, ComposeMemo* memo,
+                                 runner::WorkerPool* pool);
 
 /// Recomputes the own-layer (Case 1) component of `node` from current
 /// demands: [sum over children of demand (+ slack when non-zero), 1].

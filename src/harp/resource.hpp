@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -84,17 +85,39 @@ inline std::string to_string(const Partition& p) {
 /// offsets; placement id = child node id). The layout is what lets a
 /// parent later carve its partition into child partitions (Sec. IV-C) and
 /// is also the state Alg. 2 rearranges.
+///
+/// Storage is copy-on-write at two levels:
+///   * per node — each node's per-layer interface lives behind a
+///     shared_ptr, so the compose cache shares whole node interfaces with
+///     the engine's live sets at zero copy cost (a cache hit is one
+///     pointer assignment);
+///   * per set — the whole node table is itself shared, so copying an
+///     InterfaceSet (engine save/restore snapshots, the memo's pristine
+///     last result) is O(1) and an unchanged-node regeneration writes
+///     nothing at all.
+/// Any mutation first clones whatever is shared (the table, then the
+/// node), which preserves value semantics and keeps cached snapshots
+/// immutable after the live state drifts (dynamic adjustments).
 class InterfaceSet {
  public:
-  InterfaceSet() = default;
-  explicit InterfaceSet(std::size_t num_nodes) : nodes_(num_nodes) {}
+  /// One layer of a node's interface.
+  struct LayerIf {
+    ResourceComponent comp;
+    std::vector<packing::Placement> layout;
 
-  std::size_t num_nodes() const { return nodes_.size(); }
+    friend bool operator==(const LayerIf&, const LayerIf&) = default;
+  };
+  /// layer -> entry; std::map keeps layers ordered for iteration. A null
+  /// node pointer and an empty map both mean "no interface".
+  using NodeInterface = std::map<int, LayerIf>;
+
+  InterfaceSet() = default;
+  explicit InterfaceSet(std::size_t num_nodes);
+
+  std::size_t num_nodes() const { return store_ ? store_->nodes.size() : 0; }
 
   /// Grows the set for newly joined nodes (empty interfaces).
-  void resize(std::size_t num_nodes) {
-    if (num_nodes > nodes_.size()) nodes_.resize(num_nodes);
-  }
+  void resize(std::size_t num_nodes);
 
   /// C_{node,layer}; empty component when the subtree has no demand there.
   ResourceComponent component(NodeId node, int layer) const;
@@ -114,19 +137,51 @@ class InterfaceSet {
   /// Sum of cells over one node's interface.
   std::int64_t interface_cells(NodeId node) const;
 
-  /// Deep equality (components and layouts). The audit layer compares
-  /// snapshots against post-rollback state to prove an undo was lossless.
-  friend bool operator==(const InterfaceSet&, const InterfaceSet&) = default;
+  /// The node's whole interface as an immutable shared snapshot (never
+  /// null; an interface-less node yields an empty map). What the compose
+  /// cache stores.
+  std::shared_ptr<const NodeInterface> node_interface(NodeId node) const;
+
+  /// Replaces the node's whole interface with a shared snapshot — O(1),
+  /// no copy. Later mutations of this set clone before writing, so the
+  /// snapshot's owner never observes them.
+  void set_node_interface(NodeId node,
+                          std::shared_ptr<const NodeInterface> interface);
+
+  /// True when the node carries any interface storage at all (an
+  /// O(1) check; an empty map also counts as no interface content).
+  bool has_interface(NodeId node) const;
+
+  /// Drops the node's interface entirely (equivalent to a node that was
+  /// never derived). Incremental regeneration clears a stale node before
+  /// re-deriving it so no layer of the old snapshot survives.
+  void clear_node(NodeId node);
+
+  /// Makes this set the sole owner of its node table, cloning it if it is
+  /// shared. Parallel generation calls this up front so worker threads
+  /// never race on the lazy copy-on-write detach.
+  void detach();
+
+  /// Deep equality (components and layouts, not pointer identity). The
+  /// audit layer compares snapshots against post-rollback state to prove
+  /// an undo was lossless.
+  friend bool operator==(const InterfaceSet& a, const InterfaceSet& b);
 
  private:
-  struct Entry {
-    ResourceComponent comp;
-    std::vector<packing::Placement> layout;
-
-    friend bool operator==(const Entry&, const Entry&) = default;
+  /// The shared node table. Copying an InterfaceSet copies only the
+  /// pointer; mutable_store() clones the table on first write.
+  struct Store {
+    std::vector<std::shared_ptr<NodeInterface>> nodes;
   };
-  // layer -> entry; std::map keeps layers ordered for iteration.
-  std::vector<std::map<int, Entry>> nodes_;
+
+  /// The table for writing: allocated if absent, cloned first if shared.
+  Store& mutable_store();
+
+  /// The node's interface for writing: allocated if absent, cloned first
+  /// if shared (copy-on-write at both levels).
+  NodeInterface& mutable_node(NodeId node);
+
+  std::shared_ptr<Store> store_;
 
   static const std::vector<packing::Placement> kEmptyLayout;
 };

@@ -1,6 +1,7 @@
 #include "net/topology.hpp"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/error.hpp"
 
@@ -67,22 +68,6 @@ NodeId Topology::next_hop_toward(NodeId from, NodeId descendant) const {
   const std::uint32_t row = anc_off_[descendant];
   if (anc_flat_[row + static_cast<std::uint32_t>(fl)] != from) return kNoNode;
   return anc_flat_[row + static_cast<std::uint32_t>(fl) + 1];
-}
-
-std::vector<NodeId> Topology::nodes_bottom_up() const {
-  std::vector<NodeId> order = nodes_top_down();
-  std::reverse(order.begin(), order.end());
-  return order;
-}
-
-std::vector<NodeId> Topology::nodes_top_down() const {
-  std::vector<NodeId> order;
-  order.reserve(size());
-  order.push_back(gateway());
-  for (std::size_t i = 0; i < order.size(); ++i) {
-    for (NodeId child : children(order[i])) order.push_back(child);
-  }
-  return order;
 }
 
 std::vector<NodeId> Topology::path_to_gateway(NodeId node) const {
@@ -198,6 +183,27 @@ Topology TopologyBuilder::build_from(const std::vector<NodeId>& parents) {
       std::max(t.subtree_depth_[0],
                *std::max_element(t.layer_.begin(), t.layer_.end()));
   t.depth_ = t.subtree_depth_[0];
+
+  // The BFS above is exactly the top-down traversal order; keep it (and
+  // its reverse, plus the internal-node restrictions) so the
+  // per-recompute traversals allocate nothing.
+  t.top_down_ = std::move(bfs);
+  t.bottom_up_.assign(t.top_down_.rbegin(), t.top_down_.rend());
+  for (NodeId v : t.bottom_up_) {
+    if (!t.children_[v].empty()) t.internal_bottom_up_.push_back(v);
+  }
+  if (t.depth_ > 0) {
+    t.internal_by_layer_.resize(static_cast<std::size_t>(t.depth_));
+    for (NodeId v : t.top_down_) {
+      if (!t.children_[v].empty()) {
+        t.internal_by_layer_[static_cast<std::size_t>(t.layer_[v])].push_back(
+            v);
+      }
+    }
+  }
+
+  static std::atomic<std::uint64_t> next_uid{0};
+  t.uid_ = next_uid.fetch_add(1, std::memory_order_relaxed) + 1;
   return t;
 }
 

@@ -26,6 +26,12 @@ class Topology {
   /// Number of nodes including the gateway.
   std::size_t size() const { return parent_.size(); }
 
+  /// Process-unique id of this tree structure, assigned at build time
+  /// (copies share it — they are the same structure). Lets caches detect
+  /// that the topology object they memoized against was swapped for a
+  /// structurally different one.
+  std::uint64_t uid() const { return uid_; }
+
   static constexpr NodeId gateway() { return 0; }
 
   /// Parent of `node`; kNoNode for the gateway.
@@ -76,11 +82,32 @@ class Topology {
 
   /// Nodes ordered so every child precedes its parent (reverse BFS).
   /// This is the order in which resource interfaces are generated.
-  std::vector<NodeId> nodes_bottom_up() const;
+  /// Computed once at build time (the tree is immutable), so the hot
+  /// recomputation paths can iterate it without a per-call allocation.
+  const std::vector<NodeId>& nodes_bottom_up() const { return bottom_up_; }
 
   /// Nodes ordered so every parent precedes its children (BFS). This is
   /// the order in which partitions are propagated.
-  std::vector<NodeId> nodes_top_down() const;
+  const std::vector<NodeId>& nodes_top_down() const { return top_down_; }
+
+  /// nodes_bottom_up() restricted to internal (non-leaf) nodes — the only
+  /// nodes that carry an interface, so the generation hot loop iterates
+  /// exactly the work items and skips the leaf majority.
+  const std::vector<NodeId>& internal_bottom_up() const {
+    return internal_bottom_up_;
+  }
+
+  /// Internal nodes at an exact node-layer (valid layers 0 ..
+  /// depth() - 1; any internal node's children sit one layer deeper, so
+  /// no internal node lives at the deepest layer). Parallel generation
+  /// dispatches one round per layer over these.
+  const std::vector<NodeId>& internal_at_layer(int layer) const {
+    static const std::vector<NodeId> kEmpty{};
+    if (layer < 0 || static_cast<std::size_t>(layer) >= internal_by_layer_.size()) {
+      return kEmpty;
+    }
+    return internal_by_layer_[static_cast<std::size_t>(layer)];
+  }
 
   /// Path node -> ... -> gateway, inclusive on both ends.
   std::vector<NodeId> path_to_gateway(NodeId node) const;
@@ -120,6 +147,13 @@ class Topology {
   /// v itself last. O(n * depth) memory; powers the O(1) queries above.
   std::vector<NodeId> anc_flat_;
   std::vector<std::uint32_t> anc_off_;
+  /// BFS order and its reverse, precomputed at build time, plus the
+  /// internal-node restrictions the generation hot paths iterate.
+  std::vector<NodeId> top_down_;
+  std::vector<NodeId> bottom_up_;
+  std::vector<NodeId> internal_bottom_up_;
+  std::vector<std::vector<NodeId>> internal_by_layer_;
+  std::uint64_t uid_ = 0;
   int depth_ = 0;
 };
 

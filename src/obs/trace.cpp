@@ -23,6 +23,7 @@ const char* to_string(EventType t) {
     case EventType::kMsgDeliver: return "msg_deliver";
     case EventType::kPhase: return "phase";
     case EventType::kAuditFail: return "audit_fail";
+    case EventType::kComposeCache: return "compose_cache";
   }
   return "?";
 }
@@ -176,6 +177,11 @@ void TraceSink::write_jsonl(std::ostream& out, std::int64_t trial) const {
         // static strings exactly like HARP_OBS_SCOPE labels).
         line["check"] = phase_name(static_cast<std::uint16_t>(e.a));
         if (e.b != kNoNode) line["node"] = e.b;
+        break;
+      case EventType::kComposeCache:
+        line["hits"] = e.a;
+        line["misses"] = e.b;
+        line["inserts"] = e.value;
         break;
     }
     line.dump(out, /*indent=*/0);

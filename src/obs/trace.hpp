@@ -46,6 +46,8 @@ enum class EventType : std::uint8_t {
   kMsgDeliver,    // HARP protocol message delivered over a mgmt cell
   kPhase,         // scoped wall-clock phase timing (HARP_OBS_SCOPE)
   kAuditFail,     // invariant audit violation (a = interned check-name id)
+  kComposeCache,  // one generation pass's cache summary (a/b/value =
+                  // hits/misses/inserts delta)
 };
 
 /// Stable wire name of an event type ("tx_attempt", "phase", ...).

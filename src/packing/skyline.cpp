@@ -8,17 +8,16 @@
 namespace harp::packing {
 namespace {
 
-/// One maximal horizontal segment of the skyline: the region
-/// [x, x+w) currently topped at height y.
-struct Segment {
-  Dim x;
-  Dim w;
-  Dim y;
-};
+using Segment = PackScratch::Segment;
 
+/// Skyline over an externally owned segment buffer (PackScratch), so
+/// repeated packings reuse its capacity. Mutations are in place: place()
+/// splices at most three segments over one, merge() compacts with a
+/// two-pointer sweep — no temporary vectors.
 class Skyline {
  public:
-  explicit Skyline(Dim width) : width_(width) {
+  Skyline(std::vector<Segment>& segments, Dim width) : segments_(segments) {
+    segments_.clear();
     segments_.push_back({0, width, 0});
   }
 
@@ -50,21 +49,24 @@ class Skyline {
   /// leave one larger gap instead of two small ones. Returns the placement
   /// x coordinate.
   Dim place(std::size_t i, Dim w, Dim h) {
-    Segment seg = segments_[i];
+    const Segment seg = segments_[i];
     HARP_ASSERT(w <= seg.w);
     const bool against_left = left_wall(i) >= right_wall(i);
     const Dim px = against_left ? seg.x : seg.x + seg.w - w;
     const Dim new_y = seg.y + h;
 
-    std::vector<Segment> replacement;
-    if (px > seg.x) replacement.push_back({seg.x, px - seg.x, seg.y});
-    replacement.push_back({px, w, new_y});
+    Segment pieces[3];
+    std::size_t n = 0;
+    if (px > seg.x) pieces[n++] = {seg.x, px - seg.x, seg.y};
+    pieces[n++] = {px, w, new_y};
     if (px + w < seg.x + seg.w) {
-      replacement.push_back({px + w, seg.x + seg.w - (px + w), seg.y});
+      pieces[n++] = {px + w, seg.x + seg.w - (px + w), seg.y};
     }
-    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(i));
-    segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(i),
-                     replacement.begin(), replacement.end());
+    segments_.insert(
+        segments_.begin() + static_cast<std::ptrdiff_t>(i) + 1, n - 1,
+        Segment{});
+    std::copy(pieces, pieces + n,
+              segments_.begin() + static_cast<std::ptrdiff_t>(i));
     merge();
     return px;
   }
@@ -80,22 +82,21 @@ class Skyline {
 
  private:
   void merge() {
-    std::vector<Segment> merged;
-    for (const Segment& s : segments_) {
-      if (!merged.empty() && merged.back().y == s.y) {
-        merged.back().w += s.w;
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < segments_.size(); ++i) {
+      if (out > 0 && segments_[out - 1].y == segments_[i].y) {
+        segments_[out - 1].w += segments_[i].w;
       } else {
-        merged.push_back(s);
+        segments_[out++] = segments_[i];
       }
     }
-    segments_ = std::move(merged);
+    segments_.resize(out);
   }
 
-  Dim width_;
-  std::vector<Segment> segments_;
+  std::vector<Segment>& segments_;
 };
 
-void check_inputs(const std::vector<Rect>& rects, Dim strip_width) {
+void check_inputs(std::span<const Rect> rects, Dim strip_width) {
   if (strip_width <= 0) {
     throw InvalidArgument("strip width must be positive");
   }
@@ -112,24 +113,29 @@ void check_inputs(const std::vector<Rect>& rects, Dim strip_width) {
 
 }  // namespace
 
-StripResult pack_strip(std::vector<Rect> rects, Dim strip_width) {
+void pack_strip_into(std::span<const Rect> rects, Dim strip_width,
+                     PackScratch& scratch, StripResult& out) {
   check_inputs(rects, strip_width);
 
-  StripResult result;
-  result.placements.reserve(rects.size());
+  out.height = 0;
+  out.placements.clear();
+  out.placements.reserve(rects.size());
 
   // Presorting by decreasing height (width as tie-break) improves the
   // best-fit policy's packing density; the per-step choice below still
   // re-examines every unplaced rectangle.
-  std::sort(rects.begin(), rects.end(), [](const Rect& a, const Rect& b) {
+  std::vector<Rect>& sorted = scratch.rects;
+  sorted.assign(rects.begin(), rects.end());
+  std::sort(sorted.begin(), sorted.end(), [](const Rect& a, const Rect& b) {
     if (a.h != b.h) return a.h > b.h;
     if (a.w != b.w) return a.w > b.w;
     return a.id < b.id;
   });
-  std::vector<bool> placed(rects.size(), false);
-  std::size_t remaining = rects.size();
+  std::vector<char>& placed = scratch.placed;
+  placed.assign(sorted.size(), 0);
+  std::size_t remaining = sorted.size();
 
-  Skyline skyline(strip_width);
+  Skyline skyline(scratch.segments, strip_width);
   while (remaining > 0) {
     const std::size_t seg_idx = skyline.lowest();
     const Segment seg{skyline.at(seg_idx)};
@@ -137,15 +143,15 @@ StripResult pack_strip(std::vector<Rect> rects, Dim strip_width) {
     // Best fit: among rectangles that fit the gap width, prefer the one
     // filling it exactly; otherwise the widest, then the tallest. Exact
     // width fills eliminate the gap, keeping the skyline flat.
-    std::size_t best = rects.size();
-    for (std::size_t i = 0; i < rects.size(); ++i) {
-      if (placed[i] || rects[i].w > seg.w) continue;
-      if (best == rects.size()) {
+    std::size_t best = sorted.size();
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (placed[i] != 0 || sorted[i].w > seg.w) continue;
+      if (best == sorted.size()) {
         best = i;
         continue;
       }
-      const Rect& cand = rects[i];
-      const Rect& cur = rects[best];
+      const Rect& cand = sorted[i];
+      const Rect& cur = sorted[best];
       const bool cand_exact = cand.w == seg.w;
       const bool cur_exact = cur.w == seg.w;
       if (cand_exact != cur_exact) {
@@ -159,19 +165,27 @@ StripResult pack_strip(std::vector<Rect> rects, Dim strip_width) {
       if (cand.h > cur.h) best = i;
     }
 
-    if (best == rects.size()) {
+    if (best == sorted.size()) {
       skyline.lift(seg_idx);
       continue;
     }
 
-    const Rect& r = rects[best];
+    const Rect& r = sorted[best];
     const Dim px = skyline.place(seg_idx, r.w, r.h);
-    result.placements.push_back({px, seg.y, r.w, r.h, r.id});
-    result.height = std::max(result.height, seg.y + r.h);
-    placed[best] = true;
+    out.placements.push_back({px, seg.y, r.w, r.h, r.id});
+    out.height = std::max(out.height, seg.y + r.h);
+    placed[best] = 1;
     --remaining;
   }
-  return result;
+}
+
+StripResult pack_strip(std::vector<Rect> rects, Dim strip_width) {
+  // Per-thread scratch: every caller — including each worker of parallel
+  // interface composition — reuses its own buffers across packings.
+  thread_local PackScratch scratch;
+  StripResult out;
+  pack_strip_into(rects, strip_width, scratch, out);
+  return out;
 }
 
 std::optional<StripResult> pack_strip_bounded(std::vector<Rect> rects,

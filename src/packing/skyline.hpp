@@ -12,16 +12,44 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "packing/rect.hpp"
 
 namespace harp::packing {
 
+/// Reusable buffers for pack_strip_into. All intermediate state of one
+/// packing run (the sorted rect copy, placed flags and the skyline's
+/// segment list) lives here, so a caller that keeps a scratch across runs
+/// packs without allocating once the high-water capacity is reached —
+/// the contract the engine's recomputation hot path and the per-worker
+/// arenas of parallel composition rely on (docs/PERFORMANCE.md).
+struct PackScratch {
+  /// One maximal horizontal segment of the skyline: the region
+  /// [x, x+w) currently topped at height y.
+  struct Segment {
+    Dim x;
+    Dim w;
+    Dim y;
+  };
+
+  std::vector<Rect> rects;
+  std::vector<char> placed;
+  std::vector<Segment> segments;
+};
+
 /// Packs `rects` into a strip of width `strip_width`, minimizing height.
 /// Every rectangle must satisfy 0 < w <= strip_width and h > 0.
 /// Throws InvalidArgument otherwise. Deterministic.
 StripResult pack_strip(std::vector<Rect> rects, Dim strip_width);
+
+/// Scratch-reusing core of pack_strip: byte-identical result, but every
+/// intermediate buffer comes from `scratch` and the placements are written
+/// into `out` (whose capacity is reused). The only possible allocations
+/// are capacity growth beyond the scratch's high-water mark.
+void pack_strip_into(std::span<const Rect> rects, Dim strip_width,
+                     PackScratch& scratch, StripResult& out);
 
 /// Same as pack_strip but fails (nullopt) if the achieved height would
 /// exceed `max_height`. Used for feasibility checks where the container

@@ -8,7 +8,7 @@ WorkerPool::WorkerPool(std::size_t jobs) {
   if (jobs == 0) throw InvalidArgument("WorkerPool needs at least one job");
   threads_.reserve(jobs);
   for (std::size_t i = 0; i < jobs; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,14 +26,14 @@ std::size_t WorkerPool::default_jobs() {
   return hw == 0 ? 1 : hw;
 }
 
-void WorkerPool::work_off_batch() {
+void WorkerPool::work_off_batch(std::size_t slot) {
   // Hot path: claim indices with one fetch-add each; no lock until the
   // batch drains or aborts.
   while (!abort_.load(std::memory_order_relaxed)) {
     const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
     if (i >= count_) break;
     try {
-      (*fn_)(i);
+      (*fn_)(slot, i);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
@@ -42,7 +42,7 @@ void WorkerPool::work_off_batch() {
   }
 }
 
-void WorkerPool::worker_loop() {
+void WorkerPool::worker_loop(std::size_t slot) {
   std::uint64_t seen_generation = 0;
   for (;;) {
     {
@@ -54,7 +54,7 @@ void WorkerPool::worker_loop() {
       seen_generation = generation_;
       ++busy_;
     }
-    work_off_batch();
+    work_off_batch(slot);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --busy_;
@@ -65,6 +65,12 @@ void WorkerPool::worker_loop() {
 
 void WorkerPool::run(std::size_t count,
                      const std::function<void(std::size_t)>& fn) {
+  run_indexed(count,
+              [&fn](std::size_t /*slot*/, std::size_t index) { fn(index); });
+}
+
+void WorkerPool::run_indexed(
+    std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
   {
     std::lock_guard<std::mutex> lock(mu_);

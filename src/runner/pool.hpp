@@ -43,12 +43,21 @@ class WorkerPool {
   /// invocation threw. Not reentrant: one batch at a time per pool.
   void run(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Like run(), but fn also receives the executing worker's slot in
+  /// [0, jobs()). Slots let callers keep per-worker state (scratch arenas,
+  /// obs::Context) without thread_local or locking: a slot runs at most one
+  /// fn invocation at a time, and batch completion establishes
+  /// happens-before between everything the workers wrote and the caller.
+  void run_indexed(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Hardware concurrency with a sane floor (>= 1).
   static std::size_t default_jobs();
 
  private:
-  void worker_loop();
-  void work_off_batch();
+  void worker_loop(std::size_t slot);
+  void work_off_batch(std::size_t slot);
 
   std::mutex mu_;
   std::condition_variable batch_ready_;
@@ -56,7 +65,7 @@ class WorkerPool {
   std::vector<std::thread> threads_;
 
   // Batch state, guarded by mu_ except where noted.
-  const std::function<void(std::size_t)>* fn_{nullptr};
+  const std::function<void(std::size_t, std::size_t)>* fn_{nullptr};
   std::size_t count_{0};
   std::uint64_t generation_{0};  // bumped per batch so workers wake once
   std::size_t busy_{0};          // workers inside the current batch

@@ -1,0 +1,335 @@
+// Subtree-interface memoization and parallel composition (PR "scale-out
+// hierarchy recomputation").
+//
+// The cache and the worker pool are pure accelerators: for ANY combination
+// of {cache on/off} x {jobs} the engine must produce bit-identical
+// resource state. These tests drive randomized churn (demand changes,
+// joins, leaves, roams, recompactions) through engines differing only in
+// those options and compare state fingerprints after every operation, plus
+// unit-level checks of the cache, the scratch-reusing packers and the
+// audit oracle.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "harp/compose.hpp"
+#include "harp/compose_cache.hpp"
+#include "harp/engine.hpp"
+#include "harp/interface_gen.hpp"
+#include "audit/audit.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "packing/skyline.hpp"
+#include "runner/pool.hpp"
+
+namespace harp::core {
+namespace {
+
+net::SlotframeConfig test_frame() {
+  net::SlotframeConfig frame;
+  frame.length = 599;
+  frame.data_slots = 540;
+  return frame;
+}
+
+net::TrafficMatrix random_traffic(const net::Topology& topo, Rng& rng) {
+  net::TrafficMatrix traffic(topo.size());
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    traffic.set_demand(v, Direction::kUp, static_cast<int>(rng.below(4)));
+    traffic.set_demand(v, Direction::kDown, static_cast<int>(rng.below(3)));
+  }
+  return traffic;
+}
+
+TEST(PackScratch, ReusedScratchMatchesFreshPacking) {
+  Rng rng(99);
+  packing::PackScratch scratch;
+  packing::StripResult reused;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<packing::Rect> rects;
+    const int n = 1 + static_cast<int>(rng.below(12));
+    for (int i = 0; i < n; ++i) {
+      rects.push_back({1 + static_cast<packing::Dim>(rng.below(8)),
+                       1 + static_cast<packing::Dim>(rng.below(8)),
+                       static_cast<std::uint64_t>(i)});
+    }
+    const packing::Dim width = 8 + static_cast<packing::Dim>(rng.below(8));
+    const packing::StripResult fresh = packing::pack_strip(rects, width);
+    packing::pack_strip_into(rects, width, scratch, reused);
+    EXPECT_EQ(fresh.height, reused.height);
+    EXPECT_EQ(fresh.placements, reused.placements);
+  }
+}
+
+TEST(ComposeScratch, ReusedScratchMatchesFreshComposition) {
+  Rng rng(7);
+  ComposeScratch scratch;
+  Composition reused;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<ChildComponent> children;
+    const int n = static_cast<int>(rng.below(7));
+    for (int i = 0; i < n; ++i) {
+      children.push_back({static_cast<NodeId>(i + 1),
+                          {static_cast<int>(rng.below(9)),
+                           1 + static_cast<int>(rng.below(6))}});
+    }
+    const Composition fresh = compose_components(children, 16);
+    compose_components_into(children, 16, scratch, reused);
+    EXPECT_EQ(fresh.composite, reused.composite);
+    EXPECT_EQ(fresh.layout, reused.layout);
+  }
+}
+
+TEST(ComposeCacheUnit, CountsHitsMissesInsertsAndBulkEviction) {
+  ComposeCache cache(/*max_entries=*/2);
+  EXPECT_EQ(cache.find(1), nullptr);
+  auto entry = std::make_shared<ComposeCache::Entry>();
+  cache.insert(1, entry);
+  cache.insert(2, entry);
+  EXPECT_NE(cache.find(1), nullptr);
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Third distinct key: the whole map is dropped first (bulk eviction).
+  cache.insert(3, entry);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.find(1), nullptr);
+  EXPECT_NE(cache.find(3), nullptr);
+
+  const ComposeCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.inserts, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+
+  // Re-inserting a live key neither evicts nor counts a new insert.
+  cache.insert(3, entry);
+  EXPECT_EQ(cache.stats().inserts, 3u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(MemoizedGeneration, MatchesScratchAndHitsOnRepeat) {
+  Rng rng(41);
+  const auto topo = net::random_tree(
+      {.num_nodes = 80, .num_layers = 6, .max_children = 4}, rng);
+  const auto traffic = random_traffic(topo, rng);
+
+  ComposeMemo memo(topo.size(), 1024);
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    const InterfaceSet scratch =
+        generate_interfaces(topo, traffic, dir, 16, 1);
+    const InterfaceSet memoized =
+        generate_interfaces(topo, traffic, dir, 16, 1, &memo, nullptr);
+    EXPECT_TRUE(scratch == memoized);
+  }
+  const ComposeCache::Stats first = memo.cache().stats();
+  EXPECT_EQ(first.hits, 0u);
+  EXPECT_GT(first.misses, 0u);
+  EXPECT_EQ(first.misses, first.inserts);
+
+  // Unchanged inputs: the repeat pass is all hits, and still identical.
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    const InterfaceSet scratch =
+        generate_interfaces(topo, traffic, dir, 16, 1);
+    const InterfaceSet memoized =
+        generate_interfaces(topo, traffic, dir, 16, 1, &memo, nullptr);
+    EXPECT_TRUE(scratch == memoized);
+  }
+  const ComposeCache::Stats second = memo.cache().stats();
+  EXPECT_EQ(second.misses, first.misses);
+  EXPECT_GT(second.hits, 0u);
+}
+
+TEST(MemoizedGeneration, TinyCacheEvictionStaysCorrect) {
+  // A 2-entry cache thrashes constantly; results must stay identical.
+  Rng rng(43);
+  const auto topo = net::random_tree(
+      {.num_nodes = 40, .num_layers = 5, .max_children = 4}, rng);
+  ComposeMemo memo(topo.size(), /*max_entries=*/2);
+  for (int round = 0; round < 10; ++round) {
+    const auto traffic = random_traffic(topo, rng);
+    memo.invalidate_all();
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      const InterfaceSet scratch =
+          generate_interfaces(topo, traffic, dir, 16, 0);
+      const InterfaceSet memoized =
+          generate_interfaces(topo, traffic, dir, 16, 0, &memo, nullptr);
+      EXPECT_TRUE(scratch == memoized) << "round " << round;
+    }
+  }
+  EXPECT_GT(memo.cache().stats().evictions, 0u);
+}
+
+TEST(MemoizedGeneration, ParallelMatchesSerialForAnyJobs) {
+  Rng rng(47);
+  const auto topo = net::random_tree(
+      {.num_nodes = 120, .num_layers = 7, .max_children = 5}, rng);
+  const auto traffic = random_traffic(topo, rng);
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    const InterfaceSet serial = generate_interfaces(topo, traffic, dir, 16, 1);
+    for (std::size_t jobs : {2u, 4u, 7u}) {
+      runner::WorkerPool pool(jobs);
+      const InterfaceSet parallel =
+          generate_interfaces(topo, traffic, dir, 16, 1, nullptr, &pool);
+      EXPECT_TRUE(serial == parallel) << "jobs " << jobs;
+      ComposeMemo memo(topo.size(), 1024);
+      const InterfaceSet both =
+          generate_interfaces(topo, traffic, dir, 16, 1, &memo, &pool);
+      EXPECT_TRUE(serial == both) << "memo + jobs " << jobs;
+    }
+  }
+}
+
+TEST(ComposeCacheAudit, OracleAcceptsSoundAndFlagsTamperedInterfaces) {
+  const auto topo = net::fig1_tree();
+  net::TrafficMatrix traffic(topo.size());
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    traffic.set_demand(v, Direction::kUp, 1);
+    traffic.set_demand(v, Direction::kDown, 1);
+  }
+  const InterfaceSet ifs =
+      generate_interfaces(topo, traffic, Direction::kUp, 16, 0);
+  EXPECT_EQ(audit::check_compose_cache(topo, traffic, Direction::kUp, 16, 0,
+                                       ifs),
+            "");
+
+  InterfaceSet tampered = ifs;
+  const NodeId gw = net::Topology::gateway();
+  const int layer = topo.link_layer(gw);
+  ResourceComponent c = tampered.component(gw, layer);
+  c.slots += 1;
+  tampered.set_component(gw, layer, c);
+  EXPECT_NE(audit::check_compose_cache(topo, traffic, Direction::kUp, 16, 0,
+                                       tampered),
+            "");
+}
+
+// ------------------------------------------------------------------ churn
+
+struct ChurnOp {
+  enum Kind { kDemand, kAttach, kDetach, kReparent, kRecompact } kind;
+  NodeId a{kNoNode};
+  NodeId b{kNoNode};
+  Direction dir{Direction::kUp};
+  int cells{0};
+};
+
+/// Generates one operation against the current (shared) topology state.
+ChurnOp next_op(Rng& rng, const net::Topology& topo, int step) {
+  if (step % 11 == 10) return {ChurnOp::kRecompact};
+  const int pick = static_cast<int>(rng.below(10));
+  if (pick < 6) {
+    return {ChurnOp::kDemand,
+            1 + static_cast<NodeId>(rng.below(topo.size() - 1)), kNoNode,
+            rng.chance(0.5) ? Direction::kUp : Direction::kDown,
+            static_cast<int>(rng.below(5))};
+  }
+  if (pick < 7) {
+    return {ChurnOp::kAttach, static_cast<NodeId>(rng.below(topo.size())),
+            kNoNode, Direction::kUp, static_cast<int>(rng.below(3))};
+  }
+  std::vector<NodeId> leaves;
+  for (NodeId v = 1; v < topo.size(); ++v) {
+    if (topo.is_leaf(v)) leaves.push_back(v);
+  }
+  if (pick < 8 || leaves.empty()) {
+    return leaves.empty()
+               ? ChurnOp{ChurnOp::kRecompact}
+               : ChurnOp{ChurnOp::kDetach, leaves[rng.index(leaves.size())]};
+  }
+  const NodeId leaf = leaves[rng.index(leaves.size())];
+  const NodeId new_parent = static_cast<NodeId>(rng.below(topo.size()));
+  if (new_parent == leaf || topo.is_leaf(new_parent) ||
+      new_parent == topo.parent(leaf)) {
+    return {ChurnOp::kDetach, leaf};
+  }
+  return {ChurnOp::kReparent, leaf, new_parent};
+}
+
+void apply(HarpEngine& engine, const ChurnOp& op) {
+  switch (op.kind) {
+    case ChurnOp::kDemand:
+      engine.request_demand(op.a, op.dir, op.cells);
+      break;
+    case ChurnOp::kAttach:
+      engine.attach_leaf(op.a, op.cells, op.cells);
+      break;
+    case ChurnOp::kDetach:
+      engine.detach_leaf(op.a);
+      break;
+    case ChurnOp::kReparent:
+      engine.reparent_leaf(op.a, op.b);
+      break;
+    case ChurnOp::kRecompact:
+      engine.recompact();
+      break;
+  }
+}
+
+TEST(ComposeCacheChurn, CacheOnOffAndParallelFingerprintsStayIdentical) {
+  Rng topo_rng(3);
+  const auto topo = net::random_tree(
+      {.num_nodes = 60, .num_layers = 5, .max_children = 4}, topo_rng);
+  const auto tasks = net::uniform_echo_tasks(topo, test_frame().length);
+
+  // Engines differing only in accelerator options. Note jobs > 1 exercises
+  // the parallel packing path under churn, including every recompact.
+  std::vector<std::unique_ptr<HarpEngine>> engines;
+  engines.push_back(std::make_unique<HarpEngine>(
+      topo, tasks, test_frame(),
+      EngineOptions{.compose_cache = false, .jobs = 1}));
+  engines.push_back(std::make_unique<HarpEngine>(
+      topo, tasks, test_frame(),
+      EngineOptions{.compose_cache = true, .jobs = 1}));
+  engines.push_back(std::make_unique<HarpEngine>(
+      topo, tasks, test_frame(),
+      EngineOptions{.compose_cache = true, .jobs = 4}));
+  engines.push_back(std::make_unique<HarpEngine>(
+      topo, tasks, test_frame(),
+      EngineOptions{.compose_cache = false, .jobs = 3}));
+
+  Rng rng(17);
+  for (int step = 0; step < 120; ++step) {
+    const ChurnOp op = next_op(rng, engines[0]->topology(), step);
+    for (auto& engine : engines) apply(*engine, op);
+    const std::uint64_t want = engines[0]->state_fingerprint();
+    for (std::size_t i = 1; i < engines.size(); ++i) {
+      ASSERT_EQ(engines[i]->state_fingerprint(), want)
+          << "engine " << i << " diverged after step " << step << " (kind "
+          << static_cast<int>(op.kind) << ")";
+    }
+  }
+  // Deep equality at the end, stronger than the fingerprint.
+  for (std::size_t i = 1; i < engines.size(); ++i) {
+    EXPECT_TRUE(engines[0]->interfaces(Direction::kUp) ==
+                engines[i]->interfaces(Direction::kUp));
+    EXPECT_TRUE(engines[0]->interfaces(Direction::kDown) ==
+                engines[i]->interfaces(Direction::kDown));
+    EXPECT_TRUE(engines[0]->partitions() == engines[i]->partitions());
+  }
+  EXPECT_EQ(engines[0]->validate(), "");
+  // The cache actually worked: repeated recompactions must have hit.
+  EXPECT_GT(engines[1]->compose_cache_stats().hits, 0u);
+  EXPECT_EQ(engines[0]->compose_cache_stats().hits, 0u);
+}
+
+TEST(ComposeCacheChurn, SharedExternalPoolAcrossEngines) {
+  runner::WorkerPool pool(3);
+  const auto topo = net::testbed_tree();
+  const auto tasks = net::uniform_echo_tasks(topo, 199);
+  EngineOptions opts;
+  opts.pool = &pool;
+  HarpEngine a(topo, tasks, net::SlotframeConfig{}, opts);
+  HarpEngine serial(topo, tasks, net::SlotframeConfig{});
+  EXPECT_EQ(a.state_fingerprint(), serial.state_fingerprint());
+  a.request_demand(9, Direction::kUp, 4);
+  serial.request_demand(9, Direction::kUp, 4);
+  a.recompact();
+  serial.recompact();
+  EXPECT_EQ(a.state_fingerprint(), serial.state_fingerprint());
+  EXPECT_EQ(a.validate(), "");
+}
+
+}  // namespace
+}  // namespace harp::core
