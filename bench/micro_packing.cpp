@@ -6,8 +6,22 @@
 // These bound the on-node compute cost the paper argues is affordable for
 // class CC2650 hardware (composition inputs are single-digit rectangle
 // counts; everything here is microseconds).
+//
+// Two modes share one binary:
+//   * default          — google-benchmark, interactive tuning runs;
+//   * --json <path>    — the CI gate (scripts/bench_compare.py, experiment
+//     `micro_packing`): the same kernel workloads, self-timed with median
+//     sampling, each digested placement-by-placement into a 64-bit
+//     checksum. The checksums pin the bit-identical contract of
+//     docs/KERNELS.md — any layout difference between code versions fails
+//     the gate exactly; timings are gated loosely (microbenchmark noise).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+
+#include "bench/bench_util.hpp"
 #include "common/rng.hpp"
 #include "harp/adjustment.hpp"
 #include "harp/compose.hpp"
@@ -16,6 +30,7 @@
 #include "net/traffic.hpp"
 #include "packing/maxrects.hpp"
 #include "packing/skyline.hpp"
+#include "runner/fleet.hpp"
 
 using namespace harp;
 
@@ -52,32 +67,48 @@ void BM_MaxRectsPack(benchmark::State& state) {
 }
 BENCHMARK(BM_MaxRectsPack)->Arg(6)->Arg(16)->Arg(64);
 
-void BM_Compose(benchmark::State& state) {
+std::vector<core::ChildComponent> compose_children(int n) {
   Rng rng(3);
   std::vector<core::ChildComponent> children;
-  for (int i = 1; i <= state.range(0); ++i) {
+  for (int i = 1; i <= n; ++i) {
     children.push_back({static_cast<NodeId>(i),
                         {static_cast<int>(rng.between(1, 12)),
                          static_cast<int>(rng.between(1, 4))}});
   }
+  return children;
+}
+
+void BM_Compose(benchmark::State& state) {
+  const auto children = compose_children(static_cast<int>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(core::compose_components(children, 16));
   }
 }
 BENCHMARK(BM_Compose)->Arg(3)->Arg(6)->Arg(12);
 
-void BM_Adjustment(benchmark::State& state) {
+struct AdjustmentCase {
+  std::vector<packing::Placement> layout;
+  NodeId child;
+};
+
+AdjustmentCase adjustment_case() {
   Rng rng(4);
   packing::FixedBinPacker bin(40, 8);
-  std::vector<packing::Placement> layout;
+  AdjustmentCase out;
   for (std::uint64_t id = 1; id <= 8; ++id) {
     if (auto p = bin.insert({rng.between(2, 8), rng.between(1, 3), id})) {
-      layout.push_back(*p);
+      out.layout.push_back(*p);
     }
   }
+  out.child = static_cast<NodeId>(out.layout.front().id);
+  return out;
+}
+
+void BM_Adjustment(benchmark::State& state) {
+  const AdjustmentCase c = adjustment_case();
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::adjust_partition_layout(
-        {40, 8}, layout, static_cast<NodeId>(layout.front().id), {12, 3}));
+    benchmark::DoNotOptimize(
+        core::adjust_partition_layout({40, 8}, c.layout, c.child, {12, 3}));
   }
 }
 BENCHMARK(BM_Adjustment);
@@ -108,6 +139,151 @@ void BM_EngineDynamicRequest(benchmark::State& state) {
 }
 BENCHMARK(BM_EngineDynamicRequest);
 
+// ------------------------------------------------------------ gate mode
+
+std::uint64_t digest_u64(std::uint64_t h, std::uint64_t v) {
+  return runner::fnv1a(h, &v, sizeof v);
+}
+
+std::uint64_t digest_placements(
+    std::uint64_t h, const std::vector<packing::Placement>& placements) {
+  h = digest_u64(h, placements.size());
+  for (const auto& p : placements) {
+    h = digest_u64(h, static_cast<std::uint64_t>(p.x));
+    h = digest_u64(h, static_cast<std::uint64_t>(p.y));
+    h = digest_u64(h, static_cast<std::uint64_t>(p.w));
+    h = digest_u64(h, static_cast<std::uint64_t>(p.h));
+    h = digest_u64(h, p.id);
+  }
+  return h;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Median ns/op over `samples` timed batches of `iters` calls each. The
+/// batches amortize clock reads; the median rejects scheduler hiccups.
+template <typename Fn>
+double median_ns_per_op(int samples, int iters, Fn&& fn) {
+  std::vector<double> ns(static_cast<std::size_t>(samples));
+  for (double& sample : ns) {
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) fn();
+    const auto stop = std::chrono::steady_clock::now();
+    sample = std::chrono::duration<double, std::nano>(stop - start).count() /
+             iters;
+  }
+  std::sort(ns.begin(), ns.end());
+  return ns[ns.size() / 2];
+}
+
+void gate_kernel(obs::Json& kernels, const std::string& name,
+                 std::uint64_t checksum, double ns_per_op) {
+  obs::Json& k = kernels[name];
+  k["checksum"] = hex64(checksum);
+  k["ns_per_op"] = ns_per_op;
+  std::printf("%-16s %18s  %10.1f ns/op\n", name.c_str(),
+              hex64(checksum).c_str(), ns_per_op);
+}
+
+int run_gate(int argc, char** argv) {
+  const bench::Args args = bench::Args::parse(argc, argv);
+  bench::JsonReport report("micro_packing", args);
+  obs::Json& kernels = report.results()["kernels"];
+  constexpr int kSamples = 15;
+
+  // Skyline strip packing: the SoA kernel through its production entry
+  // point, digested against the scalar oracle in the same run — the gate
+  // re-proves the bit-identical contract before pinning the checksum.
+  for (const std::size_t n : {std::size_t{6}, std::size_t{16},
+                              std::size_t{64}, std::size_t{256}}) {
+    const auto rects = random_rects(1, n, 8, 12);
+    packing::PackScratch scratch, ref_scratch;
+    packing::StripResult out, ref;
+    packing::pack_strip_into(rects, 16, scratch, out);
+    packing::pack_strip_reference_into(rects, 16, ref_scratch, ref);
+    if (out.height != ref.height || out.placements != ref.placements) {
+      std::fprintf(stderr, "skyline_n%zu: SoA and reference diverged\n", n);
+      return 1;
+    }
+    std::uint64_t sum = digest_u64(runner::kFnvOffset,
+                                   static_cast<std::uint64_t>(out.height));
+    sum = digest_placements(sum, out.placements);
+    const int iters = static_cast<int>(20000 / n) + 1;
+    const double ns = median_ns_per_op(kSamples, iters, [&] {
+      packing::pack_strip_into(rects, 16, scratch, out);
+    });
+    gate_kernel(kernels, "skyline_n" + std::to_string(n), sum, ns);
+  }
+
+  // MaxRects feasibility packing (fresh bin per op, as the adjustment
+  // path uses it).
+  for (const std::size_t n :
+       {std::size_t{6}, std::size_t{16}, std::size_t{64}}) {
+    const auto rects = random_rects(2, n, 6, 20);
+    packing::FixedBinPacker bin(199, 16);
+    const auto packed = bin.try_pack(rects);
+    std::uint64_t sum =
+        digest_u64(runner::kFnvOffset, packed.has_value() ? 1 : 0);
+    if (packed) sum = digest_placements(sum, *packed);
+    const int iters = static_cast<int>(4000 / n) + 1;
+    const double ns = median_ns_per_op(kSamples, iters, [&] {
+      packing::FixedBinPacker fresh(199, 16);
+      benchmark::DoNotOptimize(fresh.try_pack(rects));
+    });
+    gate_kernel(kernels, "maxrects_n" + std::to_string(n), sum, ns);
+  }
+
+  // Alg. 1 composition (double mapping) through the scratch-reusing core.
+  for (const int n : {3, 6, 12}) {
+    const auto children = compose_children(n);
+    core::ComposeScratch scratch;
+    core::Composition comp;
+    core::compose_components_into(children, 16, scratch, comp);
+    std::uint64_t sum = digest_u64(
+        runner::kFnvOffset, static_cast<std::uint64_t>(comp.composite.slots));
+    sum = digest_u64(sum, static_cast<std::uint64_t>(comp.composite.channels));
+    sum = digest_placements(sum, comp.layout);
+    const double ns = median_ns_per_op(kSamples, 4000, [&] {
+      core::compose_components_into(children, 16, scratch, comp);
+    });
+    gate_kernel(kernels, "compose_n" + std::to_string(n), sum, ns);
+  }
+
+  // Alg. 2 partition adjustment.
+  {
+    const AdjustmentCase c = adjustment_case();
+    const core::AdjustOutcome out =
+        core::adjust_partition_layout({40, 8}, c.layout, c.child, {12, 3});
+    std::uint64_t sum = digest_u64(runner::kFnvOffset, out.success ? 1 : 0);
+    sum = digest_placements(sum, out.layout);
+    const double ns = median_ns_per_op(kSamples, 2000, [&] {
+      benchmark::DoNotOptimize(
+          core::adjust_partition_layout({40, 8}, c.layout, c.child, {12, 3}));
+    });
+    gate_kernel(kernels, "adjustment", sum, ns);
+  }
+
+  report.write();
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 ||
+        std::strcmp(argv[i], "--trace") == 0) {
+      return run_gate(argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""Verify that documentation cross-references resolve.
+
+Usage:
+    check_doc_links.py [--root DIR] [doc.md ...]
+
+With no files given, checks the documentation map set: README.md,
+DESIGN.md and docs/*.md. Two kinds of reference are validated:
+
+  * Markdown relative links `[text](path)` — external schemes
+    (http/https/mailto) and pure in-page anchors are skipped; everything
+    else must name an existing file or directory, resolved against the
+    referencing document's directory, then the repo root. A `#fragment`
+    suffix is stripped before the check.
+
+  * Backticked source references `src/foo/bar.cpp` or
+    `src/foo/bar.cpp:123` — the path must exist (resolved against the
+    repo root, the document's directory, or src/), and when a `:line`
+    suffix is present the file must actually have that many lines, so a
+    doc pointing at "the guard in skyline.cpp:406" goes stale loudly
+    instead of silently. Paths containing wildcards and path-shaped
+    strings without a known source extension (build outputs, dotted
+    metric names) are ignored.
+
+Exits non-zero with one line per dangling reference — CI runs it
+directly (the doc-link-check job in .github/workflows/ci.yml).
+"""
+import argparse
+import glob
+import os
+import re
+import sys
+
+# Markdown inline link: [text](target). Images share the syntax.
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+# `path/with.ext` or `path/with.ext:123` inside backticks. Requiring a
+# slash plus a source-ish extension keeps dotted metric names, bare
+# filenames and shell flags out.
+SRC_EXTS = r"(?:cpp|hpp|h|cc|py|md|txt|json|jsonl|yml|yaml|cmake|sh)"
+CODE_REF = re.compile(
+    r"`([A-Za-z0-9_.\-]+(?:/[A-Za-z0-9_.\-]+)+\." + SRC_EXTS +
+    r")(?::(\d+))?(?:[^`]*)`")
+
+
+def line_count(path, cache={}):
+    if path not in cache:
+        with open(path, encoding="utf-8", errors="replace") as fh:
+            cache[path] = sum(1 for _ in fh)
+    return cache[path]
+
+
+def check_md_link(doc, target, root):
+    if re.match(r"[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+        return None
+    if target.startswith("#"):
+        return None
+    path = target.split("#", 1)[0]
+    if not path:
+        return None
+    for base in (os.path.dirname(doc), root):
+        if os.path.exists(os.path.normpath(os.path.join(base, path))):
+            return None
+    return f"{doc}: dangling link ({target})"
+
+
+def check_code_ref(doc, path, line, root):
+    if "*" in path:
+        return None
+    for base in (root, os.path.dirname(doc), os.path.join(root, "src")):
+        resolved = os.path.normpath(os.path.join(base, path))
+        if os.path.isfile(resolved):
+            if line is not None and int(line) > line_count(resolved):
+                return (f"{doc}: stale line reference ({path}:{line} — "
+                        f"file has {line_count(resolved)} lines)")
+            return None
+    suffix = f":{line}" if line is not None else ""
+    return f"{doc}: dangling source reference ({path}{suffix})"
+
+
+def check_doc(rel, root):
+    doc = os.path.join(root, rel)
+    with open(doc, encoding="utf-8") as fh:
+        text = fh.read()
+    # Fenced code blocks hold example commands and invented paths, not
+    # cross-references; drop them before scanning.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    errors = []
+    for m in MD_LINK.finditer(text):
+        err = check_md_link(doc, m.group(1), root)
+        if err:
+            errors.append(err)
+    for m in CODE_REF.finditer(text):
+        err = check_code_ref(doc, m.group(1), m.group(2), root)
+        if err:
+            errors.append(err)
+    return [e.replace(doc, rel, 1) for e in errors]
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("docs", nargs="*", help="markdown files to check")
+    ap.add_argument("--root", default=".",
+                    help="repository root (default: cwd)")
+    args = ap.parse_args()
+
+    root = os.path.abspath(args.root)
+    docs = args.docs or (
+        [p for p in ("README.md", "DESIGN.md")
+         if os.path.isfile(os.path.join(root, p))] +
+        sorted(glob.glob(os.path.join(root, "docs", "*.md"))))
+
+    errors = []
+    checked = 0
+    for doc in docs:
+        doc = doc if os.path.isabs(doc) else os.path.join(root, doc)
+        errors += check_doc(os.path.relpath(doc, root), root)
+        checked += 1
+
+    for err in errors:
+        print(err, file=sys.stderr)
+    print(f"{checked} documents checked, {len(errors)} dangling "
+          "reference(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,113 @@
+// FlatArena: a bump allocator for the hot paths' struct-of-arrays scratch.
+//
+// The packing and composition kernels (docs/KERNELS.md) carve their
+// per-run working arrays — sorted rect keys, skyline x/height lanes —
+// out of one contiguous buffer instead of growing several vectors. The
+// arena hands out raw typed spans with two guarantees:
+//
+//   * every span stays valid until the next reset(): running out of the
+//     current block allocates an overflow block, it never relocates
+//     memory that is already handed out;
+//   * after reset() the arena folds its high-water footprint back into a
+//     single block, so a scratch that is reused across runs reaches a
+//     steady state with exactly zero allocations per run.
+//
+// Only trivial types are supported (no constructors or destructors run;
+// the memory is handed out uninitialized), which is all the kernels
+// need: the arrays are plain integer lanes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace harp {
+
+class FlatArena {
+ public:
+  FlatArena() = default;
+
+  FlatArena(const FlatArena&) = delete;
+  FlatArena& operator=(const FlatArena&) = delete;
+  FlatArena(FlatArena&&) = default;
+  FlatArena& operator=(FlatArena&&) = default;
+
+  /// Uninitialized storage for `n` values of T, aligned for T. Valid until
+  /// reset(). Never returns nullptr; n == 0 yields a usable (if pointless)
+  /// pointer into the arena.
+  template <typename T>
+  T* alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "FlatArena memory is raw: no ctors/dtors ever run");
+    const std::size_t bytes = n * sizeof(T);
+    std::size_t off = align_up(used_, alignof(T));
+    if (blocks_.empty() || off + bytes > blocks_.back().size) {
+      grow(align_up(bytes, alignof(std::max_align_t)));
+      off = 0;  // fresh block; its base is max-aligned
+    }
+    used_ = off + bytes;
+    return reinterpret_cast<T*>(blocks_.back().data.get() + off);
+  }
+
+  /// Invalidates every span handed out so far and makes the arena's whole
+  /// footprint available again. If the last run overflowed into extra
+  /// blocks, they are coalesced into one block of the total size, so the
+  /// next run of the same shape allocates nothing.
+  void reset() {
+    if (blocks_.size() > 1) {
+      std::size_t total = 0;
+      for (const Block& b : blocks_) total += b.size;
+      blocks_.clear();
+      blocks_.push_back(make_block(total));
+    }
+    used_ = 0;
+  }
+
+  /// Bytes the arena currently owns (across all blocks).
+  std::size_t capacity_bytes() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Bytes handed out since the last reset() from the active block only —
+  /// a lower bound on the run's footprint, exact when nothing overflowed.
+  std::size_t used_bytes() const { return used_; }
+
+  /// True when the last allocation spilled past the first block — the
+  /// signal (used by tests) that the next reset() will coalesce.
+  bool overflowed() const { return blocks_.size() > 1; }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size{0};
+  };
+
+  static std::size_t align_up(std::size_t v, std::size_t a) {
+    return (v + a - 1) & ~(a - 1);
+  }
+
+  static Block make_block(std::size_t size) {
+    return {std::make_unique<std::byte[]>(size), size};
+  }
+
+  /// Opens a new active block of at least `need` bytes, growing
+  /// geometrically over the current footprint so a sequence of slightly-
+  /// too-big runs converges instead of allocating every time.
+  void grow(std::size_t need) {
+    constexpr std::size_t kMinBlock = 1024;
+    std::size_t size = kMinBlock;
+    for (const Block& b : blocks_) size += b.size;
+    if (size < need) size = need;
+    blocks_.push_back(make_block(size));
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t used_{0};  // bump offset within blocks_.back()
+};
+
+}  // namespace harp

@@ -106,6 +106,17 @@ bool ComposeMemo::begin_pass(const net::Topology& topo, Direction dir,
   return true;
 }
 
+ComposeCache::Stats ComposeMemo::take_stats_delta() {
+  const ComposeCache::Stats now = cache_.stats();
+  const ComposeCache::Stats delta{
+      now.hits - stats_base_.hits, now.misses - stats_base_.misses,
+      now.inserts - stats_base_.inserts,
+      now.invalidations - stats_base_.invalidations,
+      now.evictions - stats_base_.evictions};
+  stats_base_ = now;
+  return delta;
+}
+
 void ComposeMemo::invalidate_all() {
   std::uint64_t count = 0;
   for (int d = 0; d < 2; ++d) {

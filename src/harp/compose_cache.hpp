@@ -157,6 +157,17 @@ class ComposeMemo {
   ComposeCache& cache() { return cache_; }
   const ComposeCache& cache() const { return cache_; }
 
+  /// Cache statistics accumulated since the previous call (or since
+  /// construction): what the `harp.compose_cache.*` counters and the
+  /// `compose_cache` trace event should attribute to the generation
+  /// passes just finished. The cache's own totals stay monotone; the
+  /// per-pass baseline lives here, with the object it describes, so a
+  /// memo that is rebuilt or reset across a topology swap starts a fresh
+  /// baseline — an engine-side snapshot would keep the old totals and
+  /// wrap the unsigned deltas (or misattribute the accumulated history to
+  /// the next pass).
+  ComposeCache::Stats take_stats_delta();
+
   // Raw access for generate_interfaces (indexed by NodeId).
   std::vector<std::uint64_t>& fingerprints(Direction dir) {
     return fp_[static_cast<int>(dir)];
@@ -185,6 +196,7 @@ class ComposeMemo {
     bool set{false};
   };
   PassKey key_[2];
+  ComposeCache::Stats stats_base_{};  // anchor of take_stats_delta()
 };
 
 }  // namespace harp::core

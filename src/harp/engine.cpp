@@ -234,19 +234,20 @@ void HarpEngine::set_demand(NodeId child, Direction dir, int cells) {
 }
 
 void HarpEngine::publish_cache_stats() {
-  const ComposeCache::Stats s = memo_->cache().stats();
+  // The memo anchors the per-pass baseline itself (take_stats_delta), so
+  // the published numbers cover exactly the work since the last publish —
+  // even across topology swaps that rebuild or reset memo state.
+  const ComposeCache::Stats d = memo_->take_stats_delta();
   const EngineObs eobs = engine_obs();
-  eobs.cache[0]->inc(s.hits - cache_last_.hits);
-  eobs.cache[1]->inc(s.misses - cache_last_.misses);
-  eobs.cache[2]->inc(s.inserts - cache_last_.inserts);
-  eobs.cache[3]->inc(s.invalidations - cache_last_.invalidations);
-  eobs.cache[4]->inc(s.evictions - cache_last_.evictions);
-  HARP_OBS_EVENT(
-      {.type = obs::EventType::kComposeCache,
-       .a = static_cast<std::uint32_t>(s.hits - cache_last_.hits),
-       .b = static_cast<std::uint32_t>(s.misses - cache_last_.misses),
-       .value = s.inserts - cache_last_.inserts});
-  cache_last_ = s;
+  eobs.cache[0]->inc(d.hits);
+  eobs.cache[1]->inc(d.misses);
+  eobs.cache[2]->inc(d.inserts);
+  eobs.cache[3]->inc(d.invalidations);
+  eobs.cache[4]->inc(d.evictions);
+  HARP_OBS_EVENT({.type = obs::EventType::kComposeCache,
+                  .a = static_cast<std::uint32_t>(d.hits),
+                  .b = static_cast<std::uint32_t>(d.misses),
+                  .value = d.inserts});
 }
 
 ComposeCache::Stats HarpEngine::compose_cache_stats() const {

@@ -260,9 +260,6 @@ class HarpEngine {
   /// Full recomputations so far; the audit layer samples the expensive
   /// cache-soundness oracle on power-of-two counts.
   std::uint64_t recompute_count_{0};
-  /// Cache totals at the end of the previous generation pass (delta base
-  /// for publish_cache_stats).
-  ComposeCache::Stats cache_last_{};
 };
 
 }  // namespace harp::core

@@ -1,5 +1,6 @@
 #include "harp/interface_gen.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -18,7 +19,10 @@ namespace {
 /// parallel pass and the caller's serial path each get their own.
 struct GenScratch {
   ComposeScratch compose;
-  std::vector<ChildComponent> parts;
+  /// Children's components bucketed per composed layer (index
+  /// layer - own_layer - 1), filled by one walk over each child's
+  /// interface map (docs/KERNELS.md "Gather").
+  std::vector<std::vector<ChildComponent>> by_layer;
   Composition composed;
 };
 
@@ -26,6 +30,19 @@ GenScratch& gen_scratch() {
   thread_local GenScratch s;
   return s;
 }
+
+/// One contiguous block holding every interface of a from-scratch pass
+/// (docs/KERNELS.md "Interface pool"). Nodes get aliased shared_ptrs into
+/// the block, so a whole pass costs one allocation instead of one
+/// make_shared per internal node — and the bottom-up fill order makes a
+/// parent's gather walk read its children's maps from adjacent memory.
+/// The block lives until the last aliased reference dies; mutating an
+/// InterfaceSet entry clones it out first (the pool refcount keeps
+/// use_count above 1), so snapshot semantics are unchanged.
+struct InterfacePool {
+  std::shared_ptr<InterfaceSet::NodeInterface[]> block;
+  std::size_t next{0};
+};
 
 /// Content fingerprint of the inputs determining `node`'s from-scratch
 /// interface in `dir`: composition parameters, ordered child ids, each
@@ -60,25 +77,72 @@ std::uint64_t subtree_fingerprint(const net::Topology& topo,
 void derive_interface(const net::Topology& topo,
                       const net::TrafficMatrix& traffic, Direction dir,
                       int num_channels, int own_slack, NodeId node,
-                      InterfaceSet& ifs) {
+                      InterfaceSet& ifs, InterfacePool* ipool) {
   GenScratch& s = gen_scratch();
+  const int own_layer = topo.link_layer(node);
+  const int depth = topo.subtree_depth(node);
+  const std::vector<NodeId>& children = topo.children(node);
 
   // Case 1: the node's own links.
-  const int own_layer = topo.link_layer(node);
-  ifs.set_component(node, own_layer,
-                    own_layer_component(topo, traffic, dir, node, own_slack));
+  const ResourceComponent own =
+      own_layer_component(topo, traffic, dir, node, own_slack);
 
-  // Case 2: compose children's interfaces layer by layer.
-  for (int layer = own_layer + 1; layer <= topo.subtree_depth(node); ++layer) {
-    s.parts.clear();
-    for (NodeId child : topo.children(node)) {
-      const ResourceComponent c = ifs.component(child, layer);
-      if (!c.empty()) s.parts.push_back({child, c});
+  // Case 2 gather: instead of probing every child's map once per layer
+  // (children x layers ordered lookups), walk each child's interface map
+  // once and bucket its components per composed layer. A child's entries
+  // all lie in (own_layer, depth] and each child contributes at most one
+  // component per layer, so bucket order == children order — the part
+  // order the per-layer composition saw before, bit-identical results.
+  const std::size_t num_layers = static_cast<std::size_t>(depth - own_layer);
+  if (s.by_layer.size() < num_layers) s.by_layer.resize(num_layers);
+  for (std::size_t l = 0; l < num_layers; ++l) s.by_layer[l].clear();
+  for (NodeId child : children) {
+    const InterfaceSet::NodeInterface* ni = ifs.peek(child);
+    if (ni == nullptr) continue;
+    for (const auto& [layer, entry] : *ni) {
+      HARP_ASSERT(layer > own_layer && layer <= depth);
+      s.by_layer[static_cast<std::size_t>(layer - own_layer) - 1].push_back(
+          {child, entry.comp});
     }
-    compose_components_into(s.parts, num_channels, s.compose, s.composed);
+  }
+
+  // Build the node's whole interface in one shot — layers ascend, so each
+  // entry lands with a hinted tail emplace — and install it with a single
+  // O(1) snapshot swap instead of per-layer set_component/set_layout
+  // lookups.
+  std::shared_ptr<InterfaceSet::NodeInterface> owned;
+  InterfaceSet::NodeInterface* iface;
+  if (ipool != nullptr) {
+    // Build straight into the pass pool's next free slot. A slot whose
+    // interface ends up empty is simply reused for the next node.
+    iface = &ipool->block[ipool->next];
+  } else {
+    owned = std::make_shared<InterfaceSet::NodeInterface>();
+    iface = owned.get();
+  }
+  iface->reserve(num_layers + 1);
+  if (!own.empty()) {
+    iface->append(own_layer, InterfaceSet::LayerIf{own, {}});
+  }
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    if (s.by_layer[l].empty()) continue;
+    compose_components_into(s.by_layer[l], num_channels, s.compose,
+                            s.composed);
     if (s.composed.composite.empty()) continue;
-    ifs.set_component(node, layer, s.composed.composite);
-    ifs.set_layout(node, layer, std::move(s.composed.layout));
+    iface->append(own_layer + 1 + static_cast<int>(l),
+                  InterfaceSet::LayerIf{s.composed.composite,
+                                        std::move(s.composed.layout)});
+  }
+  // An all-empty interface stays un-stored, as set_component would have
+  // left it (the node was cleared before derivation on every path).
+  if (iface->empty()) return;
+  if (ipool != nullptr) {
+    ifs.set_node_interface(
+        node, std::shared_ptr<InterfaceSet::NodeInterface>(ipool->block,
+                                                           iface));
+    ++ipool->next;
+  } else {
+    ifs.set_node_interface(node, std::move(owned));
   }
 }
 
@@ -90,10 +154,13 @@ ResourceComponent own_layer_component(const net::Topology& topo,
                                       int own_slack) {
   int sum = 0;
   int active = 0;
+  // One dense lane, scanned with branch-free accumulation: the gathered
+  // loads and the comparison-to-count pattern vectorize cleanly.
+  const std::vector<int>& demand = traffic.row(dir);
   for (NodeId child : topo.children(node)) {
-    const int d = traffic.demand(child, dir);
+    const int d = demand[child];
     sum += d;
-    if (d > 0) ++active;
+    active += static_cast<int>(d > 0);
   }
   // Slack is per active link: every link gets its own spare cells, so a
   // lossy or bursty link cannot be starved by its siblings.
@@ -114,6 +181,12 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
                                  Direction dir, int num_channels,
                                  int own_slack, ComposeMemo* memo,
                                  runner::WorkerPool* pool) {
+  // Composition would reject this per call; checking once up front keeps
+  // the invalid-argument contract even for nodes whose layers all turn
+  // out empty (whose compositions are now skipped entirely).
+  if (num_channels <= 0) {
+    throw InvalidArgument("num_channels must be positive");
+  }
   InterfaceSet ifs;
 
   std::vector<std::uint64_t>* fp = nullptr;
@@ -150,6 +223,21 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
     ifs = InterfaceSet(topo.size());
   }
 
+  // From-scratch serial passes allocate all their interfaces in one block
+  // (see InterfacePool above). Memoized passes cannot: the compose cache
+  // would keep whole pools alive through single entries, and parallel
+  // workers would race on the fill cursor.
+  InterfacePool pool_storage;
+  InterfacePool* ipool = nullptr;
+  if (memo == nullptr && (pool == nullptr || pool->jobs() <= 1)) {
+    const std::size_t internal = topo.internal_bottom_up().size();
+    if (internal > 0) {
+      pool_storage.block =
+          std::make_shared<InterfaceSet::NodeInterface[]>(internal);
+      ipool = &pool_storage;
+    }
+  }
+
   // Shared by the serial and parallel paths. Thread safety of the parallel
   // case: the node table is detached up front, then a worker writes only
   // `node`'s slots of ifs/fp/valid (distinct objects per node) and reads
@@ -180,7 +268,8 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
       // survives (the snapshot itself stays intact for its other owners).
       ifs.clear_node(node);
     }
-    derive_interface(topo, traffic, dir, num_channels, own_slack, node, ifs);
+    derive_interface(topo, traffic, dir, num_channels, own_slack, node, ifs,
+                     ipool);
     if (memo != nullptr) {
       cache->insert((*fp)[node], ifs.node_interface(node));
       (*valid)[node] = 1;
@@ -212,10 +301,19 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
   for (int layer = topo.depth() - 1; layer >= 0; --layer) {
     const std::vector<NodeId>& nodes = topo.internal_at_layer(layer);
     if (nodes.empty()) continue;
-    pool->run_indexed(nodes.size(), [&](std::size_t slot, std::size_t i) {
-      obs::ScopedContext scoped(contexts[slot]);
-      process(nodes[i], slot_hits[slot].n);
-    });
+    // Batched dispatch: each claim hands a worker a contiguous run of
+    // nodes, whose subtree compositions it performs back to back — one
+    // fetch-add per batch instead of per node, and index-adjacent nodes
+    // tend to have their children's interfaces adjacent too. Batch size
+    // balances claim amortization against tail-end load balance across
+    // the layer's nodes.
+    const std::size_t batch =
+        std::clamp<std::size_t>(nodes.size() / (4 * pool->jobs()), 1, 64);
+    pool->run_blocked(nodes.size(), batch,
+                      [&](std::size_t slot, std::size_t i) {
+                        obs::ScopedContext scoped(contexts[slot]);
+                        process(nodes[i], slot_hits[slot].n);
+                      });
   }
   for (obs::Context& ctx : contexts) {
     obs::MetricsRegistry::global().merge(ctx.metrics);

@@ -8,12 +8,15 @@
 // concrete location in the slotframe.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <map>
 #include <memory>
+#include <new>
+#include <utility>
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/types.hpp"
 #include "packing/rect.hpp"
 
@@ -107,9 +110,184 @@ class InterfaceSet {
 
     friend bool operator==(const LayerIf&, const LayerIf&) = default;
   };
-  /// layer -> entry; std::map keeps layers ordered for iteration. A null
-  /// node pointer and an empty map both mean "no interface".
-  using NodeInterface = std::map<int, LayerIf>;
+  /// One node's interface: layer -> entry as a flat array sorted by
+  /// layer. Interfaces hold a handful of layers (own link layer plus the
+  /// composed layers below), so a contiguous array beats a node-per-entry
+  /// tree on every axis that matters here: ordered iteration for free,
+  /// linear scans that stay inside a couple of cache lines, and — through
+  /// the inline small buffer — zero allocations of its own for the
+  /// typical interface, whose entries live right next to the shared_ptr
+  /// control block make_shared puts in front (docs/KERNELS.md "Interface
+  /// layout"). A null node pointer and an empty interface both mean "no
+  /// interface".
+  class NodeInterface {
+   public:
+    using value_type = std::pair<int, LayerIf>;
+    using const_iterator = const value_type*;
+    using iterator = value_type*;
+
+    NodeInterface() = default;
+    NodeInterface(const NodeInterface& o) { copy_from(o); }
+    NodeInterface(NodeInterface&& o) noexcept { steal(o); }
+    NodeInterface& operator=(const NodeInterface& o) {
+      if (this != &o) {
+        destroy();
+        copy_from(o);
+      }
+      return *this;
+    }
+    NodeInterface& operator=(NodeInterface&& o) noexcept {
+      if (this != &o) {
+        destroy();
+        steal(o);
+      }
+      return *this;
+    }
+    ~NodeInterface() { destroy(); }
+
+    const_iterator begin() const { return data_; }
+    const_iterator end() const { return data_ + size_; }
+    iterator begin() { return data_; }
+    iterator end() { return data_ + size_; }
+    bool empty() const { return size_ == 0; }
+    std::size_t size() const { return size_; }
+
+    const_iterator find(int layer) const {
+      const_iterator it = begin();
+      while (it != end() && it->first != layer) ++it;
+      return it;
+    }
+    iterator find(int layer) {
+      iterator it = begin();
+      while (it != end() && it->first != layer) ++it;
+      return it;
+    }
+    bool contains(int layer) const { return find(layer) != end(); }
+
+    /// The entry for `layer`, inserted at its sorted position if absent
+    /// (callers touch layers in arbitrary order during adjustments).
+    LayerIf& operator[](int layer) {
+      std::uint32_t i = 0;
+      while (i < size_ && data_[i].first < layer) ++i;
+      if (i == size_ || data_[i].first != layer) {
+        insert_at(i, value_type{layer, LayerIf{}});
+      }
+      return data_[i].second;
+    }
+
+    /// Pre-sizes for a known layer count (derivation knows its exact
+    /// upper bound), so a deep interface spills to the heap at most once.
+    void reserve(std::size_t n) {
+      if (n > cap_) grow(n);
+    }
+
+    /// Appends an entry known to follow every existing layer — the bulk
+    /// build of derivation, where layers arrive ascending.
+    LayerIf& append(int layer, LayerIf entry) {
+      HARP_ASSERT(size_ == 0 || data_[size_ - 1].first < layer);
+      if (size_ == cap_) grow(size_ + 1);
+      new (data_ + size_) value_type{layer, std::move(entry)};
+      return data_[size_++].second;
+    }
+
+    void erase(int layer) {
+      const iterator it = find(layer);
+      if (it == end()) return;
+      for (iterator j = it; j + 1 != end(); ++j) *j = std::move(*(j + 1));
+      data_[--size_].~value_type();
+    }
+
+    friend bool operator==(const NodeInterface& a, const NodeInterface& b) {
+      if (a.size_ != b.size_) return false;
+      for (std::uint32_t i = 0; i < a.size_; ++i) {
+        if (a.data_[i] != b.data_[i]) return false;
+      }
+      return true;
+    }
+
+   private:
+    /// Inline capacity 4 covers nearly every node (deep subtrees span few
+    /// layers); only nodes near the gateway of a deep tree spill.
+    static constexpr std::uint32_t kInline = 4;
+
+    value_type* inline_ptr() {
+      return reinterpret_cast<value_type*>(inline_);
+    }
+    bool is_inline() const {
+      return data_ == reinterpret_cast<const value_type*>(inline_);
+    }
+
+    void destroy() {
+      for (std::uint32_t i = 0; i < size_; ++i) data_[i].~value_type();
+      if (!is_inline()) {
+        ::operator delete(data_, std::align_val_t{alignof(value_type)});
+      }
+      data_ = inline_ptr();
+      size_ = 0;
+      cap_ = kInline;
+    }
+
+    void copy_from(const NodeInterface& o) {
+      if (o.size_ > cap_) grow(o.size_);
+      for (std::uint32_t i = 0; i < o.size_; ++i) {
+        new (data_ + i) value_type(o.data_[i]);
+      }
+      size_ = o.size_;
+    }
+
+    /// Takes o's storage (heap) or contents (inline); o ends up empty but
+    /// valid either way.
+    void steal(NodeInterface& o) noexcept {
+      if (o.is_inline()) {
+        for (std::uint32_t i = 0; i < o.size_; ++i) {
+          new (data_ + i) value_type(std::move(o.data_[i]));
+          o.data_[i].~value_type();
+        }
+        size_ = o.size_;
+      } else {
+        data_ = o.data_;
+        size_ = o.size_;
+        cap_ = o.cap_;
+        o.data_ = o.inline_ptr();
+        o.cap_ = kInline;
+      }
+      o.size_ = 0;
+    }
+
+    void grow(std::uint32_t need) {
+      std::uint32_t cap = cap_ * 2 > need ? cap_ * 2 : need;
+      auto* fresh = static_cast<value_type*>(::operator new(
+          cap * sizeof(value_type), std::align_val_t{alignof(value_type)}));
+      for (std::uint32_t i = 0; i < size_; ++i) {
+        new (fresh + i) value_type(std::move(data_[i]));
+        data_[i].~value_type();
+      }
+      if (!is_inline()) {
+        ::operator delete(data_, std::align_val_t{alignof(value_type)});
+      }
+      data_ = fresh;
+      cap_ = cap;
+    }
+
+    void insert_at(std::uint32_t i, value_type v) {
+      if (size_ == cap_) grow(size_ + 1);
+      if (i == size_) {
+        new (data_ + i) value_type(std::move(v));
+      } else {
+        new (data_ + size_) value_type(std::move(data_[size_ - 1]));
+        for (std::uint32_t j = size_ - 1; j > i; --j) {
+          data_[j] = std::move(data_[j - 1]);
+        }
+        data_[i] = std::move(v);
+      }
+      ++size_;
+    }
+
+    value_type* data_{reinterpret_cast<value_type*>(inline_)};
+    std::uint32_t size_{0};
+    std::uint32_t cap_{kInline};
+    alignas(value_type) std::byte inline_[kInline * sizeof(value_type)];
+  };
 
   InterfaceSet() = default;
   explicit InterfaceSet(std::size_t num_nodes);
@@ -141,6 +319,16 @@ class InterfaceSet {
   /// null; an interface-less node yields an empty map). What the compose
   /// cache stores.
   std::shared_ptr<const NodeInterface> node_interface(NodeId node) const;
+
+  /// Borrowed read-only view of the node's interface map, or nullptr when
+  /// the node carries none. Unlike node_interface() this never allocates —
+  /// the composition hot path walks children's maps through it
+  /// (docs/KERNELS.md "Gather"). The pointer is invalidated by any
+  /// mutation of this set.
+  const NodeInterface* peek(NodeId node) const {
+    HARP_ASSERT(node < num_nodes());
+    return store_->nodes[node].get();
+  }
 
   /// Replaces the node's whole interface with a shared snapshot — O(1),
   /// no copy. Later mutations of this set clone before writing, so the

@@ -43,6 +43,13 @@ class TrafficMatrix {
   void add_downlink(NodeId child, int cells);
 
   /// Demand of `child`'s link in the given direction.
+  /// The whole per-child demand lane for one direction, indexed by child
+  /// NodeId. The composition hot path scans it as a dense array instead
+  /// of calling demand() per child (docs/KERNELS.md "Demand scan").
+  const std::vector<int>& row(Direction dir) const {
+    return dir == Direction::kUp ? up_ : down_;
+  }
+
   int demand(NodeId child, Direction dir) const {
     return dir == Direction::kUp ? uplink(child) : downlink(child);
   }

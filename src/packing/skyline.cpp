@@ -1,6 +1,8 @@
 #include "packing/skyline.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <cstring>
 #include <limits>
 
 #include "common/error.hpp"
@@ -111,26 +113,245 @@ void check_inputs(std::span<const Rect> rects, Dim strip_width) {
   }
 }
 
+/// Presort order shared by both kernels: decreasing height (width as
+/// tie-break) improves the best-fit policy's packing density; the per-step
+/// choice still re-examines every unplaced rectangle.
+bool rect_before(const Rect& a, const Rect& b) {
+  if (a.h != b.h) return a.h > b.h;
+  if (a.w != b.w) return a.w > b.w;
+  return a.id < b.id;
+}
+
+void sort_rects(std::span<const Rect> rects, std::vector<Rect>& sorted) {
+  sorted.assign(rects.begin(), rects.end());
+  std::sort(sorted.begin(), sorted.end(), rect_before);
+}
+
+// ---------------------------------------------------------------------------
+// SoA kernel (docs/KERNELS.md). The skyline lives in two parallel uint32
+// lanes carved from the scratch arena:
+//   sky_x[0..m]   segment left edges, sky_x[m] = strip width sentinel
+//                 (segment i spans [sky_x[i], sky_x[i+1]));
+//   sky_y[0..m)   segment heights.
+// The candidate set is a single uint64 lane of packed best-fit keys,
+//   key[i] = (w << 32) | h, key[i] = 0 once placed,
+// because the scalar policy "prefer the exact-width fill, else the
+// widest, else the tallest, earliest on ties" is exactly the lexicographic
+// argmax of (w, h) over the rects that fit (an exact-width fill IS the
+// maximal fitting width). "Fits gap g" becomes key < (g+1) << 32, and the
+// whole selection is one branch-light max scan.
+// ---------------------------------------------------------------------------
+
+constexpr std::uint32_t kWallInf = std::numeric_limits<std::uint32_t>::max();
+/// Largest coordinate the 32-bit lanes can represent while keeping
+/// kWallInf free as the "infinite wall" sentinel.
+constexpr std::uint64_t kMaxCoord = kWallInf - 1;
+
+struct SkylineSoA {
+  std::uint32_t* x;  // m + 1 entries, x[m] = strip width
+  std::uint32_t* y;  // m entries
+  std::size_t m{0};
+
+  std::size_t lowest() const {
+    std::size_t best = 0;
+    std::uint32_t best_y = y[0];
+    for (std::size_t i = 1; i < m; ++i) {
+      const bool lower = y[i] < best_y;
+      best = lower ? i : best;
+      best_y = lower ? y[i] : best_y;
+    }
+    return best;
+  }
+
+  std::uint32_t left_wall(std::size_t i) const {
+    return i == 0 ? kWallInf : y[i - 1];
+  }
+  std::uint32_t right_wall(std::size_t i) const {
+    return i + 1 >= m ? kWallInf : y[i + 1];
+  }
+
+  /// Same splice as the reference Skyline::place, on the flat lanes: the
+  /// replaced segment becomes up to three, the tail (including the x
+  /// sentinel) shifts with two memmoves.
+  std::uint32_t place(std::size_t i, std::uint32_t w, std::uint32_t h) {
+    const std::uint32_t x0 = x[i];
+    const std::uint32_t x1 = x[i + 1];
+    const std::uint32_t y0 = y[i];
+    HARP_ASSERT(w <= x1 - x0);
+    const bool against_left = left_wall(i) >= right_wall(i);
+    const std::uint32_t px = against_left ? x0 : x1 - w;
+    const std::uint32_t new_y = y0 + h;
+
+    std::uint32_t pxs[3];
+    std::uint32_t pys[3];
+    std::size_t n = 0;
+    if (px > x0) {
+      pxs[n] = x0;
+      pys[n] = y0;
+      ++n;
+    }
+    pxs[n] = px;
+    pys[n] = new_y;
+    ++n;
+    if (px + w < x1) {
+      pxs[n] = px + w;
+      pys[n] = y0;
+      ++n;
+    }
+    const std::size_t extra = n - 1;
+    if (extra > 0) {
+      std::memmove(x + i + n, x + i + 1, (m - i) * sizeof(std::uint32_t));
+      std::memmove(y + i + n, y + i + 1,
+                   (m - i - 1) * sizeof(std::uint32_t));
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      x[i + k] = pxs[k];
+      y[i + k] = pys[k];
+    }
+    m += extra;
+    merge();
+    return px;
+  }
+
+  void lift(std::size_t i) {
+    const std::uint32_t target = std::min(left_wall(i), right_wall(i));
+    HARP_ASSERT(target < kWallInf);
+    y[i] = target;
+    merge();
+  }
+
+  /// Two-pointer compaction of equal-height neighbors. Widths are implied
+  /// by the x lane, so absorbing a segment is simply dropping its entries;
+  /// the sentinel x[m] carries over untouched.
+  void merge() {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (out > 0 && y[out - 1] == y[i]) continue;
+      x[out] = x[i];
+      y[out] = y[i];
+      ++out;
+    }
+    x[out] = x[m];
+    m = out;
+  }
+};
+
+/// True when every coordinate of this run fits the uint32 lanes: the strip
+/// width, and the largest height the skyline can ever reach (bounded by
+/// the total stacked height — each placement raises one segment by its h,
+/// and lifts never exceed an existing height).
+bool fits_soa_lanes(std::span<const Rect> rects, Dim strip_width) {
+  if (static_cast<std::uint64_t>(strip_width) > kMaxCoord) return false;
+  std::uint64_t total_h = 0;
+  for (const Rect& r : rects) {
+    total_h += static_cast<std::uint64_t>(r.h);
+    if (total_h > kMaxCoord) return false;
+  }
+  return true;
+}
+
+/// Inputs of at most this many rects — virtually every composition the
+/// engine performs — run on stack lanes with an inline insertion sort,
+/// skipping the scratch vectors and the arena altogether.
+constexpr std::size_t kSmallN = 16;
+
+void pack_strip_soa(std::span<const Rect> rects, Dim strip_width,
+                    PackScratch& scratch, StripResult& out) {
+  const std::size_t n = rects.size();
+  std::size_t remaining = n;
+
+  Rect small_sorted[kSmallN];
+  std::uint64_t small_keys[kSmallN];
+  std::uint32_t small_x[2 * kSmallN + 2];
+  std::uint32_t small_y[2 * kSmallN + 2];
+
+  const Rect* sorted;
+  std::uint64_t* keys;
+  SkylineSoA sky;
+  if (n <= kSmallN) {
+    // Insertion sort with the same comparator: rect keys are unique per
+    // input (or fully identical), so any comparison sort yields the same
+    // order — and thus the same placements — as the general path.
+    std::size_t count = 0;
+    for (const Rect& r : rects) {
+      std::size_t j = count;
+      while (j > 0 && rect_before(r, small_sorted[j - 1])) {
+        small_sorted[j] = small_sorted[j - 1];
+        --j;
+      }
+      small_sorted[j] = r;
+      ++count;
+    }
+    sorted = small_sorted;
+    keys = small_keys;
+    sky = SkylineSoA{small_x, small_y, 1};
+  } else {
+    sort_rects(rects, scratch.rects);
+    sorted = scratch.rects.data();
+    // One arena carve per run; reset() makes it free once the scratch has
+    // seen its largest input (docs/KERNELS.md "Arena lifetime").
+    scratch.arena.reset();
+    keys = scratch.arena.alloc<std::uint64_t>(n);
+    // Each placement splices at most two extra segments (net, pre-merge),
+    // so m <= 2n + 1 throughout; +1 lane slot for the x sentinel.
+    sky = SkylineSoA{scratch.arena.alloc<std::uint32_t>(2 * n + 2),
+                     scratch.arena.alloc<std::uint32_t>(2 * n + 2), 1};
+  }
+  sky.x[0] = 0;
+  sky.x[1] = static_cast<std::uint32_t>(strip_width);
+  sky.y[0] = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = (static_cast<std::uint64_t>(sorted[i].w) << 32) |
+              static_cast<std::uint64_t>(sorted[i].h);
+  }
+
+  while (remaining > 0) {
+    const std::size_t seg_idx = sky.lowest();
+    const std::uint32_t seg_y = sky.y[seg_idx];
+    const std::uint32_t seg_w = sky.x[seg_idx + 1] - sky.x[seg_idx];
+
+    // Branch-light best fit: strict max over the packed keys; placed
+    // rects carry key 0 and a key compares greater exactly when the rect
+    // is wider, or equally wide and taller. Earliest index wins ties.
+    const std::uint64_t limit = (static_cast<std::uint64_t>(seg_w) + 1)
+                                << 32;
+    std::uint64_t best_key = 0;
+    std::size_t best = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t k = keys[i];
+      const bool better = (k < limit) & (k > best_key);
+      best = better ? i : best;
+      best_key = better ? k : best_key;
+    }
+
+    if (best == n) {
+      sky.lift(seg_idx);
+      continue;
+    }
+
+    const Rect& r = sorted[best];
+    const std::uint32_t px = sky.place(seg_idx, static_cast<std::uint32_t>(r.w),
+                                       static_cast<std::uint32_t>(r.h));
+    out.placements.push_back({static_cast<Dim>(px), static_cast<Dim>(seg_y),
+                              r.w, r.h, r.id});
+    out.height = std::max(out.height, static_cast<Dim>(seg_y) + r.h);
+    keys[best] = 0;
+    --remaining;
+  }
+}
+
 }  // namespace
 
-void pack_strip_into(std::span<const Rect> rects, Dim strip_width,
-                     PackScratch& scratch, StripResult& out) {
+void pack_strip_reference_into(std::span<const Rect> rects, Dim strip_width,
+                               PackScratch& scratch, StripResult& out) {
   check_inputs(rects, strip_width);
 
   out.height = 0;
   out.placements.clear();
   out.placements.reserve(rects.size());
 
-  // Presorting by decreasing height (width as tie-break) improves the
-  // best-fit policy's packing density; the per-step choice below still
-  // re-examines every unplaced rectangle.
-  std::vector<Rect>& sorted = scratch.rects;
-  sorted.assign(rects.begin(), rects.end());
-  std::sort(sorted.begin(), sorted.end(), [](const Rect& a, const Rect& b) {
-    if (a.h != b.h) return a.h > b.h;
-    if (a.w != b.w) return a.w > b.w;
-    return a.id < b.id;
-  });
+  sort_rects(rects, scratch.rects);
+  const std::vector<Rect>& sorted = scratch.rects;
   std::vector<char>& placed = scratch.placed;
   placed.assign(sorted.size(), 0);
   std::size_t remaining = sorted.size();
@@ -177,6 +398,22 @@ void pack_strip_into(std::span<const Rect> rects, Dim strip_width,
     placed[best] = 1;
     --remaining;
   }
+}
+
+void pack_strip_into(std::span<const Rect> rects, Dim strip_width,
+                     PackScratch& scratch, StripResult& out) {
+  check_inputs(rects, strip_width);
+  if (!fits_soa_lanes(rects, strip_width)) {
+    // Coordinates past the 32-bit lanes (never the engine's workloads —
+    // frame lengths and cell counts are far smaller): take the reference
+    // path, which computes in Dim throughout. Same result by contract.
+    pack_strip_reference_into(rects, strip_width, scratch, out);
+    return;
+  }
+  out.height = 0;
+  out.placements.clear();
+  out.placements.reserve(rects.size());
+  pack_strip_soa(rects, strip_width, scratch, out);
 }
 
 StripResult pack_strip(std::vector<Rect> rects, Dim strip_width) {

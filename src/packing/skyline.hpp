@@ -9,25 +9,36 @@
 // that fit nothing. Complexity O(n^2) worst case with tiny constants --
 // cheap enough for the paper's target class of devices (n is the number
 // of child subtrees, single digits in practice).
+//
+// Two implementations share the exact selection and placement policy and
+// produce bit-identical results (docs/KERNELS.md):
+//   * pack_strip_into — the default struct-of-arrays kernel: skyline
+//     x/height lanes and packed best-fit keys live in contiguous uint32/
+//     uint64 arrays carved from the scratch's FlatArena;
+//   * pack_strip_reference_into — the original scalar AoS path, kept as
+//     the differential-test oracle and as the automatic fallback for
+//     inputs whose coordinates do not fit the 32-bit lanes.
 #pragma once
 
 #include <optional>
 #include <span>
 #include <vector>
 
+#include "common/arena.hpp"
 #include "packing/rect.hpp"
 
 namespace harp::packing {
 
 /// Reusable buffers for pack_strip_into. All intermediate state of one
-/// packing run (the sorted rect copy, placed flags and the skyline's
-/// segment list) lives here, so a caller that keeps a scratch across runs
-/// packs without allocating once the high-water capacity is reached —
-/// the contract the engine's recomputation hot path and the per-worker
-/// arenas of parallel composition rely on (docs/PERFORMANCE.md).
+/// packing run (the sorted rect copy and the kernel's working arrays)
+/// lives here, so a caller that keeps a scratch across runs packs without
+/// allocating once the high-water capacity is reached — the contract the
+/// engine's recomputation hot path and the per-worker arenas of parallel
+/// composition rely on (docs/PERFORMANCE.md, docs/KERNELS.md).
 struct PackScratch {
   /// One maximal horizontal segment of the skyline: the region
-  /// [x, x+w) currently topped at height y.
+  /// [x, x+w) currently topped at height y. (Reference path only; the
+  /// SoA kernel keeps the skyline as x/height lanes in `arena`.)
   struct Segment {
     Dim x;
     Dim w;
@@ -35,8 +46,9 @@ struct PackScratch {
   };
 
   std::vector<Rect> rects;
-  std::vector<char> placed;
-  std::vector<Segment> segments;
+  std::vector<char> placed;        // reference path
+  std::vector<Segment> segments;   // reference path
+  FlatArena arena;                 // SoA lanes: keys, skyline x/y
 };
 
 /// Packs `rects` into a strip of width `strip_width`, minimizing height.
@@ -50,6 +62,14 @@ StripResult pack_strip(std::vector<Rect> rects, Dim strip_width);
 /// are capacity growth beyond the scratch's high-water mark.
 void pack_strip_into(std::span<const Rect> rects, Dim strip_width,
                      PackScratch& scratch, StripResult& out);
+
+/// The original scalar implementation, bit-identical to pack_strip_into
+/// by contract. Serves as the oracle of the randomized differential tests
+/// (tests/packing_test.cpp) and as pack_strip_into's fallback when
+/// strip_width or the total stacked height exceeds the SoA kernel's
+/// 32-bit coordinate range.
+void pack_strip_reference_into(std::span<const Rect> rects, Dim strip_width,
+                               PackScratch& scratch, StripResult& out);
 
 /// Same as pack_strip but fails (nullopt) if the achieved height would
 /// exceed `max_height`. Used for feasibility checks where the container

@@ -1,5 +1,7 @@
 #include "runner/pool.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace harp::runner {
@@ -27,17 +29,23 @@ std::size_t WorkerPool::default_jobs() {
 }
 
 void WorkerPool::work_off_batch(std::size_t slot) {
-  // Hot path: claim indices with one fetch-add each; no lock until the
-  // batch drains or aborts.
+  // Hot path: claim a contiguous block of indices with one fetch-add each
+  // (block size 1 for plain run/run_indexed); no lock until the batch
+  // drains or aborts.
+  const std::size_t block = block_;
   while (!abort_.load(std::memory_order_relaxed)) {
-    const std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
-    if (i >= count_) break;
-    try {
-      (*fn_)(slot, i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!first_error_) first_error_ = std::current_exception();
-      abort_.store(true, std::memory_order_relaxed);
+    const std::size_t begin = next_.fetch_add(block, std::memory_order_relaxed);
+    if (begin >= count_) break;
+    const std::size_t end = std::min(begin + block, count_);
+    for (std::size_t i = begin; i < end; ++i) {
+      if (abort_.load(std::memory_order_relaxed)) return;
+      try {
+        (*fn_)(slot, i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!first_error_) first_error_ = std::current_exception();
+        abort_.store(true, std::memory_order_relaxed);
+      }
     }
   }
 }
@@ -71,11 +79,19 @@ void WorkerPool::run(std::size_t count,
 
 void WorkerPool::run_indexed(
     std::size_t count, const std::function<void(std::size_t, std::size_t)>& fn) {
+  run_blocked(count, 1, fn);
+}
+
+void WorkerPool::run_blocked(
+    std::size_t count, std::size_t block,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
   if (count == 0) return;
+  if (block == 0) throw InvalidArgument("block size must be positive");
   {
     std::lock_guard<std::mutex> lock(mu_);
     fn_ = &fn;
     count_ = count;
+    block_ = block;
     first_error_ = nullptr;
     abort_.store(false, std::memory_order_relaxed);
     next_.store(0, std::memory_order_relaxed);

@@ -52,6 +52,17 @@ class WorkerPool {
       std::size_t count,
       const std::function<void(std::size_t, std::size_t)>& fn);
 
+  /// Like run_indexed(), but workers claim contiguous blocks of `block`
+  /// indices per atomic fetch-add instead of one index at a time. For
+  /// many small tasks over index-adjacent data — per-node subtree
+  /// compositions above all (docs/KERNELS.md "Composition batching") —
+  /// this both amortizes the claim to 1/block fetch-adds and keeps each
+  /// worker walking neighboring nodes, which are also neighbors in the
+  /// interface pool. Completion-order nondeterminism is unchanged: every
+  /// index still runs exactly once, on exactly one worker.
+  void run_blocked(std::size_t count, std::size_t block,
+                   const std::function<void(std::size_t, std::size_t)>& fn);
+
   /// Hardware concurrency with a sane floor (>= 1).
   static std::size_t default_jobs();
 
@@ -67,6 +78,7 @@ class WorkerPool {
   // Batch state, guarded by mu_ except where noted.
   const std::function<void(std::size_t, std::size_t)>* fn_{nullptr};
   std::size_t count_{0};
+  std::size_t block_{1};  // indices claimed per fetch-add
   std::uint64_t generation_{0};  // bumped per batch so workers wake once
   std::size_t busy_{0};          // workers inside the current batch
   bool stop_{false};

@@ -141,6 +141,66 @@ TEST(MemoizedGeneration, MatchesScratchAndHitsOnRepeat) {
   EXPECT_GT(second.hits, 0u);
 }
 
+TEST(MemoizedGeneration, StatsDeltaIsPerPassAndSumsToTotals) {
+  Rng rng(53);
+  const auto topo = net::random_tree(
+      {.num_nodes = 60, .num_layers = 5, .max_children = 4}, rng);
+  const auto traffic = random_traffic(topo, rng);
+  const auto internal =
+      static_cast<std::uint64_t>(topo.internal_bottom_up().size());
+
+  ComposeMemo memo(topo.size(), 1024);
+  auto pass = [&] {
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      generate_interfaces(topo, traffic, dir, 16, 0, &memo, nullptr);
+    }
+  };
+
+  // First pass pair: every internal node misses and inserts; the delta is
+  // exactly that pass, nothing from construction noise.
+  pass();
+  const ComposeCache::Stats d1 = memo.take_stats_delta();
+  EXPECT_EQ(d1.hits, 0u);
+  EXPECT_GT(d1.misses, 0u);
+  EXPECT_EQ(d1.misses, d1.inserts);
+
+  // Identical repeat: the delta must reflect only the repeat (pure valid-
+  // fingerprint hits), not re-report the first pass's misses or inserts.
+  pass();
+  const ComposeCache::Stats d2 = memo.take_stats_delta();
+  EXPECT_EQ(d2.hits, 2 * internal);
+  EXPECT_EQ(d2.misses, 0u);
+  EXPECT_EQ(d2.inserts, 0u);
+  EXPECT_EQ(d2.invalidations, 0u);
+
+  // A topology-swap-style bulk invalidation between publishes lands in
+  // exactly one delta; the re-derivation all hits by content fingerprint.
+  memo.invalidate_all();
+  pass();
+  const ComposeCache::Stats d3 = memo.take_stats_delta();
+  EXPECT_EQ(d3.invalidations, 2 * internal);
+  EXPECT_EQ(d3.hits, 2 * internal);
+  EXPECT_EQ(d3.misses, 0u);
+  EXPECT_EQ(d3.inserts, 0u);
+
+  // Nothing lost, nothing double-counted: the deltas partition the
+  // monotone totals.
+  const ComposeCache::Stats total = memo.cache().stats();
+  EXPECT_EQ(d1.hits + d2.hits + d3.hits, total.hits);
+  EXPECT_EQ(d1.misses + d2.misses + d3.misses, total.misses);
+  EXPECT_EQ(d1.inserts + d2.inserts + d3.inserts, total.inserts);
+  EXPECT_EQ(d1.invalidations + d2.invalidations + d3.invalidations,
+            total.invalidations);
+
+  // A rebuilt memo (fresh cache, fresh baseline) starts from zero instead
+  // of wrapping against a stale external snapshot.
+  ComposeMemo rebuilt(topo.size(), 1024);
+  const ComposeCache::Stats d0 = rebuilt.take_stats_delta();
+  EXPECT_EQ(d0.hits, 0u);
+  EXPECT_EQ(d0.misses, 0u);
+  EXPECT_EQ(d0.inserts, 0u);
+}
+
 TEST(MemoizedGeneration, TinyCacheEvictionStaysCorrect) {
   // A 2-entry cache thrashes constantly; results must stay identical.
   Rng rng(43);

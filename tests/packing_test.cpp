@@ -134,6 +134,121 @@ INSTANTIATE_TEST_SUITE_P(
                       StripCase{120, 16, 16, 1, 9},
                       StripCase{25, 10, 10, 10, 10}));
 
+// ------------------------------------------------ skyline SoA differential
+
+// The SoA kernel (pack_strip_into) and the scalar oracle
+// (pack_strip_reference_into) must agree bit-for-bit: identical heights
+// AND identical placement sequences, not merely equally good packings
+// (docs/KERNELS.md "Bit-identical guarantee"). Sizes straddle the
+// kernel's small-n stack path / arena path split.
+TEST(SkylineDifferential, ReferenceAndSoAProduceIdenticalPlacements) {
+  struct DiffCase {
+    std::size_t n;
+    Dim width;
+    Dim max_w;
+    Dim max_h;
+  };
+  const DiffCase cases[] = {{1, 8, 8, 8},     {2, 8, 8, 8},
+                            {7, 16, 16, 10},  {15, 16, 8, 8},
+                            {16, 12, 6, 6},   {17, 12, 6, 6},
+                            {40, 16, 4, 6},   {100, 32, 10, 3},
+                            {64, 16, 1, 1},   {30, 7, 7, 9},
+                            {200, 199, 40, 4}};
+  PackScratch ref_scratch, soa_scratch;
+  StripResult ref, soa;
+  std::uint64_t seed = 100;
+  for (const auto& c : cases) {
+    for (int rep = 0; rep < 8; ++rep, ++seed) {
+      Rng rng(seed);
+      const auto rects = random_rects(rng, c.n, c.max_w, c.max_h);
+      pack_strip_reference_into(rects, c.width, ref_scratch, ref);
+      pack_strip_into(rects, c.width, soa_scratch, soa);
+      ASSERT_EQ(ref.height, soa.height) << "n=" << c.n << " seed=" << seed;
+      ASSERT_EQ(ref.placements, soa.placements)
+          << "n=" << c.n << " seed=" << seed;
+      ASSERT_EQ(validate_packing(soa.placements, c.width, soa.height, &rects),
+                "");
+    }
+  }
+}
+
+TEST(SkylineDifferential, ScratchReuseMatchesFreshScratch) {
+  // One scratch across runs of wildly varying size — a big run first to
+  // raise the high-water mark, then small ones — must behave exactly like
+  // a fresh scratch every time: reset, not residue.
+  PackScratch reused;
+  StripResult out_reused, out_fresh;
+  std::uint64_t seed = 500;
+  for (const std::size_t n : {std::size_t{100}, std::size_t{3},
+                              std::size_t{25}, std::size_t{1},
+                              std::size_t{17}, std::size_t{60},
+                              std::size_t{2}}) {
+    Rng rng(seed++);
+    const auto rects = random_rects(rng, n, 10, 10);
+    pack_strip_into(rects, 16, reused, out_reused);
+    PackScratch fresh;
+    pack_strip_into(rects, 16, fresh, out_fresh);
+    EXPECT_EQ(out_reused.height, out_fresh.height) << "n=" << n;
+    EXPECT_EQ(out_reused.placements, out_fresh.placements) << "n=" << n;
+  }
+}
+
+TEST(SkylineEdge, EmptyInputResetsReusedResult) {
+  // Prime the scratch and the result with a real run, then pack nothing:
+  // the result object must come back fully reset.
+  PackScratch scratch;
+  StripResult out;
+  const std::vector<Rect> rects{{4, 3, 0}, {2, 2, 1}};
+  pack_strip_into(rects, 8, scratch, out);
+  ASSERT_FALSE(out.placements.empty());
+  pack_strip_into({}, 8, scratch, out);
+  EXPECT_EQ(out.height, 0);
+  EXPECT_TRUE(out.placements.empty());
+}
+
+TEST(SkylineEdge, SingleCellStrip) {
+  PackScratch scratch;
+  StripResult out;
+  const std::vector<Rect> rects{{1, 1, 42}};
+  pack_strip_into(rects, 1, scratch, out);
+  EXPECT_EQ(out.height, 1);
+  ASSERT_EQ(out.placements.size(), 1u);
+  EXPECT_EQ(out.placements[0], (Placement{0, 0, 1, 1, 42}));
+}
+
+TEST(SkylineEdge, FullOccupancyTiling) {
+  // Rects exactly tiling a 6x4 strip: the heuristic reaches zero free
+  // area and the area bound is met with equality.
+  PackScratch scratch;
+  StripResult out;
+  const std::vector<Rect> rects{{6, 1, 0}, {3, 3, 1}, {3, 3, 2}};
+  pack_strip_into(rects, 6, scratch, out);
+  EXPECT_EQ(out.height, 4);
+  EXPECT_EQ(validate_packing(out.placements, 6, out.height, &rects), "");
+  Dim area = 0;
+  for (const auto& p : out.placements) area += p.area();
+  EXPECT_EQ(area, 6 * out.height);
+}
+
+TEST(SkylineEdge, HugeCoordinatesFallBackToReference) {
+  // Inputs whose strip width or stacked height exceed the SoA kernel's
+  // 32-bit lanes: pack_strip_into must silently take the reference path
+  // and still match it exactly.
+  constexpr Dim kBig = Dim{1} << 33;
+  PackScratch s1, s2;
+  StripResult ref, soa;
+  const std::vector<Rect> tall{{1, kBig, 0}, {2, kBig, 1}, {1, kBig, 2}};
+  pack_strip_reference_into(tall, 3, s1, ref);
+  pack_strip_into(tall, 3, s2, soa);
+  EXPECT_EQ(ref.height, soa.height);
+  EXPECT_EQ(ref.placements, soa.placements);
+  const std::vector<Rect> wide{{kBig, 1, 0}, {kBig, 2, 1}};
+  pack_strip_reference_into(wide, kBig, s1, ref);
+  pack_strip_into(wide, kBig, s2, soa);
+  EXPECT_EQ(ref.height, soa.height);
+  EXPECT_EQ(ref.placements, soa.placements);
+}
+
 // --------------------------------------------------------------- maxrects
 
 TEST(MaxRects, RejectsBadContainer) {
