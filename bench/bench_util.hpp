@@ -14,6 +14,7 @@
 #include <cstring>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "obs/obs.hpp"
@@ -222,6 +223,43 @@ inline void print_aggregate(const runner::FleetResult& fleet,
   }
 }
 
+/// Build/run provenance attached to every JSON report under
+/// "provenance" (docs/OBSERVABILITY.md): which source revision, compiler
+/// and build type produced the numbers, and how parallel the run was.
+/// This is what lets scripts/bench_compare.py name exactly what a stale
+/// checked-in baseline was built from, and lets hardware-dependent gates
+/// (fleet shard scaling) calibrate to the machine that produced the
+/// candidate. HARP_GIT_SHA/HARP_BUILD_TYPE are configure-time injections
+/// (bench/CMakeLists.txt) — a rebuild without re-configure can lag; the
+/// trailing "+" marks a tree that was already dirty at configure time.
+inline obs::Json provenance(std::size_t jobs) {
+  obs::Json p;
+#ifdef HARP_GIT_SHA
+  p["git_sha"] = HARP_GIT_SHA;
+#else
+  p["git_sha"] = "unknown";
+#endif
+#if defined(__clang__)
+  p["compiler"] = "clang";
+  p["compiler_version"] = __clang_version__;
+#elif defined(__GNUC__)
+  p["compiler"] = "gcc";
+  p["compiler_version"] = __VERSION__;
+#else
+  p["compiler"] = "unknown";
+  p["compiler_version"] = "unknown";
+#endif
+#ifdef HARP_BUILD_TYPE
+  p["build_type"] = HARP_BUILD_TYPE;
+#else
+  p["build_type"] = "unknown";
+#endif
+  p["jobs"] = static_cast<std::uint64_t>(jobs);
+  p["hw_threads"] =
+      static_cast<std::uint64_t>(std::thread::hardware_concurrency());
+  return p;
+}
+
 /// Assembles and writes the machine-readable result document
 /// (docs/OBSERVABILITY.md "Bench report format"):
 ///   {"schema": "harp-obs/1", "experiment": ..., "results": ...,
@@ -241,6 +279,7 @@ class JsonReport {
       obs::Json doc;
       doc["schema"] = "harp-obs/1";
       doc["experiment"] = experiment_;
+      doc["provenance"] = provenance(args_.jobs);
       doc["results"] = std::move(results_);
       doc["metrics"] = obs::MetricsRegistry::global().to_json();
       write_json(doc);
@@ -268,6 +307,7 @@ class JsonReport {
       obs::Json doc;
       doc["schema"] = "harp-obs/1";
       doc["experiment"] = experiment_;
+      doc["provenance"] = provenance(args_.jobs);
       doc["results"] = std::move(results_);
       obs::Json& meta = doc["fleet"];
       meta["trials"] = static_cast<std::uint64_t>(fleet.trial_results.size());

@@ -23,6 +23,10 @@ selects the check suite:
   perf_bootstrap_scale
     * scale.<N>.fingerprint          — EXACT match per scale (engine-state
                                        fingerprints are seed-determined)
+    * scale.<min N>.speedup_cached   — absolute floor: >= 1.0 (the slim
+                                       memo mode must never make small
+                                       trees slower than scratch —
+                                       docs/PERFORMANCE.md "hot path 5")
     * scale.<max N>.speedup_cached   — absolute floor: >= 1.8
     * scale.<max N>.speedup_parallel — absolute floor: >= 2.5
       (floors recalibrated when the SoA packing/composition rework made
@@ -36,6 +40,25 @@ selects the check suite:
                                        (1 + tol); default tolerance 50%
                                        (sub-ms timings are noisy — the
                                        speedup floors carry the real gate)
+
+  perf_fleet_scale
+    * fleet.tenants_<F>.fingerprint — EXACT match per fleet size. Fleet
+                                      fingerprints fold seed-determined
+                                      engine states, so they are machine-
+                                      independent; the bench itself
+                                      already hard-fails if they differ
+                                      across shard counts.
+    * fleet.tenants_<max F>.scaling_1_to_8 — absolute floor chosen from
+                                      the CANDIDATE's provenance
+                                      hw_threads (>=8 hw: 3.0, >=4: 2.0,
+                                      >=2: 1.2, 1 core: 0.7 — shards
+                                      cannot beat physics, but even on
+                                      one core they must not collapse
+                                      under queueing overhead)
+    * fleet.tenants_<max F>.shards_8.ops_per_sec     — candidate >=
+                                      baseline * (1 - tol); default 30%
+    * fleet.tenants_<max F>.shards_8.tenants_per_sec — candidate >=
+                                      baseline * (1 - tol); default 30%
 
   micro_packing
     * kernels.<name>.checksum  — EXACT match: every kernel digests its
@@ -196,12 +219,48 @@ def bootstrap_scale_checks(report):
         sys.exit(f"{report['_path']}: perf_bootstrap_scale report has no "
                  "results.scale entries")
     checks = [Check(f"scale.{s}.fingerprint", "exact") for s in scales]
+    # Smallest scale: the slim-memo floor. Below the full-machinery
+    # threshold the cache must at worst break even with scratch
+    # regeneration (it used to lose ~10% before the slim mode +
+    # copy-forward rework — docs/PERFORMANCE.md "hot path 5").
+    checks.append(Check(f"scale.{scales[0]}.speedup_cached", "floor",
+                        floor=1.0))
     top = scales[-1]
     checks += [
         Check(f"scale.{top}.speedup_cached", "floor", floor=1.8),
         Check(f"scale.{top}.speedup_parallel", "floor", floor=2.5),
         Check(f"scale.{top}.recompute_scratch_ms", "lower", tol=0.50),
         Check(f"scale.{top}.recompute_cached_ms", "lower", tol=0.50),
+    ]
+    return checks
+
+
+def fleet_scale_checks(base, cand):
+    """Fingerprints are gated at every fleet size; throughput and the
+    shard-scaling floor only at the largest. The scaling floor is keyed
+    off the CANDIDATE's provenance hw_threads: 8 shards need 8 cores to
+    show 3x, and a 1-core runner can only be asked not to collapse."""
+    fleets = sorted(base["results"].get("fleet", {}),
+                    key=lambda k: int(k.split("_")[1]))
+    if not fleets:
+        sys.exit(f"{base['_path']}: perf_fleet_scale report has no "
+                 "results.fleet entries")
+    checks = [Check(f"fleet.{f}.fingerprint", "exact") for f in fleets]
+    hw = (cand.get("provenance") or {}).get("hw_threads") or 1
+    if hw >= 8:
+        floor = 3.0
+    elif hw >= 4:
+        floor = 2.0
+    elif hw >= 2:
+        floor = 1.2
+    else:
+        floor = 0.7
+    print(f"(scaling_1_to_8 floor {floor} for candidate hw_threads={hw})")
+    top = fleets[-1]
+    checks += [
+        Check(f"fleet.{top}.scaling_1_to_8", "floor", floor=floor),
+        Check(f"fleet.{top}.shards_8.ops_per_sec", "higher", tol=0.30),
+        Check(f"fleet.{top}.shards_8.tenants_per_sec", "higher", tol=0.30),
     ]
     return checks
 
@@ -220,7 +279,7 @@ def micro_packing_checks(report):
     return checks
 
 
-def experiment_checks(name, base):
+def experiment_checks(name, base, cand):
     if name == "perf_steady_state":
         return [
             Check("sim.slots_per_sec", "higher"),
@@ -229,11 +288,13 @@ def experiment_checks(name, base):
         ]
     if name == "perf_bootstrap_scale":
         return bootstrap_scale_checks(base)
+    if name == "perf_fleet_scale":
+        return fleet_scale_checks(base, cand)
     if name == "micro_packing":
         return micro_packing_checks(base)
     sys.exit(f"{base['_path']}: no check suite for experiment {name!r} "
              "(known: perf_steady_state, perf_bootstrap_scale, "
-             "micro_packing)")
+             "perf_fleet_scale, micro_packing)")
 
 
 # Reference fields: (reference key, dotted result path).
@@ -252,6 +313,15 @@ def warn_stale_reference(report, warnings):
     reference = report["results"].get("reference")
     if not isinstance(reference, dict):
         return
+    # Name the baseline build the warning is about: since reports carry a
+    # provenance block, "which checkout produced this baseline?" has an
+    # answer better than the file path.
+    prov = report.get("provenance") or {}
+    ident = ", ".join(str(prov[k]) for k in
+                      ("git_sha", "compiler", "compiler_version",
+                       "build_type") if prov.get(k))
+    origin = f"{report['_path']} (baseline build: {ident})" if ident \
+        else report["_path"]
     for ref_key, dotted in REFERENCE_FIELDS:
         ref = reference.get(ref_key)
         cur = metric(report, dotted, required=False)
@@ -260,7 +330,7 @@ def warn_stale_reference(report, warnings):
         ratio = cur / ref
         if ratio > 1.5 or ratio < 1 / 1.5:
             warnings.append(
-                f"{report['_path']}: reference.{ref_key} ({ref:,.0f}) vs "
+                f"{origin}: reference.{ref_key} ({ref:,.0f}) vs "
                 f"checked-in result ({cur:,.0f}) differ {ratio:.2f}x — the "
                 "reference block is stale; refresh it with --ref-sim / "
                 "--ref-adjust-ns (docs/PERFORMANCE.md)")
@@ -301,7 +371,7 @@ def main():
             sys.exit(f"pair mismatch: {base['_path']} is {name!r} but "
                      f"{cand['_path']} is {cand.get('experiment')!r}")
         print(f"== {name}: {base['_path']} vs {cand['_path']} ==")
-        for check in experiment_checks(name, base):
+        for check in experiment_checks(name, base, cand):
             tol = overrides.get(
                 check.dotted,
                 check.tol if check.tol is not None else default_tol)

@@ -5,12 +5,18 @@ Usage:
     check_obs_schema.py report.json [trace.jsonl ...]
 
 For each `--json` report: verifies the harp-obs/1 envelope and that every
-metric name in the snapshot is documented. Reports produced by the
-experiment-fleet runner (docs/RUNNER.md) additionally carry `fleet`,
-`trials` and `aggregate` sections; when present these are validated too
-(fleet run parameters, fingerprint format, per-path summary statistics).
+metric name in the snapshot is documented. The `provenance` block every
+bench report carries (git SHA, compiler, build type, job counts —
+docs/OBSERVABILITY.md "Report provenance") is validated for required keys
+and types. Reports produced by the experiment-fleet runner
+(docs/RUNNER.md) additionally carry `fleet`, `trials` and `aggregate`
+sections; when present these are validated too (fleet run parameters,
+fingerprint format, per-path summary statistics).
 A `results.compose_cache` section (benches driving the subtree-interface
 memoization) is validated for counter types and hit-rate range.
+perf_fleet_scale reports (the multi-tenant control plane,
+docs/FLEET.md) get their `results.fleet` ladder checked: per-size
+fingerprint format, per-shard-config consistency and throughput fields.
 For each `.jsonl` trace: verifies every line parses, every event type is
 documented, and any `trial` shard tag is a non-negative integer. Exits
 non-zero listing anything undocumented, so the doc and the code cannot
@@ -62,6 +68,78 @@ def check_compose_cache(path, section, problems):
                         f"'{key}'")
 
 
+PROVENANCE_STR_KEYS = ("git_sha", "compiler", "compiler_version",
+                       "build_type")
+PROVENANCE_INT_KEYS = ("jobs", "hw_threads")
+
+
+def check_provenance(path, prov, problems):
+    """Validates a report's provenance block: which checkout, compiler and
+    build type produced the numbers. Required so a checked-in baseline is
+    never ambiguous about its origin (bench_compare.py names these fields
+    in its stale-reference warnings)."""
+    for key in PROVENANCE_STR_KEYS:
+        value = prov.get(key)
+        if not (isinstance(value, str) and value):
+            problems.append(f"{path}: provenance.{key} is {value!r}, "
+                            "expected a non-empty string")
+    for key in PROVENANCE_INT_KEYS:
+        value = prov.get(key)
+        if not (isinstance(value, int) and not isinstance(value, bool)
+                and value >= 0):
+            problems.append(f"{path}: provenance.{key} is {value!r}, "
+                            "expected a non-negative integer")
+    unknown = set(prov) - set(PROVENANCE_STR_KEYS) - set(PROVENANCE_INT_KEYS)
+    for key in sorted(unknown):
+        problems.append(f"{path}: provenance has undocumented key '{key}'")
+
+
+FLEET_SCALE_RATE_KEYS = ("tenants_per_sec", "ops_per_sec")
+
+
+def check_fleet_scale(path, section, problems):
+    """Validates a perf_fleet_scale results.fleet ladder (docs/FLEET.md):
+    every tenants_<F> entry carries a well-formed fingerprint, each
+    shards_<S> config repeats it exactly (shard-count invariance is part
+    of the report, not just the bench's internal assertion) and reports
+    positive throughput numbers."""
+    if not section:
+        problems.append(f"{path}: perf_fleet_scale report has no "
+                        "results.fleet entries")
+    for size_key, entry in sorted(section.items()):
+        if not re.fullmatch(r"tenants_\d+", size_key):
+            problems.append(f"{path}: results.fleet key '{size_key}' does "
+                            "not match tenants_<F>")
+            continue
+        fingerprint = entry.get("fingerprint", "")
+        if not re.fullmatch(r"[0-9a-f]{16}", str(fingerprint)):
+            problems.append(f"{path}: fleet.{size_key}.fingerprint "
+                            f"{fingerprint!r} is not 16 lowercase hex "
+                            "digits")
+        configs = [k for k in entry if re.fullmatch(r"shards_\d+", k)]
+        if len(configs) < 2:
+            problems.append(f"{path}: fleet.{size_key} has {len(configs)} "
+                            "shards_<S> configs, expected at least 2")
+        for cfg_key in sorted(configs):
+            cfg = entry[cfg_key]
+            if cfg.get("fingerprint") != fingerprint:
+                problems.append(
+                    f"{path}: fleet.{size_key}.{cfg_key}.fingerprint "
+                    f"{cfg.get('fingerprint')!r} differs from the size's "
+                    f"fingerprint {fingerprint!r} (shard-count invariance)")
+            for rate in FLEET_SCALE_RATE_KEYS:
+                value = cfg.get(rate)
+                if not (isinstance(value, (int, float))
+                        and not isinstance(value, bool) and value > 0):
+                    problems.append(
+                        f"{path}: fleet.{size_key}.{cfg_key}.{rate} is "
+                        f"{value!r}, expected a positive number")
+        if not isinstance(entry.get("scaling_1_to_8"), (int, float)):
+            problems.append(f"{path}: fleet.{size_key}.scaling_1_to_8 is "
+                            f"{entry.get('scaling_1_to_8')!r}, expected a "
+                            "number")
+
+
 def check_fleet(path, report, problems):
     """Validates the fleet sections (docs/RUNNER.md 'Fleet report')."""
     fleet = report["fleet"]
@@ -101,8 +179,20 @@ def check_report(path, metrics_doc, problems):
     if report.get("schema") != "harp-obs/1":
         problems.append(f"{path}: schema is {report.get('schema')!r}, "
                         "expected 'harp-obs/1'")
+    if "provenance" in report:
+        if isinstance(report["provenance"], dict):
+            check_provenance(path, report["provenance"], problems)
+        else:
+            problems.append(f"{path}: provenance is not an object")
     if "fleet" in report:
         check_fleet(path, report, problems)
+    if report.get("experiment") == "perf_fleet_scale":
+        fleet_scale = report.get("results", {}).get("fleet")
+        if isinstance(fleet_scale, dict):
+            check_fleet_scale(path, fleet_scale, problems)
+        else:
+            problems.append(f"{path}: perf_fleet_scale report has no "
+                            "results.fleet object")
     compose_cache = report.get("results", {}).get("compose_cache")
     if isinstance(compose_cache, dict):
         check_compose_cache(path, compose_cache, problems)

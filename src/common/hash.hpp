@@ -1,0 +1,39 @@
+// FNV-1a 64-bit — the repo's cross-machine stable digest primitive.
+//
+// Every determinism oracle that must compare across processes, machines
+// and thread counts (engine state fingerprints, experiment-fleet result
+// digests, the multi-tenant fleet fingerprint) hashes integers through
+// this one function, so a digest printed by a bench baseline matches a
+// digest computed anywhere else. Header-only and dependency-free on
+// purpose: both the lowest layers (src/harp) and the orchestration layers
+// (src/runner, src/fleet) fold into it without linking each other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace harp {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+
+/// One FNV-1a absorption of `n` bytes into running state `h` (seed with
+/// kFnvOffset). Byte-order sensitive: callers hash fixed-width integers,
+/// which the repo only compares between little-endian hosts — the same
+/// contract HarpEngine::state_fingerprint has always had.
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data,
+                           std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Convenience absorption of one trivially-copyable value.
+template <typename T>
+inline std::uint64_t fnv1a_value(std::uint64_t h, const T& v) {
+  return fnv1a(h, &v, sizeof v);
+}
+
+}  // namespace harp

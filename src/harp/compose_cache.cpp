@@ -87,7 +87,22 @@ void ComposeMemo::invalidate_chain(const net::Topology& topo, Direction dir,
 }
 
 bool ComposeMemo::begin_pass(const net::Topology& topo, Direction dir,
-                             int num_channels, int own_slack) {
+                             int num_channels, int own_slack, bool slim) {
+  const int d = static_cast<int>(dir);
+  if (!slim && fp_stale_[d]) {
+    // Slim passes refreshed content without refreshing fingerprints; a
+    // full pass must not mix those stale fingerprints into parent cache
+    // keys. Drop the bits so every fingerprint is recomputed bottom-up.
+    std::vector<std::uint8_t>& v = valid_[d];
+    std::uint64_t count = 0;
+    for (std::uint8_t& b : v) {
+      count += b;
+      b = 0;
+    }
+    if (count > 0) cache_.note_invalidations(count);
+    fp_stale_[d] = false;
+  }
+  if (slim) fp_stale_[d] = true;
   PassKey& key = key_[static_cast<int>(dir)];
   if (key.set && key.num_channels == num_channels &&
       key.own_slack == own_slack) {

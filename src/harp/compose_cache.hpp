@@ -134,10 +134,30 @@ class ComposeCache {
 /// attached leaves that later gain children).
 class ComposeMemo {
  public:
+  /// Below this many topology nodes a generation pass runs in SLIM mode:
+  /// the validity-bit fast path still skips every unchanged subtree, but
+  /// stale nodes are re-derived directly — no fingerprinting, no
+  /// mutex-guarded content-cache find/insert, no per-node shared_ptr
+  /// allocation (the serial interface pool stays usable). On small trees
+  /// the content cache's bookkeeping costs more than the derivations it
+  /// saves (the 220-node speedup_cached regression in
+  /// BENCH_bootstrap_scale.json); slim mode keeps the incremental win and
+  /// drops the bookkeeping. Results are bit-identical in every mode.
+  static constexpr std::size_t kDefaultFullThreshold = 512;
+
   ComposeMemo(std::size_t num_nodes, std::size_t max_entries);
 
   /// Grows the arrays for newly attached nodes (stale until generated).
   void resize(std::size_t num_nodes);
+
+  /// Whether a pass over `num_nodes` topology nodes should run slim.
+  bool slim_pass(std::size_t num_nodes) const {
+    return num_nodes < full_threshold_;
+  }
+  /// Adjusts the slim/full cutover (0 = always full, benches and tests
+  /// that pin content-cache semantics; SIZE_MAX = always slim).
+  void set_full_threshold(std::size_t nodes) { full_threshold_ = nodes; }
+  std::size_t full_threshold() const { return full_threshold_; }
 
   /// Marks `node` and every ancestor up to the gateway stale in `dir`.
   void invalidate_chain(const net::Topology& topo, Direction dir, NodeId node);
@@ -151,8 +171,17 @@ class ComposeMemo {
   /// previous pass in this direction (or this is the first one): the
   /// caller must then scrub interface remnants off nodes that have become
   /// leaves — the hot loop no longer visits leaves at all.
+  ///
+  /// `slim` declares how the caller will run this pass. Slim passes
+  /// re-derive stale nodes without refreshing their subtree fingerprints,
+  /// so the first FULL pass after any slim pass drops every validity bit
+  /// in the direction: a full pass trusting slim-era bits would compose
+  /// parent cache keys from fingerprints describing content that no
+  /// longer exists (and could resurrect a stale cache entry). Clearing
+  /// the bits forces one scratch-speed rederivation that rebuilds every
+  /// fingerprint bottom-up — sound, and paid at most once per cutover.
   bool begin_pass(const net::Topology& topo, Direction dir, int num_channels,
-                  int own_slack);
+                  int own_slack, bool slim = false);
 
   ComposeCache& cache() { return cache_; }
   const ComposeCache& cache() const { return cache_; }
@@ -197,6 +226,11 @@ class ComposeMemo {
   };
   PassKey key_[2];
   ComposeCache::Stats stats_base_{};  // anchor of take_stats_delta()
+  std::size_t full_threshold_{kDefaultFullThreshold};
+  /// Set while the direction's fingerprints lag behind its content
+  /// (some pass since the last full one ran slim); cleared by the next
+  /// full begin_pass after it drops the validity bits.
+  bool fp_stale_[2]{false, false};
 };
 
 }  // namespace harp::core

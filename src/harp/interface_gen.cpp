@@ -192,10 +192,15 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
   std::vector<std::uint64_t>* fp = nullptr;
   std::vector<std::uint8_t>* valid = nullptr;
   ComposeCache* cache = nullptr;
+  // Small trees run the memo in SLIM mode: validity bits still skip every
+  // unchanged subtree, but stale nodes skip the fingerprint/content-cache
+  // machinery whose bookkeeping costs more than it saves below the
+  // threshold (ComposeMemo::kDefaultFullThreshold).
+  const bool slim = memo != nullptr && memo->slim_pass(topo.size());
   if (memo != nullptr) {
     memo->resize(topo.size());
     const bool structure_changed =
-        memo->begin_pass(topo, dir, num_channels, own_slack);
+        memo->begin_pass(topo, dir, num_channels, own_slack, slim);
     fp = &memo->fingerprints(dir);
     valid = &memo->valid(dir);
     cache = &memo->cache();
@@ -224,12 +229,13 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
   }
 
   // From-scratch serial passes allocate all their interfaces in one block
-  // (see InterfacePool above). Memoized passes cannot: the compose cache
-  // would keep whole pools alive through single entries, and parallel
-  // workers would race on the fill cursor.
+  // (see InterfacePool above). Fully memoized passes cannot: the compose
+  // cache would keep whole pools alive through single entries. Slim passes
+  // can — nothing they derive reaches the cache — and parallel workers
+  // never can (they would race on the fill cursor).
   InterfacePool pool_storage;
   InterfacePool* ipool = nullptr;
-  if (memo == nullptr && (pool == nullptr || pool->jobs() <= 1)) {
+  if ((memo == nullptr || slim) && (pool == nullptr || pool->jobs() <= 1)) {
     const std::size_t internal = topo.internal_bottom_up().size();
     if (internal > 0) {
       pool_storage.block =
@@ -249,20 +255,40 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
     if (memo != nullptr) {
       if ((*valid)[node] != 0) {
         // Still valid: the last result's content for this subtree IS the
-        // from-scratch derivation. Nothing to do.
+        // from-scratch derivation.
         ++fast_hits;
+        if (slim && ipool != nullptr) {
+          // Copy-forward into the pass block. Leaving the entry aliased
+          // into an older pass's block would scatter the children of
+          // every stale parent across however many blocks past passes
+          // left alive — and the gather walk's reads dominate small-tree
+          // derivation. A flat copy is far cheaper than the derivation it
+          // replaces, keeps exactly one block live per direction, and
+          // restores the adjacent-children layout the pool exists for.
+          if (const InterfaceSet::NodeInterface* ni = ifs.peek(node)) {
+            InterfaceSet::NodeInterface* slot = &ipool->block[ipool->next];
+            *slot = *ni;
+            ifs.set_node_interface(
+                node,
+                std::shared_ptr<InterfaceSet::NodeInterface>(ipool->block,
+                                                             slot));
+            ++ipool->next;
+          }
+        }
         return;
       }
-      (*fp)[node] = subtree_fingerprint(topo, traffic, dir, num_channels,
-                                        own_slack, node, *fp);
-      if (std::shared_ptr<const ComposeCache::Entry> entry =
-              cache->find((*fp)[node])) {
-        ifs.set_node_interface(node, std::move(entry));
-        // Validity is set only once the content is in place, so an
-        // exception mid-pass can never leave a valid bit without its
-        // interface behind it.
-        (*valid)[node] = 1;
-        return;
+      if (!slim) {
+        (*fp)[node] = subtree_fingerprint(topo, traffic, dir, num_channels,
+                                          own_slack, node, *fp);
+        if (std::shared_ptr<const ComposeCache::Entry> entry =
+                cache->find((*fp)[node])) {
+          ifs.set_node_interface(node, std::move(entry));
+          // Validity is set only once the content is in place, so an
+          // exception mid-pass can never leave a valid bit without its
+          // interface behind it.
+          (*valid)[node] = 1;
+          return;
+        }
       }
       // Derive from a clean slate so no layer of the stale snapshot
       // survives (the snapshot itself stays intact for its other owners).
@@ -271,7 +297,7 @@ InterfaceSet generate_interfaces(const net::Topology& topo,
     derive_interface(topo, traffic, dir, num_channels, own_slack, node, ifs,
                      ipool);
     if (memo != nullptr) {
-      cache->insert((*fp)[node], ifs.node_interface(node));
+      if (!slim) cache->insert((*fp)[node], ifs.node_interface(node));
       (*valid)[node] = 1;
     }
   };

@@ -7,16 +7,6 @@
 #include "runner/pool.hpp"
 
 namespace harp::runner {
-
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  for (std::size_t i = 0; i < n; ++i) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 namespace {
 
 std::uint64_t hash_string(std::uint64_t h, const std::string& s) {

@@ -18,6 +18,7 @@
 #include <ostream>
 #include <vector>
 
+#include "common/hash.hpp"
 #include "obs/context.hpp"
 #include "obs/json.hpp"
 #include "runner/plan.hpp"
@@ -70,8 +71,9 @@ struct FleetResult {
 FleetResult run_fleet(const TrialPlan& plan, const FleetOptions& opts,
                       const TrialFn& fn);
 
-/// FNV-1a 64-bit over a byte string (exposed for tests).
-std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n);
-constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+/// FNV-1a 64-bit over a byte string — now shared repo-wide from
+/// common/hash.hpp; re-exported here for existing callers.
+using harp::fnv1a;
+using harp::kFnvOffset;
 
 }  // namespace harp::runner

@@ -116,6 +116,7 @@ TEST(MemoizedGeneration, MatchesScratchAndHitsOnRepeat) {
   const auto traffic = random_traffic(topo, rng);
 
   ComposeMemo memo(topo.size(), 1024);
+  memo.set_full_threshold(0);  // pin FULL-mode content-cache semantics
   for (Direction dir : {Direction::kUp, Direction::kDown}) {
     const InterfaceSet scratch =
         generate_interfaces(topo, traffic, dir, 16, 1);
@@ -150,6 +151,7 @@ TEST(MemoizedGeneration, StatsDeltaIsPerPassAndSumsToTotals) {
       static_cast<std::uint64_t>(topo.internal_bottom_up().size());
 
   ComposeMemo memo(topo.size(), 1024);
+  memo.set_full_threshold(0);  // pin FULL-mode content-cache semantics
   auto pass = [&] {
     for (Direction dir : {Direction::kUp, Direction::kDown}) {
       generate_interfaces(topo, traffic, dir, 16, 0, &memo, nullptr);
@@ -207,6 +209,7 @@ TEST(MemoizedGeneration, TinyCacheEvictionStaysCorrect) {
   const auto topo = net::random_tree(
       {.num_nodes = 40, .num_layers = 5, .max_children = 4}, rng);
   ComposeMemo memo(topo.size(), /*max_entries=*/2);
+  memo.set_full_threshold(0);  // eviction only exists in FULL mode
   for (int round = 0; round < 10; ++round) {
     const auto traffic = random_traffic(topo, rng);
     memo.invalidate_all();
@@ -238,6 +241,104 @@ TEST(MemoizedGeneration, ParallelMatchesSerialForAnyJobs) {
           generate_interfaces(topo, traffic, dir, 16, 1, &memo, &pool);
       EXPECT_TRUE(serial == both) << "memo + jobs " << jobs;
     }
+  }
+}
+
+TEST(MemoizedGeneration, SlimModeMatchesScratchWithoutCacheTraffic) {
+  Rng rng(59);
+  const auto topo = net::random_tree(
+      {.num_nodes = 80, .num_layers = 6, .max_children = 4}, rng);
+
+  // Default threshold: an 80-node tree runs slim — stale nodes re-derive
+  // directly and the content cache never sees a find or insert.
+  ComposeMemo memo(topo.size(), 1024);
+  ASSERT_TRUE(memo.slim_pass(topo.size()));
+  auto traffic = random_traffic(topo, rng);
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    const InterfaceSet scratch = generate_interfaces(topo, traffic, dir, 16, 1);
+    const InterfaceSet slim =
+        generate_interfaces(topo, traffic, dir, 16, 1, &memo, nullptr);
+    EXPECT_TRUE(scratch == slim);
+  }
+  const ComposeCache::Stats first = memo.take_stats_delta();
+  EXPECT_EQ(first.misses, 0u);
+  EXPECT_EQ(first.inserts, 0u);
+  EXPECT_EQ(memo.cache().size(), 0u);
+
+  // Unchanged repeat: pure validity-bit fast hits, still no cache traffic.
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    const InterfaceSet scratch = generate_interfaces(topo, traffic, dir, 16, 1);
+    const InterfaceSet slim =
+        generate_interfaces(topo, traffic, dir, 16, 1, &memo, nullptr);
+    EXPECT_TRUE(scratch == slim);
+  }
+  const ComposeCache::Stats second = memo.take_stats_delta();
+  EXPECT_GT(second.hits, 0u);
+  EXPECT_EQ(second.misses, 0u);
+  EXPECT_EQ(second.inserts, 0u);
+
+  // Localized churn: only the touched chain re-derives; still scratch-equal.
+  const NodeId leaf = static_cast<NodeId>(topo.size() - 1);
+  traffic.set_demand(leaf, Direction::kUp, 3);
+  memo.invalidate_chain(topo, Direction::kUp, topo.parent(leaf));
+  const InterfaceSet scratch =
+      generate_interfaces(topo, traffic, Direction::kUp, 16, 1);
+  const InterfaceSet slim =
+      generate_interfaces(topo, traffic, Direction::kUp, 16, 1, &memo, nullptr);
+  EXPECT_TRUE(scratch == slim);
+  EXPECT_EQ(memo.cache().size(), 0u);
+}
+
+TEST(MemoizedGeneration, SlimToFullCutoverStaysSoundUnderChurn) {
+  // Slim passes refresh content without refreshing fingerprints; the first
+  // full pass afterwards must drop every validity bit or it would compose
+  // parent cache keys from fingerprints of content that no longer exists.
+  Rng rng(61);
+  const auto topo = net::random_tree(
+      {.num_nodes = 80, .num_layers = 6, .max_children = 4}, rng);
+  const auto internal =
+      static_cast<std::uint64_t>(topo.internal_bottom_up().size());
+  auto traffic = random_traffic(topo, rng);
+  ComposeMemo memo(topo.size(), 1024);
+
+  auto churn = [&] {
+    for (int i = 0; i < 4; ++i) {
+      const NodeId v = 1 + static_cast<NodeId>(rng.below(topo.size() - 1));
+      const Direction dir = (rng.below(2) == 0) ? Direction::kUp
+                                                : Direction::kDown;
+      traffic.set_demand(v, dir, static_cast<int>(rng.below(4)));
+      memo.invalidate_chain(topo, dir, topo.parent(v));
+    }
+  };
+  auto expect_matches_scratch = [&](const char* label) {
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      const InterfaceSet scratch =
+          generate_interfaces(topo, traffic, dir, 16, 1);
+      const InterfaceSet memoized =
+          generate_interfaces(topo, traffic, dir, 16, 1, &memo, nullptr);
+      EXPECT_TRUE(scratch == memoized) << label;
+    }
+  };
+
+  for (int round = 0; round < 6; ++round) {
+    // Full passes populate the content cache under current fingerprints.
+    memo.set_full_threshold(0);
+    expect_matches_scratch("full");
+    // Slim passes drift content while the fingerprints go stale.
+    memo.set_full_threshold(topo.size() + 1);
+    churn();
+    expect_matches_scratch("slim");
+    churn();
+    expect_matches_scratch("slim2");
+    // Cutover back to full: every validity bit must drop, so the whole
+    // tree goes back through the content cache (hit or miss — never a
+    // validity-bit fast skip over a stale fingerprint).
+    memo.set_full_threshold(0);
+    memo.take_stats_delta();
+    expect_matches_scratch("cutover");
+    const ComposeCache::Stats d = memo.take_stats_delta();
+    EXPECT_GE(d.invalidations, 2 * internal) << "round " << round;
+    EXPECT_EQ(d.hits + d.misses, 2 * internal) << "round " << round;
   }
 }
 
