@@ -129,7 +129,7 @@ Workload make_workload(std::size_t num_nodes) {
   }
   std::fprintf(stderr, "no feasible slotframe found for %zu nodes\n",
                num_nodes);
-  std::exit(1);
+  std::exit(1);  // NOLINT(concurrency-mt-unsafe) pre-thread abort
 }
 
 std::vector<ChurnOp> churn_batch(const net::Topology& topo, Rng& rng) {
@@ -163,7 +163,7 @@ void check_fingerprints(
                    "FINGERPRINT DIVERGENCE (%s, %zu nodes): %s vs %s\n", when,
                    nodes, fp_hex(want).c_str(),
                    fp_hex(e->state_fingerprint()).c_str());
-      std::exit(1);
+      std::exit(1);  // NOLINT(concurrency-mt-unsafe) pre-thread abort
     }
   }
 }

@@ -83,7 +83,7 @@ Variant make_variant(std::uint64_t seed_index) {
   }
   std::fprintf(stderr, "no feasible slotframe for variant %llu\n",
                static_cast<unsigned long long>(seed_index));
-  std::exit(1);
+  std::exit(1);  // NOLINT(concurrency-mt-unsafe) pre-thread abort
 }
 
 /// The churn ops of one tenant in one round. Pure function of

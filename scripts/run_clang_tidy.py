@@ -9,8 +9,9 @@ see CMAKE_EXPORT_COMPILE_COMMANDS in the top-level CMakeLists.txt),
 filters it to first-party translation units (src/, tests/, bench/,
 examples/ — third-party and generated code are skipped), and runs
 clang-tidy with the checked-in .clang-tidy profile. Findings print in
-compiler format; the exit status is non-zero if any file produced one, so
-CI can gate on it directly.
+compiler format as they arrive, followed by a per-file failure summary
+(path + finding count, worst first); the exit status is non-zero if any
+file produced one, so CI can gate on it directly.
 
 Positional paths restrict the run (substring match against the TU path),
 e.g. `run_clang_tidy.py src/harp` while iterating on one subsystem.
@@ -83,11 +84,16 @@ def main() -> int:
         cmd.append("--fix")
         args.jobs = 1  # concurrent fixes to shared headers corrupt files
 
-    failed = 0
+    root = os.path.dirname(os.path.abspath(args.build_dir))
+    failures: list[tuple[str, int]] = []
 
     def run_one(path: str) -> tuple[str, int, str]:
         proc = subprocess.run(cmd + [path], capture_output=True, text=True)
         return path, proc.returncode, proc.stdout + proc.stderr
+
+    def finding_count(output: str) -> int:
+        return sum(1 for line in output.splitlines()
+                   if " warning: " in line or " error: " in line)
 
     print(f"clang-tidy ({tidy}): {len(files)} translation units, "
           f"{args.jobs} jobs", file=sys.stderr)
@@ -95,11 +101,17 @@ def main() -> int:
         for path, code, output in pool.map(run_one, files):
             # clang-tidy exits non-zero when WarningsAsErrors matched.
             if code != 0 or "error:" in output or "warning:" in output:
-                failed += 1
+                failures.append((os.path.relpath(path, start=root),
+                                 finding_count(output)))
                 sys.stdout.write(output)
-    print(f"clang-tidy: {failed} of {len(files)} files with findings",
+    if failures:
+        print("\nclang-tidy failure summary (findings per file):",
+              file=sys.stderr)
+        for path, count in sorted(failures, key=lambda f: (-f[1], f[0])):
+            print(f"  {count:4d}  {path}", file=sys.stderr)
+    print(f"clang-tidy: {len(failures)} of {len(files)} files with findings",
           file=sys.stderr)
-    return 1 if failed else 0
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,86 @@
+// Portable Clang Thread Safety Analysis macros (docs/STATIC_ANALYSIS.md
+// "Concurrency analysis").
+//
+// Wraps Clang's capability attributes so concurrent classes can state
+// their locking discipline in the type system: which mutex guards which
+// field (HARP_GUARDED_BY), which locks a method needs on entry
+// (HARP_REQUIRES), acquires (HARP_ACQUIRE) or must not hold
+// (HARP_EXCLUDES). Clang's `-Wthread-safety` then proves every access
+// site against those contracts at compile time — the `thread-safety` CI
+// leg builds the whole tree with the analysis promoted to an error.
+//
+// On compilers without the attributes (GCC builds, MSVC) every macro
+// expands to nothing, so the annotations are free documentation there.
+// The vocabulary and spellings follow the Clang documentation
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); only the
+// HARP_ prefix is local.
+//
+// Annotation conventions for this repo:
+//   * every field shared between threads is either HARP_GUARDED_BY a
+//     `harp::Mutex`, an atomic, or has its single-owner access rule
+//     documented at the declaration (e.g. fleet shard engines, obs
+//     contexts);
+//   * raw `std::mutex`/`std::condition_variable`/`std::thread` outside
+//     src/common are banned by `scripts/harp_lint.py` — concurrent code
+//     uses the annotated wrappers in common/sync.hpp.
+#pragma once
+
+#if defined(__clang__)
+#define HARP_THREAD_ANNOTATION_ATTRIBUTE(x) __attribute__((x))
+#else
+#define HARP_THREAD_ANNOTATION_ATTRIBUTE(x)  // no-op off Clang
+#endif
+
+/// Marks a class as a capability ("mutex" in diagnostics).
+#define HARP_CAPABILITY(x) HARP_THREAD_ANNOTATION_ATTRIBUTE(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor
+/// releases a capability (harp::MutexLock).
+#define HARP_SCOPED_CAPABILITY \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(scoped_lockable)
+
+/// Declares that a field/variable may only be accessed while holding the
+/// given capability.
+#define HARP_GUARDED_BY(x) HARP_THREAD_ANNOTATION_ATTRIBUTE(guarded_by(x))
+
+/// Declares that the pointed-to data (not the pointer itself) is guarded.
+#define HARP_PT_GUARDED_BY(x) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(pt_guarded_by(x))
+
+/// Declares that a function may only be called while holding the given
+/// capabilities (checked at every call site).
+#define HARP_REQUIRES(...) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the given capabilities (held by the
+/// caller after it returns).
+#define HARP_ACQUIRE(...) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the given capabilities.
+#define HARP_RELEASE(...) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(release_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability iff it returns the
+/// given value (try-lock shapes).
+#define HARP_TRY_ACQUIRE(...) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the given capabilities
+/// (documents self-deadlock-free entry points).
+#define HARP_EXCLUDES(...) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define HARP_RETURN_CAPABILITY(x) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(lock_returned(x))
+
+/// Tells the analysis to assume the capability is held from here on
+/// (for happens-before edges it cannot see, e.g. post-quiesce reads).
+#define HARP_ASSERT_CAPABILITY(x) \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Opts one function out of the analysis entirely. Use only with a
+/// comment explaining the external synchronization that makes it sound.
+#define HARP_NO_THREAD_SAFETY_ANALYSIS \
+  HARP_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)

@@ -1,15 +1,14 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
-#include <condition_variable>
 #include <deque>
-#include <mutex>
-#include <thread>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/context.hpp"
 
 namespace harp::fleet {
@@ -66,11 +65,13 @@ constexpr std::uint64_t kDeadTenantTag = 0x4841525044454144ULL;
 }  // namespace
 
 /// One shard: a worker thread, its op queue, and the engines pinned to
-/// it. The mutex guards only the queue and the progress counters; engines
+/// it. The mutex guards only the queue and the progress counters (stated
+/// per field below, enforced by Clang thread-safety analysis); engines
 /// and the obs context are touched exclusively by the shard thread while
 /// work is in flight, and by the control thread only between quiesce()
 /// and the next enqueue (the wait handshake under `mu` gives that read
-/// its happens-before edge).
+/// its happens-before edge — a contract the analysis cannot see, so
+/// those two fields are deliberately unannotated and documented instead).
 struct Fleet::Shard {
   struct Task {
     enum class Kind { kBootstrap, kOp, kTeardown };
@@ -80,23 +81,23 @@ struct Fleet::Shard {
     Op op;                             ///< kOp only
   };
 
-  std::mutex mu;
-  std::condition_variable work_cv;  ///< control -> worker: queue non-empty
-  std::condition_variable idle_cv;  ///< worker -> control: progress
-  std::deque<Task> queue;
-  bool stop{false};
-  std::uint64_t enqueued{0};
-  std::uint64_t executed{0};
+  Mutex mu{LockRank::kFleetShard, "fleet.Shard.mu"};
+  CondVar work_cv;  ///< control -> worker: queue non-empty
+  CondVar idle_cv;  ///< worker -> control: progress
+  std::deque<Task> queue HARP_GUARDED_BY(mu);
+  bool stop HARP_GUARDED_BY(mu){false};
+  std::uint64_t enqueued HARP_GUARDED_BY(mu){0};
+  std::uint64_t executed HARP_GUARDED_BY(mu){0};
 
-  /// Shard-thread state (see class comment for the access contract).
+  /// Shard-thread state (see struct comment for the access contract).
   std::unordered_map<TenantId, std::unique_ptr<core::HarpEngine>> engines;
   obs::Context ctx;
 
-  std::thread thread;
+  Thread thread;
 
-  void enqueue(Task task) {
+  void enqueue(Task task) HARP_EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       queue.push_back(std::move(task));
       ++enqueued;
     }
@@ -112,7 +113,7 @@ Fleet::Fleet(const Options& options)
   for (std::size_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
     Shard* s = shard.get();
-    s->thread = std::thread(
+    s->thread = Thread(
         [s, quota = limits_.tenant_node_quota] { shard_main(*s, quota); });
     shards_.push_back(std::move(shard));
   }
@@ -121,7 +122,7 @@ Fleet::Fleet(const Options& options)
 Fleet::~Fleet() {
   for (auto& shard : shards_) {
     {
-      std::lock_guard<std::mutex> lock(shard->mu);
+      MutexLock lock(shard->mu);
       shard->stop = true;
     }
     shard->work_cv.notify_one();
@@ -224,9 +225,8 @@ bool Fleet::submit(TenantId id, const Op& op) {
 
 void Fleet::quiesce() {
   for (auto& shard : shards_) {
-    std::unique_lock<std::mutex> lock(shard->mu);
-    shard->idle_cv.wait(lock,
-                        [&] { return shard->executed == shard->enqueued; });
+    MutexLock lock(shard->mu);
+    while (shard->executed != shard->enqueued) shard->idle_cv.wait(shard->mu);
   }
 }
 
@@ -276,7 +276,7 @@ FleetStats Fleet::stats() const {
     if (live_[i]) ++s.shard_tenants[tenants_[i].shard];
   }
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mu);
+    MutexLock lock(shard->mu);
     s.ops_executed += shard->executed;
   }
   return s;
@@ -354,9 +354,8 @@ void Fleet::shard_main(Shard& shard, std::size_t tenant_node_quota) {
   std::deque<Shard::Task> batch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(shard.mu);
-      shard.work_cv.wait(lock,
-                         [&] { return shard.stop || !shard.queue.empty(); });
+      MutexLock lock(shard.mu);
+      while (!shard.stop && shard.queue.empty()) shard.work_cv.wait(shard.mu);
       if (shard.queue.empty()) return;  // stop requested and drained
       batch.swap(shard.queue);
     }
@@ -365,7 +364,7 @@ void Fleet::shard_main(Shard& shard, std::size_t tenant_node_quota) {
     obs.op_batches->inc();
     for (Shard::Task& task : batch) execute(task);
     {
-      std::lock_guard<std::mutex> lock(shard.mu);
+      MutexLock lock(shard.mu);
       shard.executed += batch.size();
     }
     shard.idle_cv.notify_all();

@@ -29,6 +29,10 @@
 //     establishes the happens-before edge that makes reading engine state
 //     (fleet_fingerprint, merged_metrics, stats) safe from the control
 //     thread until the next create/submit/destroy.
+//   - Mechanically: each shard owns one harp::Mutex (rank kFleetShard)
+//     guarding only its queue and progress counters; the guarded fields
+//     carry thread-safety annotations checked by Clang
+//     (docs/STATIC_ANALYSIS.md "Concurrency analysis").
 //
 // Observability: each shard thread runs under its own obs::Context, so
 // engine counters (`harp.engine.*`, `harp.compose_cache.*`) and the

@@ -11,7 +11,7 @@ std::shared_ptr<const ComposeCache::Entry> ComposeCache::find(
     std::uint64_t key) const {
   std::shared_ptr<const Entry> entry;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = map_.find(key);
     if (it != map_.end()) entry = it->second;
   }
@@ -25,7 +25,7 @@ std::shared_ptr<const ComposeCache::Entry> ComposeCache::find(
 
 void ComposeCache::insert(std::uint64_t key,
                           std::shared_ptr<const Entry> entry) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (map_.size() >= max_entries_ && !map_.contains(key)) {
     map_.clear();
     evictions_.fetch_add(1, std::memory_order_relaxed);
@@ -44,12 +44,12 @@ ComposeCache::Stats ComposeCache::stats() const {
 }
 
 std::size_t ComposeCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return map_.size();
 }
 
 void ComposeCache::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   map_.clear();
 }
 

@@ -17,20 +17,24 @@
 // produced. The audit oracle `audit::check_compose_cache` re-derives this
 // equality at runtime (docs/STATIC_ANALYSIS.md).
 //
-// Concurrency: find/insert are mutex-guarded and the statistics are
+// Concurrency: find/insert are guarded by one harp::Mutex (rank
+// kComposeCache, annotations checked by Clang thread-safety analysis —
+// docs/STATIC_ANALYSIS.md "Concurrency analysis") and the statistics are
 // relaxed atomics, so parallel per-layer composition workers
 // (interface_gen.cpp on runner::WorkerPool) share one cache. Fingerprint
-// and validity arrays in ComposeMemo are engine-owned; during a parallel
-// generation pass each worker touches only its own node's slots.
+// and validity arrays in ComposeMemo are engine-owned (no lock; the
+// engine-affinity contract); during a parallel generation pass each
+// worker touches only its own node's slots.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/types.hpp"
 #include "harp/resource.hpp"
 #include "net/topology.hpp"
@@ -106,8 +110,9 @@ class ComposeCache {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<const Entry>> map_;
+  mutable Mutex mu_{LockRank::kComposeCache, "core.ComposeCache.mu"};
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Entry>> map_
+      HARP_GUARDED_BY(mu_);
   std::size_t max_entries_;
   mutable std::atomic<std::uint64_t> hits_{0};
   mutable std::atomic<std::uint64_t> misses_{0};

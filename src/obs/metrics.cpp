@@ -1,9 +1,10 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 #include "common/error.hpp"
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 #include "obs/context.hpp"
 
 namespace harp::obs {
@@ -14,14 +15,14 @@ namespace {
 // Mutex-guarded: interning happens once per call site (function-local
 // static), never on the per-record hot path.
 struct InternTable {
-  std::mutex mu;
-  std::vector<std::string> names;
+  Mutex mu{LockRank::kObsIntern, "obs.InternTable.mu"};
+  std::vector<std::string> names HARP_GUARDED_BY(mu);
   // Histogram table only: custom bucket bounds (empty = default ns
   // bounds). First interning of a name fixes its bounds.
-  std::vector<std::vector<std::uint64_t>> bounds;
+  std::vector<std::vector<std::uint64_t>> bounds HARP_GUARDED_BY(mu);
 
   InstrumentId intern(const char* name, std::vector<std::uint64_t> b = {}) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     for (std::size_t i = 0; i < names.size(); ++i) {
       if (names[i] == name) return static_cast<InstrumentId>(i);
     }
@@ -31,12 +32,12 @@ struct InternTable {
   }
 
   std::string name_of(InstrumentId id) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return names.at(id);
   }
 
   std::vector<std::uint64_t> bounds_of(InstrumentId id) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(mu);
     return bounds.at(id);
   }
 };

@@ -1,8 +1,41 @@
 #include "obs/obs.hpp"
 
+#include "common/logging.hpp"
+#include "common/sync.hpp"
 #include "obs/context.hpp"
 
 namespace harp::obs {
+
+namespace {
+
+/// Lock-order reporter with trace integration: one `lock_order_fail`
+/// event into the calling thread's sink (the names intern through the
+/// phase table, like audit check names), plus the error log the default
+/// reporter would have written. The failure itself (throw/abort) stays
+/// in common/sync.cpp — this only records.
+void trace_lock_order_violation(const LockOrderViolation& v) {
+  HARP_OBS_EVENT(
+      {.type = EventType::kLockOrderFail,
+       .a = TraceSink::global().register_phase(v.acquiring_name),
+       .b = TraceSink::global().register_phase(v.held_name),
+       .value = (static_cast<std::uint64_t>(v.held_rank) << 32) |
+                v.acquiring_rank});
+  log::error() << "lock_order_fail: acquiring " << v.acquiring_name
+               << " (rank " << v.acquiring_rank << ") while holding "
+               << v.held_name << " (rank " << v.held_rank << ")";
+}
+
+/// Installed when the obs layer is linked at all (this TU defines
+/// timing_enabled(), which every instrumented subsystem references).
+/// The store is an atomic pointer swap, so initialization order against
+/// other static constructors is immaterial — and no lock can be
+/// acquired before main() anyway.
+[[maybe_unused]] const bool g_lock_order_reporter_installed = [] {
+  set_lock_order_reporter(&trace_lock_order_violation);
+  return true;
+}();
+
+}  // namespace
 
 bool timing_enabled() { return current_context().timing; }
 

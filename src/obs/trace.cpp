@@ -24,6 +24,7 @@ const char* to_string(EventType t) {
     case EventType::kPhase: return "phase";
     case EventType::kAuditFail: return "audit_fail";
     case EventType::kComposeCache: return "compose_cache";
+    case EventType::kLockOrderFail: return "lock_order_fail";
   }
   return "?";
 }
@@ -182,6 +183,14 @@ void TraceSink::write_jsonl(std::ostream& out, std::int64_t trial) const {
         line["hits"] = e.a;
         line["misses"] = e.b;
         line["inserts"] = e.value;
+        break;
+      case EventType::kLockOrderFail:
+        // Mutex names are interned through the phase-name table like
+        // audit check names (static strings).
+        line["acquiring"] = phase_name(static_cast<std::uint16_t>(e.a));
+        line["held"] = phase_name(static_cast<std::uint16_t>(e.b));
+        line["acquiring_rank"] = e.value & 0xffffffffull;
+        line["held_rank"] = e.value >> 32;
         break;
     }
     line.dump(out, /*indent=*/0);

@@ -48,6 +48,8 @@ enum class EventType : std::uint8_t {
   kAuditFail,     // invariant audit violation (a = interned check-name id)
   kComposeCache,  // one generation pass's cache summary (a/b/value =
                   // hits/misses/inserts delta)
+  kLockOrderFail, // lock-rank violation (a/b = acquiring/held phase-name
+                  // ids, value = held_rank<<32 | acquiring_rank)
 };
 
 /// Stable wire name of an event type ("tx_attempt", "phase", ...).

@@ -16,33 +16,31 @@ WorkerPool::WorkerPool(std::size_t jobs) {
 
 WorkerPool::~WorkerPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
   batch_ready_.notify_all();
-  for (std::thread& t : threads_) t.join();
+  for (Thread& t : threads_) t.join();
 }
 
-std::size_t WorkerPool::default_jobs() {
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
+std::size_t WorkerPool::default_jobs() { return hardware_threads(); }
 
-void WorkerPool::work_off_batch(std::size_t slot) {
+void WorkerPool::work_off_batch(
+    std::size_t slot, const std::function<void(std::size_t, std::size_t)>& fn,
+    std::size_t count, std::size_t block) {
   // Hot path: claim a contiguous block of indices with one fetch-add each
   // (block size 1 for plain run/run_indexed); no lock until the batch
   // drains or aborts.
-  const std::size_t block = block_;
   while (!abort_.load(std::memory_order_relaxed)) {
     const std::size_t begin = next_.fetch_add(block, std::memory_order_relaxed);
-    if (begin >= count_) break;
-    const std::size_t end = std::min(begin + block, count_);
+    if (begin >= count) break;
+    const std::size_t end = std::min(begin + block, count);
     for (std::size_t i = begin; i < end; ++i) {
       if (abort_.load(std::memory_order_relaxed)) return;
       try {
-        (*fn_)(slot, i);
+        fn(slot, i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         if (!first_error_) first_error_ = std::current_exception();
         abort_.store(true, std::memory_order_relaxed);
       }
@@ -53,18 +51,25 @@ void WorkerPool::work_off_batch(std::size_t slot) {
 void WorkerPool::worker_loop(std::size_t slot) {
   std::uint64_t seen_generation = 0;
   for (;;) {
+    const std::function<void(std::size_t, std::size_t)>* fn;
+    std::size_t count;
+    std::size_t block;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      batch_ready_.wait(lock, [&] {
-        return stop_ || generation_ != seen_generation;
-      });
+      MutexLock lock(mu_);
+      while (!stop_ && generation_ == seen_generation) batch_ready_.wait(mu_);
       if (stop_) return;
       seen_generation = generation_;
+      // Copy the batch parameters out while the dispatch lock is held:
+      // run_blocked keeps them stable until every worker is idle again,
+      // but the claim loop itself must not touch guarded state.
+      fn = fn_;
+      count = count_;
+      block = block_;
       ++busy_;
     }
-    work_off_batch(slot);
+    work_off_batch(slot, *fn, count, block);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --busy_;
     }
     batch_done_.notify_all();
@@ -88,7 +93,7 @@ void WorkerPool::run_blocked(
   if (count == 0) return;
   if (block == 0) throw InvalidArgument("block size must be positive");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     fn_ = &fn;
     count_ = count;
     block_ = block;
@@ -99,11 +104,11 @@ void WorkerPool::run_blocked(
   }
   batch_ready_.notify_all();
 
-  std::unique_lock<std::mutex> lock(mu_);
-  batch_done_.wait(lock, [&] {
-    return busy_ == 0 && (abort_.load(std::memory_order_relaxed) ||
-                          next_.load(std::memory_order_relaxed) >= count_);
-  });
+  MutexLock lock(mu_);
+  while (busy_ != 0 || (!abort_.load(std::memory_order_relaxed) &&
+                        next_.load(std::memory_order_relaxed) < count_)) {
+    batch_done_.wait(mu_);
+  }
   fn_ = nullptr;
   if (first_error_) {
     std::exception_ptr err = first_error_;

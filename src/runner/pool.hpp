@@ -12,16 +12,23 @@
 // captured, remaining unclaimed indices are abandoned, and run() rethrows
 // it on the calling thread once all workers are idle again. The pool stays
 // usable for further batches afterwards.
+//
+// Locking discipline (docs/STATIC_ANALYSIS.md "Concurrency analysis"):
+// one harp::Mutex (rank kWorkerPool) guards the batch handshake; the
+// per-index claim stays lock-free on `next_`/`abort_`. The batch
+// parameters are copied out under the lock when a worker joins a batch
+// and passed by value into the claim loop, so the hot path reads no
+// guarded state.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
+#include "common/thread_annotations.hpp"
 
 namespace harp::runner {
 
@@ -68,21 +75,29 @@ class WorkerPool {
 
  private:
   void worker_loop(std::size_t slot);
-  void work_off_batch(std::size_t slot);
+  /// Claims and runs indices of the current batch. Parameters are the
+  /// batch state copied out under mu_ by worker_loop; only the atomics
+  /// are shared, so the claim loop needs no lock.
+  void work_off_batch(std::size_t slot,
+                      const std::function<void(std::size_t, std::size_t)>& fn,
+                      std::size_t count, std::size_t block)
+      HARP_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable batch_ready_;
-  std::condition_variable batch_done_;
-  std::vector<std::thread> threads_;
+  Mutex mu_{LockRank::kWorkerPool, "runner.WorkerPool.mu"};
+  CondVar batch_ready_;
+  CondVar batch_done_;
+  std::vector<Thread> threads_;
 
-  // Batch state, guarded by mu_ except where noted.
-  const std::function<void(std::size_t, std::size_t)>* fn_{nullptr};
-  std::size_t count_{0};
-  std::size_t block_{1};  // indices claimed per fetch-add
-  std::uint64_t generation_{0};  // bumped per batch so workers wake once
-  std::size_t busy_{0};          // workers inside the current batch
-  bool stop_{false};
-  std::exception_ptr first_error_;  // first failure of the current batch
+  // Batch handshake state.
+  const std::function<void(std::size_t, std::size_t)>* fn_
+      HARP_GUARDED_BY(mu_){nullptr};
+  std::size_t count_ HARP_GUARDED_BY(mu_){0};
+  std::size_t block_ HARP_GUARDED_BY(mu_){1};  // indices per fetch-add
+  std::uint64_t generation_ HARP_GUARDED_BY(mu_){0};  // workers wake once
+  std::size_t busy_ HARP_GUARDED_BY(mu_){0};  // workers inside the batch
+  bool stop_ HARP_GUARDED_BY(mu_){false};
+  std::exception_ptr first_error_
+      HARP_GUARDED_BY(mu_);  // first failure of the current batch
 
   // Hot path: workers claim indices lock-free.
   std::atomic<std::size_t> next_{0};
