@@ -60,6 +60,18 @@ selects the check suite:
     * fleet.tenants_<max F>.shards_8.tenants_per_sec — candidate >=
                                       baseline * (1 - tol); default 30%
 
+  perf_rt_dispatch
+    * rt.fingerprint        — EXACT match: folds the dispatcher's task
+                              interleaving, the timer firing order and
+                              the converged protocol state, so any
+                              event-ordering change fails here before a
+                              throughput number can excuse it
+    * rt.events_per_sec     — candidate >= baseline * (1 - tol);
+    * rt.timer_ops_per_sec    default tolerance 30% (single-threaded
+    * rt.msgs_per_sec         event-loop medians still wobble on shared
+                              CI runners; the fingerprint carries the
+                              exact gate)
+
   micro_packing
     * kernels.<name>.checksum  — EXACT match: every kernel digests its
                                  full output (heights, placements, ids)
@@ -292,9 +304,16 @@ def experiment_checks(name, base, cand):
         return fleet_scale_checks(base, cand)
     if name == "micro_packing":
         return micro_packing_checks(base)
+    if name == "perf_rt_dispatch":
+        return [
+            Check("rt.fingerprint", "exact"),
+            Check("rt.events_per_sec", "higher", tol=0.30),
+            Check("rt.timer_ops_per_sec", "higher", tol=0.30),
+            Check("rt.msgs_per_sec", "higher", tol=0.30),
+        ]
     sys.exit(f"{base['_path']}: no check suite for experiment {name!r} "
              "(known: perf_steady_state, perf_bootstrap_scale, "
-             "perf_fleet_scale, micro_packing)")
+             "perf_fleet_scale, micro_packing, perf_rt_dispatch)")
 
 
 # Reference fields: (reference key, dotted result path).

@@ -17,6 +17,9 @@ memoization) is validated for counter types and hit-rate range.
 perf_fleet_scale reports (the multi-tenant control plane,
 docs/FLEET.md) get their `results.fleet` ladder checked: per-size
 fingerprint format, per-shard-config consistency and throughput fields.
+perf_rt_dispatch reports (the event-loop microbench, docs/RUNTIME.md)
+get their `results.rt` block checked: positive throughput rates and a
+well-formed determinism fingerprint.
 For each `.jsonl` trace: verifies every line parses, every event type is
 documented, and any `trial` shard tag is a non-negative integer. Exits
 non-zero listing anything undocumented, so the doc and the code cannot
@@ -140,6 +143,40 @@ def check_fleet_scale(path, section, problems):
                             "number")
 
 
+RT_DISPATCH_RATE_KEYS = ("events_per_sec", "timer_ops_per_sec",
+                         "msgs_per_sec")
+RT_DISPATCH_COUNT_KEYS = ("rounds", "task_events", "timer_ops",
+                          "churn_ops_per_round", "runtime_msgs")
+
+
+def check_rt_dispatch(path, section, problems):
+    """Validates a perf_rt_dispatch results.rt block (docs/RUNTIME.md):
+    the three throughput rates must be positive numbers, the workload
+    counts non-negative integers, and the combined determinism
+    fingerprint 16 lowercase hex digits (the exact value is gated by
+    bench_compare.py; this check pins the shape)."""
+    for rate in RT_DISPATCH_RATE_KEYS:
+        value = section.get(rate)
+        if not (isinstance(value, (int, float))
+                and not isinstance(value, bool) and value > 0):
+            problems.append(f"{path}: rt.{rate} is {value!r}, expected a "
+                            "positive number")
+    for key in RT_DISPATCH_COUNT_KEYS:
+        value = section.get(key)
+        if not (isinstance(value, int) and not isinstance(value, bool)
+                and value >= 0):
+            problems.append(f"{path}: rt.{key} is {value!r}, expected a "
+                            "non-negative integer")
+    fingerprint = section.get("fingerprint", "")
+    if not re.fullmatch(r"[0-9a-f]{16}", str(fingerprint)):
+        problems.append(f"{path}: rt.fingerprint {fingerprint!r} is not 16 "
+                        "lowercase hex digits")
+    unknown = (set(section) - set(RT_DISPATCH_RATE_KEYS)
+               - set(RT_DISPATCH_COUNT_KEYS) - {"fingerprint"})
+    for key in sorted(unknown):
+        problems.append(f"{path}: results.rt has undocumented key '{key}'")
+
+
 def check_fleet(path, report, problems):
     """Validates the fleet sections (docs/RUNNER.md 'Fleet report')."""
     fleet = report["fleet"]
@@ -193,6 +230,13 @@ def check_report(path, metrics_doc, problems):
         else:
             problems.append(f"{path}: perf_fleet_scale report has no "
                             "results.fleet object")
+    if report.get("experiment") == "perf_rt_dispatch":
+        rt_section = report.get("results", {}).get("rt")
+        if isinstance(rt_section, dict):
+            check_rt_dispatch(path, rt_section, problems)
+        else:
+            problems.append(f"{path}: perf_rt_dispatch report has no "
+                            "results.rt object")
     compose_cache = report.get("results", {}).get("compose_cache")
     if isinstance(compose_cache, dict):
         check_compose_cache(path, compose_cache, problems)

@@ -11,11 +11,15 @@ only confuse the check — string literals, and applies three repo checks
 the allowlist policy):
 
   determinism     Bans nondeterminism primitives in src/: rand()/srand(),
-                  std::random_device, time()/clock()/localtime/gmtime and
+                  std::random_device, time()/clock()/localtime/gmtime,
                   wall-clock now() (steady_clock, system_clock,
-                  high_resolution_clock). Experiment results must be a
-                  pure function of seeds and call order; timing belongs
-                  to the allowlisted obs/bench timing sites only.
+                  high_resolution_clock) and the obs::now_ns() wrapper
+                  around them. Experiment results must be a pure function
+                  of seeds and call order; timing belongs to the
+                  allowlisted obs/bench timing sites only. The rt event
+                  runtime (src/rt) is covered like every other src/
+                  subsystem: its clock is the dispatcher's virtual tick,
+                  never the wall (docs/RUNTIME.md).
 
   raw-primitive   Bans raw std::mutex / std::condition_variable /
                   std::thread (and the std lock holders) outside
@@ -73,6 +77,11 @@ DETERMINISM_PATTERNS = (
     (re.compile(
         r"\b(?:steady_clock|system_clock|high_resolution_clock)\b"),
      "wall-clock now()"),
+    # The obs layer's own clock helper: without this, wrapping the banned
+    # clocks in obs::now_ns() would be a one-call laundering hole (the rt
+    # runtime in particular must drive everything off its virtual clock —
+    # docs/RUNTIME.md "Determinism rules").
+    (re.compile(r"\bobs::now_ns\s*\("), "wall-clock now_ns()"),
 )
 
 RAW_PRIMITIVE_PATTERN = re.compile(

@@ -48,6 +48,10 @@ enum class LockRank : std::uint32_t {
   /// core::ComposeCache content map — taken by pool workers during
   /// parallel interface generation (hence above kWorkerPool).
   kComposeCache = 300,
+  /// rt::Dispatcher cross-thread inbox — held only around post/drain
+  /// queue swaps; producers may hold any of the ranks above while
+  /// posting, so it sits below only the obs intern leaf.
+  kRtDispatcher = 350,
   /// obs intern tables — leaf: interning may be reached from any
   /// subsystem's first instrument resolution.
   kObsIntern = 400,

@@ -25,6 +25,8 @@ const char* to_string(EventType t) {
     case EventType::kAuditFail: return "audit_fail";
     case EventType::kComposeCache: return "compose_cache";
     case EventType::kLockOrderFail: return "lock_order_fail";
+    case EventType::kRtEvent: return "rt_event";
+    case EventType::kRtRetransmit: return "rt_retransmit";
   }
   return "?";
 }
@@ -50,6 +52,12 @@ const char* msg_type_name(std::uint8_t aux) {
   static const char* const kNames[] = {"post_intf", "put_intf", "post_part",
                                        "put_part", "cell_assign", "reject"};
   return aux < 6 ? kNames[aux] : "?";
+}
+
+const char* rt_kind_name(std::uint8_t aux) {
+  // rt::Dispatcher event kinds (rt/dispatcher.hpp EventKind).
+  static const char* const kNames[] = {"task", "timer"};
+  return aux < 2 ? kNames[aux] : "?";
 }
 
 }  // namespace
@@ -191,6 +199,16 @@ void TraceSink::write_jsonl(std::ostream& out, std::int64_t trial) const {
         line["held"] = phase_name(static_cast<std::uint16_t>(e.b));
         line["acquiring_rank"] = e.value & 0xffffffffull;
         line["held_rank"] = e.value >> 32;
+        break;
+      case EventType::kRtEvent:
+        // `slot` carries the dispatcher's virtual tick (emitted above).
+        if (e.aux != TraceEvent::kNoAux) line["kind"] = rt_kind_name(e.aux);
+        break;
+      case EventType::kRtRetransmit:
+        line["from"] = e.a;
+        line["to"] = e.b;
+        if (e.aux != TraceEvent::kNoAux) line["msg"] = msg_type_name(e.aux);
+        line["attempt"] = e.value;
         break;
     }
     line.dump(out, /*indent=*/0);

@@ -50,6 +50,10 @@ enum class EventType : std::uint8_t {
                   // hits/misses/inserts delta)
   kLockOrderFail, // lock-rank violation (a/b = acquiring/held phase-name
                   // ids, value = held_rank<<32 | acquiring_rank)
+  kRtEvent,       // rt dispatcher executed one event (aux = task/timer,
+                  // slot = virtual tick)
+  kRtRetransmit,  // rt endpoint retransmitted an unacked message
+                  // (aux = proto::MsgType, value = attempt number)
 };
 
 /// Stable wire name of an event type ("tx_attempt", "phase", ...).

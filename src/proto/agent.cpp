@@ -622,10 +622,13 @@ void HarpAgent::handle_put_part(const Message& msg, Transport& t) {
 
 void HarpAgent::handle_reject(const Message& msg, Transport& t) {
   const auto& payload = std::get<RejectPayload>(msg.payload);
-  const Direction dir = payload.dir;
-  const int layer = payload.layer;
+  // An agent only receives kReject for an escalation it has in flight.
+  HARP_ASSERT(abort_pending(payload.layer, payload.dir, t));
+}
+
+bool HarpAgent::abort_pending(int layer, Direction dir, Transport& t) {
   const auto it = pending_.find({layer, dir_index(dir)});
-  HARP_ASSERT(it != pending_.end());
+  if (it == pending_.end()) return false;
   Pending pending = std::move(it->second);
   pending_.erase(it);
 
@@ -644,12 +647,13 @@ void HarpAgent::handle_reject(const Message& msg, Transport& t) {
     forward.type = MsgType::kReject;
     forward.src = cfg_.id;
     forward.dst = pending.requester;
-    forward.payload = payload;
+    forward.payload = RejectPayload{static_cast<std::uint8_t>(layer), dir};
     t.send(std::move(forward));
   } else if (pending.demand_rollback) {
     demand(link(pending.demand_rollback->first), dir) =
         pending.demand_rollback->second;
   }
+  return true;
 }
 
 }  // namespace harp::proto

@@ -90,6 +90,15 @@ class HarpAgent {
   /// the new parent then negotiates resources via add_child there.
   void rehome(NodeId new_parent, int new_link_layer);
 
+  /// Unwinds the in-flight escalation at (layer, dir) exactly as a
+  /// received kReject would: restore the tentative composition/layout,
+  /// and either forward the rejection to the requesting child or roll
+  /// back the local demand change. Returns false (no-op) when nothing is
+  /// pending there. This is the timeout path of the rt runtime: when an
+  /// escalated PUT-intf exhausts its retransmissions, the ARQ endpoint
+  /// aborts the exchange instead of deadlocking (docs/RUNTIME.md).
+  bool abort_pending(int layer, Direction dir, Transport& t);
+
   // ------------------------------------------------------------ observers
   /// True once partitions were granted and cells assigned.
   bool ready() const { return ready_; }

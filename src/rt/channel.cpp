@@ -1,0 +1,122 @@
+#include "rt/channel.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+#include "sim/mgmt_plane.hpp"
+
+namespace harp::rt {
+
+namespace {
+
+struct ChannelObs {
+  obs::Counter* sent;
+  obs::Counter* delivered;
+  obs::Counter* dropped;
+  obs::Counter* duplicated;
+};
+
+// Names interned once; instruments resolved per call against the calling
+// thread's current context so concurrent trials stay isolated.
+ChannelObs channel_obs() {
+  static const obs::InstrumentId kSent =
+      obs::intern_counter("harp.rt.msgs_sent");
+  static const obs::InstrumentId kDelivered =
+      obs::intern_counter("harp.rt.msgs_delivered");
+  static const obs::InstrumentId kDropped =
+      obs::intern_counter("harp.rt.msgs_dropped");
+  static const obs::InstrumentId kDuplicated =
+      obs::intern_counter("harp.rt.msgs_duplicated");
+  auto& reg = obs::MetricsRegistry::global();
+  return ChannelObs{&reg.counter(kSent), &reg.counter(kDelivered),
+                    &reg.counter(kDropped), &reg.counter(kDuplicated)};
+}
+
+}  // namespace
+
+void Channel::attach(NodeId node, Sink sink) {
+  if (sinks_.size() <= node) sinks_.resize(node + 1);
+  sinks_[node] = std::move(sink);
+}
+
+void Channel::deliver(const Packet& p) {
+  HARP_ASSERT(p.dst < sinks_.size() && sinks_[p.dst]);
+  channel_obs().delivered->inc();
+  sinks_[p.dst](p);
+}
+
+void LoopbackChannel::send(Packet p) {
+  channel_obs().sent->inc();
+  d_.post([this, p = std::move(p)] { deliver(p); });
+}
+
+void LossyChannel::enqueue_delivery(const Packet& p) {
+  const Tick span = opt_.delay_max > opt_.delay_min
+                        ? opt_.delay_max - opt_.delay_min
+                        : 0;
+  const Tick delay = opt_.delay_min + (span > 0 ? rng_.below(span + 1) : 0);
+  if (delay == 0) {
+    d_.post([this, p] { deliver(p); });
+  } else {
+    d_.schedule_after(delay, [this, p] { deliver(p); });
+  }
+}
+
+void LossyChannel::send(Packet p) {
+  channel_obs().sent->inc();
+  if (drop_filter_ && drop_filter_(p)) {
+    ++dropped_;
+    channel_obs().dropped->inc();
+    return;
+  }
+  // One fate draw per impairment, in fixed order, so the decision stream
+  // is a pure function of (seed, send sequence).
+  const bool drop = opt_.drop_rate > 0.0 && rng_.chance(opt_.drop_rate);
+  const bool dup =
+      opt_.duplicate_rate > 0.0 && rng_.chance(opt_.duplicate_rate);
+  if (drop) {
+    ++dropped_;
+    channel_obs().dropped->inc();
+    return;
+  }
+  enqueue_delivery(p);
+  if (dup) {
+    ++duplicated_;
+    channel_obs().duplicated->inc();
+    enqueue_delivery(p);
+  }
+}
+
+void MgmtChannel::send(Packet p) {
+  // The mgmt plane is a raw (loss-free, in-order) transport; ARQ framing
+  // must stay off so the wire carries plain protocol messages.
+  HARP_ASSERT(p.kind == Packet::Kind::kData && p.seq == 0);
+  channel_obs().sent->inc();
+  plane_.send(std::move(p.msg));
+  arm();
+}
+
+void MgmtChannel::arm() {
+  const AbsoluteSlot next = plane_.next_departure_after(d_.now());
+  if (next == sim::MgmtPlane::kNoDeparture) return;
+  if (armed_) {
+    if (armed_deadline_ <= next) return;  // already firing at/before it
+    d_.cancel(timer_);
+  }
+  armed_ = true;
+  armed_deadline_ = next;
+  timer_ = d_.schedule_at(next, [this] { on_departure_slot(); });
+}
+
+void MgmtChannel::on_departure_slot() {
+  armed_ = false;
+  // Deliveries run synchronously in ascending node order, exactly like
+  // the lockstep on_slot() walk; follow-up sends re-arm through send().
+  plane_.deliver_on_slot(d_.now(), [this](const proto::Message& m) {
+    deliver(Packet{Packet::Kind::kData, m.src, m.dst, 0, m});
+  });
+  arm();
+}
+
+}  // namespace harp::rt

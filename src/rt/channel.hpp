@@ -1,0 +1,160 @@
+// Channel: pluggable transports the rt runtime moves packets over.
+//
+// A Channel owns delivery, not reliability: it accepts rt::Packets and
+// invokes the receiver's attached sink, possibly later (via dispatcher
+// tasks/timers), possibly never (lossy transport). Reliability, when a
+// transport needs it, lives one layer up in rt::ReliableEndpoint.
+//
+// Transport matrix (docs/RUNTIME.md):
+//   LoopbackChannel  in-order, loss-free   one dispatcher task per packet
+//   LossyChannel     seeded drop/dup/delay one task or timer per copy
+//   MgmtChannel      in-order, loss-free   departs on real TSCH mgmt
+//                                          cells of a sim::MgmtPlane
+//
+// Determinism: LossyChannel draws every fate decision from its own
+// seeded Rng stream in send order, so one seed reproduces one exact
+// loss/reorder pattern.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "proto/messages.hpp"
+#include "rt/dispatcher.hpp"
+
+namespace harp::sim {
+class MgmtPlane;
+}  // namespace harp::sim
+
+namespace harp::rt {
+
+/// The unit a Channel moves: a protocol message plus the thin ARQ
+/// framing ReliableEndpoint adds (kind + sequence number).
+struct Packet {
+  enum class Kind : std::uint8_t {
+    kData = 0,  ///< carries `msg`; seq == 0 means unsequenced (raw mode)
+    kAck = 1,   ///< acknowledges the sender's data packet `seq`
+  };
+
+  Kind kind{Kind::kData};
+  NodeId src{kNoNode};
+  NodeId dst{kNoNode};
+  /// Per-(src -> dst) stream sequence number; 0 = unsequenced.
+  std::uint32_t seq{0};
+  proto::Message msg;  ///< meaningful only for kData
+};
+
+class Channel {
+ public:
+  using Sink = std::function<void(const Packet&)>;
+
+  virtual ~Channel() = default;
+  Channel() = default;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Registers the receive callback for `node`. One sink per node;
+  /// re-attaching replaces (how roaming re-homes an endpoint).
+  void attach(NodeId node, Sink sink);
+
+  /// Hands one packet to the transport. Never delivers synchronously —
+  /// delivery happens on a later dispatcher event, like a real network.
+  virtual void send(Packet p) = 0;
+
+  /// True when the transport can drop or reorder packets, i.e. callers
+  /// need the ARQ endpoint (docs/RUNTIME.md transport matrix).
+  virtual bool lossy() const { return false; }
+
+ protected:
+  /// Invokes the destination sink (counts harp.rt.msgs_delivered).
+  /// Unattached destinations are a hard error: packets never vanish
+  /// silently on a loss-free path.
+  void deliver(const Packet& p);
+
+  std::vector<Sink> sinks_;
+};
+
+/// In-memory loopback: each send becomes one dispatcher task, so packets
+/// are delivered in exact send order — the event-driven twin of
+/// proto::Loopback, and the transport whose runs are asserted
+/// bit-identical to the lockstep path.
+class LoopbackChannel : public Channel {
+ public:
+  explicit LoopbackChannel(Dispatcher& d) : d_(d) {}
+  void send(Packet p) override;
+
+ private:
+  Dispatcher& d_;
+};
+
+/// Loopback with seeded impairments: Bernoulli drop and duplication plus
+/// a uniform delivery delay (in ticks) that reorders packets whenever
+/// the delay window is wider than one tick. Acks travel the same lossy
+/// path as data.
+class LossyChannel : public Channel {
+ public:
+  struct Options {
+    double drop_rate{0.0};       ///< P(a packet copy is lost)
+    double duplicate_rate{0.0};  ///< P(a packet is sent twice)
+    Tick delay_min{0};           ///< inclusive delivery delay bounds
+    Tick delay_max{0};
+    std::uint64_t seed{0};       ///< impairment stream seed
+  };
+
+  LossyChannel(Dispatcher& d, const Options& opt)
+      : d_(d), opt_(opt), rng_(opt.seed) {}
+
+  void send(Packet p) override;
+  bool lossy() const override { return true; }
+
+  /// Test hook: packets this predicate claims are dropped before the
+  /// random impairments (targeted-loss regression tests). Fate draws
+  /// are NOT consumed for filtered packets.
+  void set_drop_filter(std::function<bool(const Packet&)> filter) {
+    drop_filter_ = std::move(filter);
+  }
+
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t duplicated() const { return duplicated_; }
+
+ private:
+  void enqueue_delivery(const Packet& p);
+
+  Dispatcher& d_;
+  Options opt_;
+  Rng rng_;
+  std::function<bool(const Packet&)> drop_filter_;
+  std::uint64_t dropped_{0};
+  std::uint64_t duplicated_{0};
+};
+
+/// Adapter that makes the TSCH simulator's management plane one
+/// transport among several: sends enqueue into the MgmtPlane, and a
+/// dispatcher timer fires at each upcoming departure slot (1 tick == 1
+/// absolute slot) to deliver exactly what the lockstep on_slot() walk
+/// would — same slots, same node order, so fingerprints match the
+/// lockstep simulator bit-for-bit.
+///
+/// Raw transport: the mgmt plane neither drops nor reorders, so run it
+/// with ARQ disabled (Packet framing must stay unsequenced).
+class MgmtChannel : public Channel {
+ public:
+  MgmtChannel(Dispatcher& d, sim::MgmtPlane& plane) : d_(d), plane_(plane) {}
+  void send(Packet p) override;
+
+ private:
+  /// (Re-)arms the departure timer for the earliest pending TX cell.
+  void arm();
+  void on_departure_slot();
+
+  Dispatcher& d_;
+  sim::MgmtPlane& plane_;
+  bool armed_{false};
+  Tick armed_deadline_{0};
+  TimerId timer_{0};
+};
+
+}  // namespace harp::rt

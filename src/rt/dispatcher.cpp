@@ -1,0 +1,131 @@
+#include "rt/dispatcher.hpp"
+
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace harp::rt {
+
+namespace {
+
+struct DispatchObs {
+  obs::Counter* events;
+  obs::Counter* timers_scheduled;
+  obs::Counter* timers_fired;
+  obs::Counter* timers_cancelled;
+};
+
+// Names interned once; instruments resolved per call against the calling
+// thread's current context so concurrent trials stay isolated.
+DispatchObs dispatch_obs() {
+  static const obs::InstrumentId kEvents =
+      obs::intern_counter("harp.rt.events_dispatched");
+  static const obs::InstrumentId kScheduled =
+      obs::intern_counter("harp.rt.timers_scheduled");
+  static const obs::InstrumentId kFired =
+      obs::intern_counter("harp.rt.timers_fired");
+  static const obs::InstrumentId kCancelled =
+      obs::intern_counter("harp.rt.timers_cancelled");
+  auto& reg = obs::MetricsRegistry::global();
+  return DispatchObs{&reg.counter(kEvents), &reg.counter(kScheduled),
+                     &reg.counter(kFired), &reg.counter(kCancelled)};
+}
+
+}  // namespace
+
+void Dispatcher::post(Task fn) { ready_.push_back(std::move(fn)); }
+
+void Dispatcher::post_external(Task fn) {
+  MutexLock lock(inbox_mu_);
+  inbox_.push_back(std::move(fn));
+}
+
+void Dispatcher::drain_inbox() {
+  std::vector<Task> drained;
+  {
+    MutexLock lock(inbox_mu_);
+    drained.swap(inbox_);
+  }
+  for (Task& t : drained) ready_.push_back(std::move(t));
+}
+
+TimerId Dispatcher::schedule_at(Tick deadline, Task fn) {
+  dispatch_obs().timers_scheduled->inc();
+  if (deadline < now_) deadline = now_;
+  return timers_.schedule(deadline, std::move(fn));
+}
+
+TimerId Dispatcher::schedule_after(Tick delay, Task fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Dispatcher::cancel(TimerId id) {
+  const bool live = timers_.cancel(id);
+  if (live) dispatch_obs().timers_cancelled->inc();
+  return live;
+}
+
+bool Dispatcher::idle() {
+  drain_inbox();
+  return ready_.empty() && timers_.empty();
+}
+
+void Dispatcher::note_event(EventKind kind) {
+  ++dispatched_;
+  dispatch_obs().events->inc();
+  HARP_OBS_EVENT({.type = obs::EventType::kRtEvent,
+                  .aux = static_cast<std::uint8_t>(kind),
+                  .slot = now_});
+}
+
+std::size_t Dispatcher::step() {
+  drain_inbox();
+  if (!ready_.empty()) {
+    // Move the task out first: it may post/schedule, mutating the deque.
+    Task fn = std::move(ready_.front());
+    ready_.pop_front();
+    note_event(EventKind::kTask);
+    fn();
+    return 1;
+  }
+  const Tick deadline = timers_.next_deadline();
+  if (deadline == kNeverTick) return 0;
+  if (deadline > now_) now_ = deadline;  // the virtual clock jump
+  auto cb = timers_.pop_due(now_);
+  if (!cb) return 0;
+  note_event(EventKind::kTimer);
+  dispatch_obs().timers_fired->inc();
+  (*cb)();
+  return 1;
+}
+
+std::size_t Dispatcher::run_until_idle(std::size_t max_events) {
+  std::size_t ran = 0;
+  while (!idle()) {
+    if (ran >= max_events) {
+      fail("rt::Dispatcher livelock: " + std::to_string(ran) +
+           " events without reaching idle");
+    }
+    ran += step();
+  }
+  return ran;
+}
+
+std::size_t Dispatcher::run_until(Tick t, std::size_t max_events) {
+  std::size_t ran = 0;
+  for (;;) {
+    drain_inbox();
+    if (ready_.empty() && timers_.next_deadline() > t) break;
+    if (ran >= max_events) {
+      fail("rt::Dispatcher livelock: " + std::to_string(ran) +
+           " events before tick " + std::to_string(t));
+    }
+    ran += step();
+  }
+  if (now_ < t) now_ = t;
+  return ran;
+}
+
+}  // namespace harp::rt

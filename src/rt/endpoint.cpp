@@ -1,0 +1,183 @@
+#include "rt/endpoint.hpp"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "obs/obs.hpp"
+
+namespace harp::rt {
+
+namespace {
+
+struct ArqObs {
+  obs::Counter* retransmits;
+  obs::Counter* acks;
+  obs::Counter* dup_drops;
+  obs::Counter* give_ups;
+};
+
+// Names interned once; instruments resolved per call against the calling
+// thread's current context so concurrent trials stay isolated.
+ArqObs arq_obs() {
+  static const obs::InstrumentId kRetransmits =
+      obs::intern_counter("harp.rt.retransmits");
+  static const obs::InstrumentId kAcks =
+      obs::intern_counter("harp.rt.acks_sent");
+  static const obs::InstrumentId kDupDrops =
+      obs::intern_counter("harp.rt.dup_drops");
+  static const obs::InstrumentId kGiveUps =
+      obs::intern_counter("harp.rt.give_ups");
+  auto& reg = obs::MetricsRegistry::global();
+  return ArqObs{&reg.counter(kRetransmits), &reg.counter(kAcks),
+                &reg.counter(kDupDrops), &reg.counter(kGiveUps)};
+}
+
+}  // namespace
+
+ReliableEndpoint::ReliableEndpoint(proto::HarpAgent& agent, Dispatcher& d,
+                                   Channel& ch, ArqOptions opt)
+    : agent_(agent), d_(d), ch_(ch), opt_(opt) {
+  ch_.attach(agent_.id(), [this](const Packet& p) { on_packet(p); });
+}
+
+void ReliableEndpoint::send(proto::Message msg) {
+  HARP_ASSERT(msg.src == agent_.id());
+  if (!opt_.enabled) {
+    const NodeId dst = msg.dst;
+    ch_.send(Packet{Packet::Kind::kData, msg.src, dst, 0, std::move(msg)});
+    return;
+  }
+  const NodeId peer = msg.dst;
+  PeerTx& tx = tx_[peer];
+  const std::uint32_t seq = tx.next_seq++;
+  tx.attempts[seq] = 1;
+  transmit(peer, seq, msg);
+  tx.unacked.emplace(seq, std::move(msg));
+  if (!tx.timer_armed) {
+    tx.rto = opt_.rto;
+    arm(peer, tx);
+  }
+}
+
+void ReliableEndpoint::transmit(NodeId peer, std::uint32_t seq,
+                                const proto::Message& m) {
+  ch_.send(Packet{Packet::Kind::kData, agent_.id(), peer, seq, m});
+}
+
+void ReliableEndpoint::arm(NodeId peer, PeerTx& tx) {
+  tx.timer_armed = true;
+  tx.timer = d_.schedule_after(tx.rto, [this, peer] { on_timeout(peer); });
+}
+
+void ReliableEndpoint::on_timeout(NodeId peer) {
+  PeerTx& tx = tx_[peer];
+  tx.timer_armed = false;
+  if (tx.unacked.empty()) return;
+  for (const auto& [seq, attempts] : tx.attempts) {
+    if (attempts > opt_.max_retries) {
+      give_up(peer, tx);
+      return;
+    }
+  }
+  for (auto& [seq, msg] : tx.unacked) {
+    ++tx.attempts[seq];
+    ++retransmits_;
+    arq_obs().retransmits->inc();
+    HARP_OBS_EVENT({.type = obs::EventType::kRtRetransmit,
+                    .aux = static_cast<std::uint8_t>(msg.type),
+                    .a = agent_.id(),
+                    .b = peer,
+                    .slot = d_.now(),
+                    .value = static_cast<std::uint64_t>(tx.attempts[seq])});
+    transmit(peer, seq, msg);
+  }
+  tx.rto = std::min(tx.rto * 2, opt_.rto_max);  // exponential backoff
+  arm(peer, tx);
+}
+
+void ReliableEndpoint::give_up(NodeId /*peer*/, PeerTx& tx) {
+  // Move the dead backlog out first: the aborts below may send (e.g. the
+  // forwarded kReject), and those sends must see clean per-peer state.
+  std::map<std::uint32_t, proto::Message> dead;
+  dead.swap(tx.unacked);
+  tx.attempts.clear();
+  tx.rto = opt_.rto;
+  for (auto& [seq, msg] : dead) {
+    ++give_ups_;
+    arq_obs().give_ups->inc();
+    if (msg.type == proto::MsgType::kPutIntf) {
+      // The escalation will never be answered: unwind it exactly as a
+      // kReject would, so the initiator's demand change is rolled back
+      // (or the rejection propagates to the requesting child).
+      for (const proto::IntfItem& item :
+           std::get<proto::IntfPayload>(msg.payload).items) {
+        agent_.abort_pending(item.layer, item.dir, *this);
+      }
+    }
+    // Other types (grants, cell assignments) are dropped: the peer keeps
+    // its previous state. A give-up marks the (src -> dst) stream dead —
+    // it only triggers when the link is effectively partitioned.
+  }
+}
+
+void ReliableEndpoint::on_ack(NodeId peer, std::uint32_t seq) {
+  PeerTx& tx = tx_[peer];
+  tx.unacked.erase(seq);
+  tx.attempts.erase(seq);
+  if (tx.unacked.empty() && tx.timer_armed) {
+    d_.cancel(tx.timer);
+    tx.timer_armed = false;
+    tx.rto = opt_.rto;
+  }
+}
+
+void ReliableEndpoint::on_data(const Packet& p) {
+  if (p.seq == 0) {  // unsequenced (raw-mode sender): deliver directly
+    agent_.on_message(p.msg, *this);
+    return;
+  }
+  // Always (re-)ack: the dup may exist precisely because our ack was lost.
+  arq_obs().acks->inc();
+  ch_.send(Packet{Packet::Kind::kAck, agent_.id(), p.src, p.seq, {}});
+
+  PeerRx& rx = rx_[p.src];
+  if (p.seq < rx.expected ||
+      (p.seq > rx.expected && rx.held.count(p.seq) > 0)) {
+    arq_obs().dup_drops->inc();  // idempotent re-delivery
+    return;
+  }
+  if (p.seq > rx.expected) {
+    rx.held.emplace(p.seq, p.msg);  // hold back until the gap fills
+    return;
+  }
+  agent_.on_message(p.msg, *this);
+  ++rx.expected;
+  // Release consecutive held-back packets.
+  for (auto it = rx.held.find(rx.expected); it != rx.held.end();
+       it = rx.held.find(rx.expected)) {
+    proto::Message msg = std::move(it->second);
+    rx.held.erase(it);
+    agent_.on_message(msg, *this);
+    ++rx.expected;
+  }
+}
+
+void ReliableEndpoint::on_packet(const Packet& p) {
+  HARP_ASSERT(p.dst == agent_.id());
+  if (p.kind == Packet::Kind::kAck) {
+    on_ack(p.src, p.seq);
+    return;
+  }
+  on_data(p);
+}
+
+bool ReliableEndpoint::quiescent() const {
+  for (const auto& [peer, tx] : tx_) {
+    if (!tx.unacked.empty()) return false;
+  }
+  return true;
+}
+
+}  // namespace harp::rt

@@ -1,0 +1,96 @@
+// ReliableEndpoint: one node's attachment to a Channel.
+//
+// The endpoint is the proto::Transport its HarpAgent sends through, and
+// the Channel sink its packets arrive at. In *raw* mode (ARQ disabled —
+// loss-free transports) it just forwards: one message, one unsequenced
+// packet, so message counts and ordering match the synchronous loopback
+// exactly. In *ARQ* mode (lossy transports) it layers a small
+// stop-and-wait-window reliability protocol on top:
+//
+//   * per directed (src -> dst) stream sequence numbers,
+//   * a per-packet ack from the receiver,
+//   * a per-peer retransmit timer with exponential backoff
+//     (rto, 2*rto, ... capped at rto_max),
+//   * receiver-side dedup + in-order release (out-of-order packets are
+//     held back), so the agent sees exactly-once, in-order delivery —
+//     agents themselves stay oblivious to loss.
+//
+// When a packet exhausts max_retries the endpoint gives up: an in-flight
+// escalation (kPutIntf) is unwound through HarpAgent::abort_pending —
+// the same rollback a kReject performs — so the protocol degrades to
+// "adjustment denied" instead of deadlocking (ISSUE: kReject unwind on
+// timeout). See docs/RUNTIME.md and PROTOCOL.md "Timers & retransmission".
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hpp"
+#include "proto/agent.hpp"
+#include "rt/channel.hpp"
+#include "rt/dispatcher.hpp"
+
+namespace harp::rt {
+
+/// Reliability knobs, in virtual ticks. Defaults tolerate the 20% drop
+/// ceiling of the acceptance tests with enormous headroom: the chance of
+/// 16 consecutive losses at p=0.2 is ~6e-12 per exchange.
+struct ArqOptions {
+  bool enabled{true};
+  Tick rto{8};          ///< initial retransmit timeout
+  Tick rto_max{512};    ///< backoff cap
+  int max_retries{16};  ///< give-up threshold (attempts beyond the first)
+};
+
+class ReliableEndpoint : public proto::Transport {
+ public:
+  ReliableEndpoint(proto::HarpAgent& agent, Dispatcher& d, Channel& ch,
+                   ArqOptions opt = {});
+
+  /// proto::Transport: the agent's outgoing messages enter here.
+  void send(proto::Message msg) override;
+
+  /// Channel sink: every packet addressed to this node lands here.
+  void on_packet(const Packet& p);
+
+  proto::HarpAgent& agent() { return agent_; }
+  const proto::HarpAgent& agent() const { return agent_; }
+
+  /// True when no sent packet still awaits its ack.
+  bool quiescent() const;
+
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t give_ups() const { return give_ups_; }
+
+ private:
+  struct PeerTx {
+    std::uint32_t next_seq{1};
+    std::map<std::uint32_t, proto::Message> unacked;  // seq -> payload
+    std::map<std::uint32_t, int> attempts;            // seq -> sends so far
+    bool timer_armed{false};
+    TimerId timer{0};
+    Tick rto{0};  // current (backed-off) timeout
+  };
+  struct PeerRx {
+    std::uint32_t expected{1};
+    std::map<std::uint32_t, proto::Message> held;  // out-of-order buffer
+  };
+
+  void transmit(NodeId peer, std::uint32_t seq, const proto::Message& m);
+  void arm(NodeId peer, PeerTx& tx);
+  void on_timeout(NodeId peer);
+  void give_up(NodeId peer, PeerTx& tx);
+  void on_ack(NodeId peer, std::uint32_t seq);
+  void on_data(const Packet& p);
+
+  proto::HarpAgent& agent_;
+  Dispatcher& d_;
+  Channel& ch_;
+  ArqOptions opt_;
+  std::map<NodeId, PeerTx> tx_;
+  std::map<NodeId, PeerRx> rx_;
+  std::uint64_t retransmits_{0};
+  std::uint64_t give_ups_{0};
+};
+
+}  // namespace harp::rt

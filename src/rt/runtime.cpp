@@ -1,0 +1,209 @@
+#include "rt/runtime.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/hash.hpp"
+#include "proto/network.hpp"
+
+namespace harp::rt {
+
+namespace {
+
+std::uint64_t fold_u64(std::uint64_t h, std::uint64_t v) {
+  return fnv1a_value(h, v);
+}
+
+}  // namespace
+
+std::uint64_t state_fingerprint(const core::PartitionTable& parts,
+                                const core::Schedule& sched) {
+  std::uint64_t h = kFnvOffset;
+  for (Direction dir : {Direction::kUp, Direction::kDown}) {
+    const auto rows = parts.rows(dir);
+    h = fold_u64(h, rows.size());
+    for (const core::PartitionTable::Row& r : rows) {
+      h = fold_u64(h, dir == Direction::kUp ? 0 : 1);
+      h = fold_u64(h, r.node);
+      h = fold_u64(h, static_cast<std::uint64_t>(r.layer));
+      h = fold_u64(h, static_cast<std::uint64_t>(r.part.comp.slots));
+      h = fold_u64(h, static_cast<std::uint64_t>(r.part.comp.channels));
+      h = fold_u64(h, r.part.slot);
+      h = fold_u64(h, r.part.channel);
+    }
+  }
+  const auto entries = sched.entries();
+  h = fold_u64(h, entries.size());
+  for (const core::ScheduleEntry& e : entries) {
+    h = fold_u64(h, e.child);
+    h = fold_u64(h, e.dir == Direction::kUp ? 0 : 1);
+    h = fold_u64(h, e.cell.slot);
+    h = fold_u64(h, e.cell.channel);
+  }
+  return h;
+}
+
+ProtoRuntime::ProtoRuntime(const net::Topology& topo,
+                           const net::TrafficMatrix& traffic,
+                           const net::SlotframeConfig& frame, Dispatcher& d,
+                           Channel& ch, std::span<const net::Task> tasks,
+                           int own_slack, Options opt)
+    : topo_(topo),
+      frame_(frame),
+      own_slack_(own_slack),
+      opt_(opt),
+      d_(d),
+      ch_(ch) {
+  for (proto::AgentConfig& cfg :
+       proto::make_agent_configs(topo, traffic, frame, tasks, own_slack)) {
+    add_agent(std::move(cfg));
+  }
+}
+
+void ProtoRuntime::add_agent(proto::AgentConfig cfg) {
+  agents_.push_back(std::make_unique<proto::HarpAgent>(std::move(cfg)));
+  // The endpoint attaches itself to the channel as its agent's sink.
+  endpoints_.push_back(std::make_unique<ReliableEndpoint>(
+      *agents_.back(), d_, ch_, opt_.arq));
+}
+
+proto::HarpAgent& ProtoRuntime::agent(NodeId id) {
+  HARP_ASSERT(id < agents_.size());
+  return *agents_[id];
+}
+
+const proto::HarpAgent& ProtoRuntime::agent(NodeId id) const {
+  HARP_ASSERT(id < agents_.size());
+  return *agents_[id];
+}
+
+ReliableEndpoint& ProtoRuntime::endpoint(NodeId id) {
+  HARP_ASSERT(id < endpoints_.size());
+  return *endpoints_[id];
+}
+
+void ProtoRuntime::settle() { d_.run_until_idle(opt_.max_events); }
+
+bool ProtoRuntime::quiescent() {
+  if (!d_.idle()) return false;
+  for (const auto& ep : endpoints_) {
+    if (!ep->quiescent()) return false;
+  }
+  return true;
+}
+
+void ProtoRuntime::bootstrap() {
+  // Deepest nodes first, exactly like AgentNetwork::bootstrap: each start
+  // is one dispatcher task, so the send order (and with it the delivered
+  // order on in-order transports) matches the synchronous path.
+  for (NodeId v : topo_.nodes_bottom_up()) {
+    d_.post([this, v] { agent(v).start(endpoint(v)); });
+  }
+  settle();
+  for (NodeId v = 0; v < topo_.size(); ++v) {
+    if (!topo_.is_leaf(v)) HARP_ASSERT(agent(v).ready());
+  }
+}
+
+void ProtoRuntime::change_demand(NodeId child, Direction dir, int cells) {
+  HARP_ASSERT(child != net::Topology::gateway() && child < topo_.size());
+  const NodeId parent = topo_.parent(child);
+  d_.post([this, parent, child, dir, cells] {
+    agent(parent).change_demand(child, dir, cells, endpoint(parent));
+  });
+  settle();
+}
+
+NodeId ProtoRuntime::join_node(NodeId parent, int up_cells, int down_cells) {
+  HARP_ASSERT(parent < topo_.size());
+  topo_ = topo_.with_leaf(parent);
+  const NodeId node = static_cast<NodeId>(topo_.size() - 1);
+
+  proto::AgentConfig cfg;
+  cfg.id = node;
+  cfg.parent = parent;
+  cfg.link_layer = topo_.link_layer(node);
+  cfg.frame = frame_;
+  cfg.own_slack = own_slack_;
+  add_agent(std::move(cfg));
+
+  d_.post([this, node] { agent(node).start(endpoint(node)); });
+  d_.post([this, parent, node, up_cells, down_cells] {
+    agent(parent).add_child(
+        proto::ChildLink{node, true, up_cells, down_cells, ~0u, ~0u},
+        endpoint(parent));
+  });
+  settle();
+  return node;
+}
+
+void ProtoRuntime::leave_node(NodeId leaf) {
+  HARP_ASSERT(leaf != net::Topology::gateway() && leaf < topo_.size());
+  const NodeId parent = topo_.parent(leaf);
+  d_.post([this, parent, leaf] {
+    agent(parent).remove_child(leaf, endpoint(parent));
+  });
+  settle();
+}
+
+void ProtoRuntime::roam_node(NodeId leaf, NodeId new_parent) {
+  HARP_ASSERT(leaf != net::Topology::gateway() && leaf < topo_.size());
+  const NodeId old_parent = topo_.parent(leaf);
+  const int up = agent(old_parent).child_demand(leaf, Direction::kUp);
+  const int down = agent(old_parent).child_demand(leaf, Direction::kDown);
+
+  d_.post([this, old_parent, leaf] {
+    agent(old_parent).remove_child(leaf, endpoint(old_parent));
+  });
+  settle();
+  topo_ = topo_.with_parent(leaf, new_parent);  // validates against cycles
+  agent(leaf).rehome(new_parent, topo_.link_layer(leaf));
+  d_.post([this, new_parent, leaf, up, down] {
+    agent(new_parent).add_child(
+        proto::ChildLink{leaf, true, up, down, ~0u, ~0u},
+        endpoint(new_parent));
+  });
+  settle();
+}
+
+core::Schedule ProtoRuntime::current_schedule() const {
+  core::Schedule schedule(topo_.size());
+  for (NodeId v = 0; v < topo_.size(); ++v) {
+    for (NodeId c : topo_.children(v)) {
+      for (Direction dir : {Direction::kUp, Direction::kDown}) {
+        schedule.set_cells(c, dir, agent(v).child_cells(c, dir));
+      }
+    }
+  }
+  return schedule;
+}
+
+core::PartitionTable ProtoRuntime::current_partitions() const {
+  core::PartitionTable parts(topo_.size());
+  for (NodeId v = 0; v < topo_.size(); ++v) {
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      for (int layer : agent(v).partition_layers(dir)) {
+        parts.set(dir, v, layer, agent(v).partition(dir, layer));
+      }
+    }
+  }
+  return parts;
+}
+
+std::uint64_t ProtoRuntime::fingerprint() const {
+  return state_fingerprint(current_partitions(), current_schedule());
+}
+
+std::uint64_t ProtoRuntime::total_retransmits() const {
+  std::uint64_t n = 0;
+  for (const auto& ep : endpoints_) n += ep->retransmits();
+  return n;
+}
+
+std::uint64_t ProtoRuntime::total_give_ups() const {
+  std::uint64_t n = 0;
+  for (const auto& ep : endpoints_) n += ep->give_ups();
+  return n;
+}
+
+}  // namespace harp::rt

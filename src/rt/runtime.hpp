@@ -1,0 +1,107 @@
+// ProtoRuntime: a whole HARP network of agents running event-driven over
+// one dispatcher and one pluggable Channel (docs/RUNTIME.md).
+//
+// The event-driven twin of proto::AgentNetwork: same construction inputs,
+// same operations (bootstrap / change_demand / join / leave / roam), but
+// every message travels as dispatcher events through the chosen transport
+// — loopback, lossy loopback, or the TSCH management plane — with one
+// ReliableEndpoint per node supplying retransmission when the transport
+// can lose packets. On loss-free transports the delivered message order
+// is identical to AgentNetwork's FIFO pump, which is what makes
+// state_fingerprint() bit-identical across the two paths (test-asserted).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "harp/partition_alloc.hpp"
+#include "harp/schedule.hpp"
+#include "net/task.hpp"
+#include "net/topology.hpp"
+#include "net/traffic.hpp"
+#include "proto/agent.hpp"
+#include "rt/channel.hpp"
+#include "rt/dispatcher.hpp"
+#include "rt/endpoint.hpp"
+
+namespace harp::rt {
+
+/// Order-insensitive digest of a network's converged control state: FNV
+/// over every partition row and schedule entry, in canonical (direction,
+/// node, layer) order. Computed the same way for ProtoRuntime,
+/// proto::AgentNetwork, and core::HarpEngine outputs, so "same final
+/// state" is one integer comparison in tests and benches.
+std::uint64_t state_fingerprint(const core::PartitionTable& parts,
+                                const core::Schedule& sched);
+
+/// ProtoRuntime knobs (a namespace-scope struct so the constructor can
+/// default it — in-class NSDMIs cannot be used in a default argument of
+/// the enclosing class).
+struct RuntimeOptions {
+  /// Reliability for every endpoint. Disable on loss-free transports
+  /// to keep the wire byte-identical to the synchronous paths.
+  ArqOptions arq{};
+  /// Event budget per settle() — the no-deadlock backstop.
+  std::size_t max_events{Dispatcher::kDefaultEventCap};
+};
+
+class ProtoRuntime {
+ public:
+  using Options = RuntimeOptions;
+
+  ProtoRuntime(const net::Topology& topo, const net::TrafficMatrix& traffic,
+               const net::SlotframeConfig& frame, Dispatcher& d, Channel& ch,
+               std::span<const net::Task> tasks = {}, int own_slack = 0,
+               Options opt = Options{});
+
+  /// Runs the static phases to quiescence (event-driven bootstrap).
+  void bootstrap();
+
+  /// Injects a demand change at the link's parent, then settles.
+  void change_demand(NodeId child, Direction dir, int cells);
+
+  /// Topology dynamics (leaf devices), each settled to quiescence.
+  NodeId join_node(NodeId parent, int up_cells, int down_cells);
+  void leave_node(NodeId leaf);
+  void roam_node(NodeId leaf, NodeId new_parent);
+
+  proto::HarpAgent& agent(NodeId id);
+  const proto::HarpAgent& agent(NodeId id) const;
+  ReliableEndpoint& endpoint(NodeId id);
+
+  const net::Topology& topology() const { return topo_; }
+
+  /// Assembles the global schedule from every parent's cell assignments.
+  core::Schedule current_schedule() const;
+  /// Assembles a PartitionTable view for validation against the oracle.
+  core::PartitionTable current_partitions() const;
+  /// state_fingerprint() of the two views above.
+  std::uint64_t fingerprint() const;
+
+  /// True when the dispatcher has no work and no endpoint awaits an ack.
+  bool quiescent();
+
+  /// Total retransmissions across all endpoints (bounded-retry checks).
+  std::uint64_t total_retransmits() const;
+  std::uint64_t total_give_ups() const;
+
+ private:
+  /// Runs the dispatcher until the network is quiescent (the event-driven
+  /// analogue of AgentNetwork::pump): with ARQ, quiescence waits for the
+  /// retransmit machinery to drain too.
+  void settle();
+  void add_agent(proto::AgentConfig cfg);
+
+  net::Topology topo_;
+  net::SlotframeConfig frame_;
+  int own_slack_{0};
+  Options opt_;
+  Dispatcher& d_;
+  Channel& ch_;
+  std::vector<std::unique_ptr<proto::HarpAgent>> agents_;
+  std::vector<std::unique_ptr<ReliableEndpoint>> endpoints_;
+};
+
+}  // namespace harp::rt

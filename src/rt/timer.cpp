@@ -1,0 +1,42 @@
+#include "rt/timer.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace harp::rt {
+
+TimerId TimerQueue::schedule(Tick deadline, Callback cb) {
+  const TimerId id = next_id_++;
+  live_.emplace(id, std::move(cb));
+  heap_.push_back({deadline, id});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return id;
+}
+
+bool TimerQueue::cancel(TimerId id) { return live_.erase(id) > 0; }
+
+void TimerQueue::prune() {
+  while (!heap_.empty() && live_.find(heap_.front().id) == live_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+Tick TimerQueue::next_deadline() {
+  prune();
+  return heap_.empty() ? kNeverTick : heap_.front().deadline;
+}
+
+std::optional<TimerQueue::Callback> TimerQueue::pop_due(Tick now) {
+  prune();
+  if (heap_.empty() || heap_.front().deadline > now) return std::nullopt;
+  const TimerId id = heap_.front().id;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+  auto it = live_.find(id);
+  Callback cb = std::move(it->second);
+  live_.erase(it);
+  return cb;
+}
+
+}  // namespace harp::rt

@@ -1,0 +1,82 @@
+// TimerQueue: virtual-clock timers for the rt dispatcher.
+//
+// A binary min-heap of absolute deadlines (like protolib's ProtoTimer the
+// API is deadline-based, not interval-based) with lazy cancellation: a
+// cancelled timer's heap entry stays behind and is skipped when it
+// surfaces. Ties on the deadline fire in schedule order — TimerId is
+// monotonically increasing and breaks ties — which is one of the
+// determinism rules in docs/RUNTIME.md: same schedule/cancel sequence,
+// same firing sequence, on every platform.
+//
+// The queue knows nothing about time itself; the owning rt::Dispatcher
+// advances its virtual clock to `next_deadline()` and pops due callbacks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+namespace harp::rt {
+
+/// Virtual time, in dispatcher ticks. A tick has no fixed wall duration;
+/// the MgmtChannel transport equates one tick with one TSCH slot.
+using Tick = std::uint64_t;
+
+/// Handle for cancelling a scheduled timer. Never reused within a queue.
+using TimerId = std::uint64_t;
+
+/// "No deadline" sentinel returned by next_deadline() on an empty queue.
+inline constexpr Tick kNeverTick = ~0ull;
+
+class TimerQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Arms a one-shot timer at the absolute virtual time `deadline` and
+  /// returns its cancellation handle. Deadlines in the past are legal;
+  /// they become due immediately.
+  TimerId schedule(Tick deadline, Callback cb);
+
+  /// Disarms a live timer. Returns false when the id already fired, was
+  /// already cancelled, or never existed. O(log n) amortized: the heap
+  /// entry is abandoned and skipped later (lazy cancellation).
+  bool cancel(TimerId id);
+
+  /// Earliest live deadline, or kNeverTick when no timer is armed.
+  Tick next_deadline();
+
+  /// Extracts the earliest live timer with deadline <= now, or nullopt.
+  /// The caller runs the callback (the queue never re-enters user code).
+  std::optional<Callback> pop_due(Tick now);
+
+  /// Live (scheduled and not yet fired/cancelled) timer count.
+  std::size_t size() const { return live_.size(); }
+  bool empty() const { return live_.empty(); }
+
+ private:
+  struct Entry {
+    Tick deadline;
+    TimerId id;
+  };
+
+  /// Drops cancelled entries off the heap top.
+  void prune();
+
+  static bool later(const Entry& a, const Entry& b) {
+    // std::push_heap builds a max-heap; "later" ordering turns it into a
+    // min-heap on (deadline, id).
+    return a.deadline > b.deadline ||
+           (a.deadline == b.deadline && a.id > b.id);
+  }
+
+  std::vector<Entry> heap_;
+  /// Callbacks of live timers; absence marks a lazily-cancelled entry.
+  /// std::map keeps behavior independent of hash ordering.
+  std::map<TimerId, Callback> live_;
+  TimerId next_id_{1};
+};
+
+}  // namespace harp::rt

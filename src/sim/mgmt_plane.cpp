@@ -57,6 +57,13 @@ void MgmtPlane::send(proto::Message msg) {
 
 void MgmtPlane::on_slot(AbsoluteSlot t,
                         std::vector<proto::HarpAgent*>& agents) {
+  deliver_on_slot(t, [&](const proto::Message& msg) {
+    HARP_ASSERT(msg.dst < agents.size());
+    agents[msg.dst]->on_message(msg, *this);
+  });
+}
+
+void MgmtPlane::deliver_on_slot(AbsoluteSlot t, const DeliverFn& deliver) {
   now_ = t;
   if (queued_ == 0) return;
   const SlotId slot = static_cast<SlotId>(t % frame_.length);
@@ -77,9 +84,23 @@ void MgmtPlane::on_slot(AbsoluteSlot t,
                     .b = q.msg.dst,
                     .slot = t,
                     .value = bytes});
-    HARP_ASSERT(q.msg.dst < agents.size());
-    agents[q.msg.dst]->on_message(q.msg, *this);
+    deliver(q.msg);
   }
+}
+
+AbsoluteSlot MgmtPlane::next_departure_after(AbsoluteSlot t) const {
+  AbsoluteSlot best = kNoDeparture;
+  for (NodeId node = 0; node < queues_.size(); ++node) {
+    if (queues_[node].empty()) continue;
+    // Smallest T >= t+1 with T mod length == tx_slot(node).
+    const AbsoluteSlot base = t + 1;
+    const SlotId want = tx_slot(node);
+    const SlotId at = static_cast<SlotId>(base % frame_.length);
+    const AbsoluteSlot next =
+        base + (want >= at ? want - at : frame_.length - at + want);
+    best = std::min(best, next);
+  }
+  return best;
 }
 
 MgmtPlane::Summary MgmtPlane::summarize(const net::Topology& topo) const {

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <set>
 #include <vector>
@@ -35,6 +36,26 @@ class MgmtPlane : public proto::Transport {
   /// oldest queued message is delivered. `agents` receive messages and may
   /// send follow-ups (which queue for later cells).
   void on_slot(AbsoluteSlot t, std::vector<proto::HarpAgent*>& agents);
+
+  /// Receiver callback for deliver_on_slot: one call per message whose TX
+  /// cell fires, in ascending source-node order. The callee may send()
+  /// follow-ups, which queue for later cells (never the firing one).
+  using DeliverFn = std::function<void(const proto::Message&)>;
+
+  /// The transport half of on_slot(): advances to slot `t` and hands each
+  /// departing message to `deliver` instead of dispatching to agents.
+  /// This is how rt::MgmtChannel drives the plane from dispatcher timers
+  /// while the lockstep on_slot() path keeps byte-identical behavior.
+  void deliver_on_slot(AbsoluteSlot t, const DeliverFn& deliver);
+
+  /// "Nothing queued" sentinel for next_departure_after().
+  static constexpr AbsoluteSlot kNoDeparture = ~0ull;
+
+  /// Earliest absolute slot strictly after `t` at which some queued
+  /// message departs (the next slot whose TX cell has a backlog), or
+  /// kNoDeparture while idle. Lets an event-driven driver skip straight
+  /// to the next interesting slot instead of ticking every slot.
+  AbsoluteSlot next_departure_after(AbsoluteSlot t) const;
 
   /// True while any management message is still queued.
   bool busy() const { return queued_ > 0; }

@@ -9,6 +9,9 @@
 #include "net/topology_gen.hpp"
 #include "net/traffic.hpp"
 #include "proto/network.hpp"
+#include "rt/channel.hpp"
+#include "rt/dispatcher.hpp"
+#include "rt/runtime.hpp"
 #include "sim/harp_sim.hpp"
 
 namespace harp {
@@ -287,6 +290,56 @@ TEST(SimDynamics, RoamKeepsServiceRunning) {
   EXPECT_LE(sim.metrics().node_latency(49).mean(),
             3 * frame().frame_seconds());
   (void)s;
+}
+
+// --------------------------------------------- event-driven rt runtime
+
+TEST(RtDynamics, LossyTopologyDynamicsConvergeToTheLockstepState) {
+  const Net n = echo_net(net::fig1_tree());
+
+  // Loss-free reference: the synchronous agents running the same mixed
+  // join / demand-change / roam / leave sequence.
+  proto::AgentNetwork reference(n.topo, n.traffic, frame(), n.tasks, 1);
+  reference.bootstrap();
+  const auto joined = reference.join_node(7, 2, 1);
+  reference.change_demand(joined.node, Direction::kUp, 3);
+  reference.roam_node(joined.node, 2);
+  const auto joined2 = reference.join_node(4, 1, 1);
+  reference.leave_node(joined.node);
+  const std::uint64_t want = rt::state_fingerprint(
+      reference.current_partitions(), reference.current_schedule());
+
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    rt::Dispatcher d(seed);
+    rt::LossyChannel::Options lossy;
+    lossy.drop_rate = 0.15;
+    lossy.duplicate_rate = 0.05;
+    lossy.delay_min = 1;
+    lossy.delay_max = 6;
+    lossy.seed = derive_seed(seed, 7);
+    rt::LossyChannel ch(d, lossy);
+    rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks, 1);
+    runtime.bootstrap();
+    const NodeId node = runtime.join_node(7, 2, 1);
+    ASSERT_EQ(node, joined.node);
+    runtime.change_demand(node, Direction::kUp, 3);
+    runtime.roam_node(node, 2);
+    ASSERT_EQ(runtime.join_node(4, 1, 1), joined2.node);
+    runtime.leave_node(node);
+
+    EXPECT_EQ(runtime.fingerprint(), want) << "seed " << seed;
+    EXPECT_TRUE(runtime.quiescent());
+    EXPECT_EQ(runtime.total_give_ups(), 0u);
+
+    // The converged distributed state stays valid against the oracle.
+    net::TrafficMatrix traffic = n.traffic;
+    traffic.resize(runtime.topology().size());
+    traffic.set_uplink(joined2.node, 1);
+    traffic.set_downlink(joined2.node, 1);
+    EXPECT_EQ(core::validate_schedule(runtime.topology(), traffic,
+                                      runtime.current_schedule(), frame()),
+              "");
+  }
 }
 
 }  // namespace

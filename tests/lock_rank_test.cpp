@@ -37,6 +37,32 @@ TEST(LockRank, NestedAcquisitionInRankOrderIsSilent) {
   obs::disable();
 }
 
+TEST(LockRank, TableValuesArePinned) {
+  // The rank table is API (docs/STATIC_ANALYSIS.md); renumbering breaks
+  // the documented hierarchy, so every slot is pinned here.
+  EXPECT_EQ(static_cast<std::uint32_t>(LockRank::kFleetShard), 100u);
+  EXPECT_EQ(static_cast<std::uint32_t>(LockRank::kWorkerPool), 200u);
+  EXPECT_EQ(static_cast<std::uint32_t>(LockRank::kComposeCache), 300u);
+  // rt.Dispatcher.inbox: above kComposeCache (any subsystem may
+  // post_external while holding coarser locks), below kObsIntern (the
+  // drain path may intern instruments).
+  EXPECT_EQ(static_cast<std::uint32_t>(LockRank::kRtDispatcher), 350u);
+  EXPECT_EQ(static_cast<std::uint32_t>(LockRank::kObsIntern), 400u);
+}
+
+TEST(LockRank, RtDispatcherNestsUnderEveryCoarserRank) {
+  Mutex shard{LockRank::kFleetShard, "test.rt_rank.shard"};
+  Mutex pool{LockRank::kWorkerPool, "test.rt_rank.pool"};
+  Mutex cache{LockRank::kComposeCache, "test.rt_rank.cache"};
+  Mutex inbox{LockRank::kRtDispatcher, "test.rt_rank.inbox"};
+  Mutex intern{LockRank::kObsIntern, "test.rt_rank.intern"};
+  MutexLock a(shard);
+  MutexLock b(pool);
+  MutexLock c(cache);
+  MutexLock d(inbox);
+  MutexLock e(intern);
+}
+
 TEST(LockRank, ReleaseUnwindsTheHeldStack) {
   // Sequential (non-nested) acquisition carries no ordering constraint:
   // once a lock is released its rank must no longer gate anything.

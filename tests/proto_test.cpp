@@ -9,6 +9,9 @@
 #include "net/topology_gen.hpp"
 #include "proto/codec.hpp"
 #include "proto/network.hpp"
+#include "rt/channel.hpp"
+#include "rt/dispatcher.hpp"
+#include "rt/runtime.hpp"
 
 namespace harp::proto {
 namespace {
@@ -344,6 +347,65 @@ TEST(Agents, FuzzAgainstEngine) {
               << "seed " << seed << " step " << step;
         }
       }
+    }
+  }
+}
+
+// ------------------------------------------- event-driven lossy runtime
+
+TEST(Agents, LossySweepConvergesToEngineFingerprint) {
+  const Net n = echo_net(net::testbed_tree());
+  const struct {
+    NodeId child;
+    Direction dir;
+    int cells;
+  } steps[] = {
+      {49, Direction::kUp, 3},  {15, Direction::kUp, 4},
+      {43, Direction::kDown, 2}, {5, Direction::kUp, 9},
+      {30, Direction::kUp, 3},  {49, Direction::kUp, 1},
+      {22, Direction::kDown, 5},
+  };
+
+  // Loss-free references: the synchronous agents and the engine oracle.
+  AgentNetwork reference(n.topo, n.traffic, frame(), n.tasks);
+  reference.bootstrap();
+  core::HarpEngine engine(n.topo, n.traffic, frame(), n.tasks);
+  for (const auto& s : steps) {
+    reference.change_demand(s.child, s.dir, s.cells);
+    ASSERT_TRUE(engine.request_demand(s.child, s.dir, s.cells).satisfied);
+  }
+  const std::uint64_t want = rt::state_fingerprint(
+      reference.current_partitions(), reference.current_schedule());
+  ASSERT_EQ(want,
+            rt::state_fingerprint(engine.partitions(), engine.schedule()));
+
+  // Sweep drop rates x seeds: the rt runtime over the lossy loopback must
+  // converge to the identical state every time, with the ARQ machinery
+  // fully drained (quiescent, no give-ups) and bounded retransmissions.
+  for (const double drop : {0.05, 0.10, 0.20}) {
+    for (const std::uint64_t seed : {1u, 2u, 3u}) {
+      rt::Dispatcher d(seed);
+      rt::LossyChannel::Options lossy;
+      lossy.drop_rate = drop;
+      lossy.duplicate_rate = 0.02;
+      lossy.delay_min = 0;
+      lossy.delay_max = 7;  // wide enough to reorder across exchanges
+      lossy.seed = derive_seed(seed, static_cast<std::uint64_t>(drop * 100));
+      rt::LossyChannel ch(d, lossy);
+      rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks);
+      runtime.bootstrap();
+      for (const auto& s : steps) {
+        runtime.change_demand(s.child, s.dir, s.cells);
+      }
+      EXPECT_EQ(runtime.fingerprint(), want)
+          << "drop " << drop << " seed " << seed;
+      EXPECT_TRUE(runtime.quiescent());
+      EXPECT_EQ(runtime.total_give_ups(), 0u);
+      // Bounded recovery: the retry budget stays proportional to what the
+      // channel actually lost (each drop costs at most a few timeouts).
+      EXPECT_LE(runtime.total_retransmits(),
+                8 * (ch.dropped() + 1))
+          << "drop " << drop << " seed " << seed;
     }
   }
 }

@@ -1,0 +1,477 @@
+// Tests for the event-driven protocol runtime (src/rt): dispatcher and
+// timer determinism, the transport matrix, ARQ recovery under loss, and
+// the keystone cross-validation — on loss-free transports the rt path's
+// state fingerprint is bit-identical to the synchronous/lockstep paths.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sync.hpp"
+#include "harp/engine.hpp"
+#include "harp/schedule.hpp"
+#include "net/topology_gen.hpp"
+#include "net/traffic.hpp"
+#include "proto/network.hpp"
+#include "rt/channel.hpp"
+#include "rt/dispatcher.hpp"
+#include "rt/endpoint.hpp"
+#include "rt/runtime.hpp"
+#include "rt/timer.hpp"
+#include "sim/mgmt_plane.hpp"
+
+namespace harp {
+namespace {
+
+net::SlotframeConfig frame() { return net::SlotframeConfig{}; }
+
+struct Net {
+  net::Topology topo;
+  net::TrafficMatrix traffic;
+  std::vector<net::Task> tasks;
+};
+
+Net echo_net(net::Topology topo) {
+  auto tasks = net::uniform_echo_tasks(topo, frame().length);
+  auto traffic = net::derive_traffic(topo, tasks, frame());
+  return {std::move(topo), std::move(traffic), std::move(tasks)};
+}
+
+std::uint64_t network_fingerprint(const proto::AgentNetwork& network) {
+  return rt::state_fingerprint(network.current_partitions(),
+                               network.current_schedule());
+}
+
+// --------------------------------------------------------------- timers
+
+TEST(RtTimerQueue, FiresInDeadlineThenScheduleOrder) {
+  rt::TimerQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(30); });
+  q.schedule(10, [&] { fired.push_back(101); });
+  q.schedule(20, [&] { fired.push_back(20); });
+  q.schedule(10, [&] { fired.push_back(102); });  // same deadline, later
+
+  EXPECT_EQ(q.next_deadline(), 10u);
+  while (auto cb = q.pop_due(100)) (*cb)();
+  EXPECT_EQ(fired, (std::vector<int>{101, 102, 20, 30}));
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_deadline(), rt::kNeverTick);
+}
+
+TEST(RtTimerQueue, CancelledTimersNeverFireAndAreSkipped) {
+  rt::TimerQueue q;
+  int fired = 0;
+  const rt::TimerId early = q.schedule(5, [&] { ++fired; });
+  q.schedule(7, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(early));
+  EXPECT_FALSE(q.cancel(early));  // already cancelled
+  EXPECT_FALSE(q.cancel(999));    // never existed
+  EXPECT_EQ(q.size(), 1u);
+  EXPECT_EQ(q.next_deadline(), 7u);  // cancelled head pruned
+  EXPECT_FALSE(q.pop_due(6).has_value());
+  auto cb = q.pop_due(7);
+  ASSERT_TRUE(cb.has_value());
+  (*cb)();
+  EXPECT_EQ(fired, 1);
+}
+
+// ----------------------------------------------------------- dispatcher
+
+TEST(RtDispatcher, RunsPostedTasksInFifoOrder) {
+  rt::Dispatcher d;
+  std::vector<int> order;
+  d.post([&] { order.push_back(1); });
+  d.post([&] {
+    order.push_back(2);
+    d.post([&] { order.push_back(4); });  // behind already-ready 3
+  });
+  d.post([&] { order.push_back(3); });
+  EXPECT_EQ(d.run_until_idle(), 4u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(d.now(), 0u);  // tasks never advance the virtual clock
+}
+
+TEST(RtDispatcher, ClockJumpsToDeadlinesAndTimersObserveNow) {
+  rt::Dispatcher d;
+  std::vector<rt::Tick> at;
+  d.schedule_at(50, [&] { at.push_back(d.now()); });
+  d.schedule_at(10, [&] {
+    at.push_back(d.now());
+    // Re-arming from inside a timer callback is the retransmit idiom.
+    d.schedule_after(15, [&] { at.push_back(d.now()); });
+  });
+  d.run_until_idle();
+  EXPECT_EQ(at, (std::vector<rt::Tick>{10, 25, 50}));
+  EXPECT_EQ(d.now(), 50u);
+  EXPECT_TRUE(d.idle());
+}
+
+TEST(RtDispatcher, ReadyTasksRunBeforeDueTimersAndPastDeadlinesClamp) {
+  rt::Dispatcher d;
+  std::vector<int> order;
+  d.schedule_at(0, [&] { order.push_back(2); });  // due immediately
+  d.post([&] { order.push_back(1); });            // but tasks go first
+  d.run_until_idle();
+  d.schedule_at(5, [&] { order.push_back(3); });
+  d.run_until_idle();
+  EXPECT_EQ(d.now(), 5u);
+  // A deadline in the past fires on the current tick, not in the past.
+  d.schedule_at(1, [&] { order.push_back(4); });
+  d.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(d.now(), 5u);
+}
+
+TEST(RtDispatcher, CancelPreventsFiring) {
+  rt::Dispatcher d;
+  int fired = 0;
+  const rt::TimerId id = d.schedule_at(10, [&] { ++fired; });
+  EXPECT_TRUE(d.cancel(id));
+  EXPECT_FALSE(d.cancel(id));
+  d.run_until_idle();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(d.now(), 0u);  // nothing fired, clock never moved
+}
+
+TEST(RtDispatcher, RunUntilStopsAtTheGivenTick) {
+  rt::Dispatcher d;
+  std::vector<rt::Tick> at;
+  for (rt::Tick t : {5u, 10u, 15u, 20u}) {
+    d.schedule_at(t, [&, t] { at.push_back(t); });
+  }
+  d.run_until(12);
+  EXPECT_EQ(at, (std::vector<rt::Tick>{5, 10}));
+  EXPECT_EQ(d.now(), 12u);
+  d.run_until(20);
+  EXPECT_EQ(at, (std::vector<rt::Tick>{5, 10, 15, 20}));
+}
+
+TEST(RtDispatcher, ExternalPostsCrossThreads) {
+  rt::Dispatcher d;
+  constexpr int kPerProducer = 100;
+  int received = 0;
+  auto produce = [&d] {
+    for (int i = 0; i < kPerProducer; ++i) {
+      d.post_external([] {});
+    }
+  };
+  Thread p1(produce), p2(produce);
+  // Drain concurrently with the producers (the TSan-relevant interleaving);
+  // `received` is only touched on the dispatch thread.
+  while (received < 2 * kPerProducer) {
+    received += static_cast<int>(d.run_until_idle());
+  }
+  p1.join();
+  p2.join();
+  EXPECT_EQ(received, 2 * kPerProducer);
+}
+
+#ifndef HARP_ASSERT_ABORT
+TEST(RtDispatcher, LivelockHitsTheEventCap) {
+  rt::Dispatcher d;
+  std::function<void()> spin = [&] { d.post(spin); };
+  d.post(spin);
+  EXPECT_THROW(d.run_until_idle(/*max_events=*/1000), Error);
+}
+#endif
+
+// ------------------------------------------- loss-free transport parity
+
+TEST(RtRuntime, LoopbackBootstrapFingerprintMatchesLockstepAndEngine) {
+  for (const auto& topo : {net::testbed_tree(), net::fig1_tree()}) {
+    const Net n = echo_net(topo);
+
+    proto::AgentNetwork lockstep(n.topo, n.traffic, frame(), n.tasks);
+    lockstep.bootstrap();
+
+    rt::Dispatcher d;
+    rt::LoopbackChannel ch(d);
+    rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks);
+    runtime.bootstrap();
+
+    EXPECT_EQ(runtime.fingerprint(), network_fingerprint(lockstep));
+    core::HarpEngine engine(n.topo, n.traffic, frame(), n.tasks);
+    EXPECT_EQ(runtime.fingerprint(),
+              rt::state_fingerprint(engine.partitions(), engine.schedule()));
+  }
+}
+
+TEST(RtRuntime, ArqFramingDoesNotChangeLossFreeState) {
+  const Net n = echo_net(net::testbed_tree());
+  proto::AgentNetwork lockstep(n.topo, n.traffic, frame(), n.tasks);
+  lockstep.bootstrap();
+
+  rt::Dispatcher d;
+  rt::LoopbackChannel ch(d);
+  rt::RuntimeOptions opt;
+  opt.arq.enabled = true;
+  rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks, 0,
+                           opt);
+  runtime.bootstrap();
+  runtime.change_demand(49, Direction::kUp, 3);
+  lockstep.change_demand(49, Direction::kUp, 3);
+
+  EXPECT_EQ(runtime.fingerprint(), network_fingerprint(lockstep));
+  EXPECT_EQ(runtime.total_retransmits(), 0u);
+  EXPECT_TRUE(runtime.quiescent());
+}
+
+TEST(RtRuntime, DynamicsMatchLockstepAcrossOperations) {
+  const Net n = echo_net(net::fig1_tree());
+  proto::AgentNetwork lockstep(n.topo, n.traffic, frame(), n.tasks, 1);
+  lockstep.bootstrap();
+
+  rt::Dispatcher d;
+  rt::LoopbackChannel ch(d);
+  rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks, 1);
+  runtime.bootstrap();
+
+  const NodeId joined_rt = runtime.join_node(7, 2, 1);
+  const auto joined = lockstep.join_node(7, 2, 1);
+  ASSERT_EQ(joined_rt, joined.node);
+  EXPECT_EQ(runtime.fingerprint(), network_fingerprint(lockstep));
+
+  runtime.change_demand(joined_rt, Direction::kUp, 3);
+  lockstep.change_demand(joined.node, Direction::kUp, 3);
+  EXPECT_EQ(runtime.fingerprint(), network_fingerprint(lockstep));
+
+  runtime.roam_node(joined_rt, 2);
+  lockstep.roam_node(joined.node, 2);
+  EXPECT_EQ(runtime.fingerprint(), network_fingerprint(lockstep));
+
+  runtime.leave_node(joined_rt);
+  lockstep.leave_node(joined.node);
+  EXPECT_EQ(runtime.fingerprint(), network_fingerprint(lockstep));
+}
+
+// ------------------------------------------------- mgmt-plane transport
+
+TEST(RtRuntime, MgmtChannelReproducesTheLockstepSimulatorExactly) {
+  const Net n = echo_net(net::testbed_tree());
+
+  // Lockstep path: agents over a MgmtPlane driven slot by slot.
+  auto configs =
+      proto::make_agent_configs(n.topo, n.traffic, frame(), n.tasks);
+  std::vector<std::unique_ptr<proto::HarpAgent>> agents;
+  std::vector<proto::HarpAgent*> ptrs;
+  for (auto& cfg : configs) {
+    agents.push_back(std::make_unique<proto::HarpAgent>(std::move(cfg)));
+    ptrs.push_back(agents.back().get());
+  }
+  sim::MgmtPlane lockstep_plane(n.topo, frame());
+  for (NodeId v : n.topo.nodes_bottom_up()) {
+    agents[v]->start(lockstep_plane);
+  }
+  AbsoluteSlot t = 0;
+  while (lockstep_plane.busy()) lockstep_plane.on_slot(++t, ptrs);
+
+  // Event-driven path: the same plane wrapped as a Channel; the
+  // dispatcher's virtual clock ticks in absolute slots.
+  rt::Dispatcher d;
+  sim::MgmtPlane rt_plane(n.topo, frame());
+  rt::MgmtChannel ch(d, rt_plane);
+  rt::RuntimeOptions opt;
+  opt.arq.enabled = false;  // raw transport: the plane is loss-free
+  rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks, 0,
+                           opt);
+  runtime.bootstrap();
+
+  // Identical delivery records: same messages, same slots, same order.
+  const auto& a = lockstep_plane.log();
+  const auto& b = rt_plane.log();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type) << i;
+    EXPECT_EQ(a[i].from, b[i].from) << i;
+    EXPECT_EQ(a[i].to, b[i].to) << i;
+    EXPECT_EQ(a[i].sent, b[i].sent) << i;
+    EXPECT_EQ(a[i].delivered, b[i].delivered) << i;
+  }
+  EXPECT_EQ(d.now(), t);  // the virtual clock ends on the last TX slot
+
+  // And identical converged state.
+  core::PartitionTable parts(n.topo.size());
+  core::Schedule sched(n.topo.size());
+  for (NodeId v = 0; v < n.topo.size(); ++v) {
+    for (Direction dir : {Direction::kUp, Direction::kDown}) {
+      for (int layer : agents[v]->partition_layers(dir)) {
+        parts.set(dir, v, layer, agents[v]->partition(dir, layer));
+      }
+      for (NodeId c : n.topo.children(v)) {
+        sched.set_cells(c, dir, agents[v]->child_cells(c, dir));
+      }
+    }
+  }
+  EXPECT_EQ(runtime.fingerprint(), rt::state_fingerprint(parts, sched));
+}
+
+TEST(MgmtPlane, NextDepartureMatchesTxCellArithmetic) {
+  const Net n = echo_net(net::testbed_tree());
+  sim::MgmtPlane plane(n.topo, frame());
+  EXPECT_EQ(plane.next_departure_after(0), sim::MgmtPlane::kNoDeparture);
+
+  proto::Message msg;
+  msg.type = proto::MsgType::kPostIntf;
+  msg.src = 3;
+  msg.dst = 1;
+  plane.send(msg);
+  const AbsoluteSlot dep = plane.next_departure_after(0);
+  ASSERT_NE(dep, sim::MgmtPlane::kNoDeparture);
+  EXPECT_EQ(static_cast<SlotId>(dep % frame().length), plane.tx_slot(3));
+  // Strictly after `t`: asking from the departure slot itself must yield
+  // the next slotframe's cell.
+  EXPECT_EQ(plane.next_departure_after(dep), dep + frame().length);
+}
+
+// ----------------------------------------------------- lossy + recovery
+
+TEST(RtRuntime, LossyRunsAreDeterministicPerSeed) {
+  const Net n = echo_net(net::testbed_tree());
+  auto run = [&](std::uint64_t seed) {
+    rt::Dispatcher d(seed);
+    rt::LossyChannel::Options lossy;
+    lossy.drop_rate = 0.15;
+    lossy.duplicate_rate = 0.05;
+    lossy.delay_min = 1;
+    lossy.delay_max = 9;
+    lossy.seed = derive_seed(seed, 1);
+    rt::LossyChannel ch(d, lossy);
+    rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks);
+    runtime.bootstrap();
+    runtime.change_demand(49, Direction::kUp, 3);
+    return std::tuple{runtime.fingerprint(), runtime.total_retransmits(),
+                      ch.dropped(), d.dispatched()};
+  };
+  EXPECT_EQ(run(7), run(7));  // bit-identical replay
+  EXPECT_GT(std::get<2>(run(7)), 0u);  // the run actually exercised loss
+}
+
+TEST(RtRuntime, DroppedPutPartStallsWithoutArqAndRecoversWithIt) {
+  const Net n = echo_net(net::testbed_tree());
+
+  // Reference: the loss-free outcome of the same operation — a demand
+  // change at node 5 that escalates once (one PUT-intf up to the
+  // gateway, one PUT-part grant back down).
+  proto::AgentNetwork reference(n.topo, n.traffic, frame(), n.tasks);
+  reference.bootstrap();
+  const auto stats = reference.change_demand(5, Direction::kUp, 9);
+  ASSERT_EQ(stats.count.at(proto::MsgType::kPutIntf), 1u);
+  ASSERT_EQ(stats.count.at(proto::MsgType::kPutPart), 1u);
+  const std::uint64_t want = network_fingerprint(reference);
+
+  auto run = [&](bool arq) {
+    rt::Dispatcher d;
+    rt::LossyChannel ch(d, {});  // loss only via the targeted filter
+    int put_parts_seen = 0;
+    ch.set_drop_filter([&put_parts_seen](const rt::Packet& p) {
+      if (p.kind != rt::Packet::Kind::kData ||
+          p.msg.type != proto::MsgType::kPutPart) {
+        return false;
+      }
+      return ++put_parts_seen == 1;  // swallow only the first grant
+    });
+    rt::RuntimeOptions opt;
+    opt.arq.enabled = arq;
+    auto runtime = std::make_unique<rt::ProtoRuntime>(
+        n.topo, n.traffic, frame(), d, ch, n.tasks, 0, opt);
+    runtime->bootstrap();
+    runtime->change_demand(5, Direction::kUp, 9);
+    bool pending = false;
+    for (NodeId v = 0; v < runtime->topology().size(); ++v) {
+      pending = pending || runtime->agent(v).adjustment_pending();
+    }
+    return std::tuple{runtime->fingerprint(), pending,
+                      runtime->total_retransmits()};
+  };
+
+  // Without retransmission the lost grant stalls the exchange forever:
+  // the escalating node keeps its tentative state pending.
+  const auto [fp_stall, pending_stall, rtx_stall] = run(false);
+  EXPECT_TRUE(pending_stall);
+  EXPECT_NE(fp_stall, want);
+  EXPECT_EQ(rtx_stall, 0u);
+
+  // With ARQ the retransmit timer re-delivers the grant and the network
+  // converges to the loss-free state.
+  const auto [fp_arq, pending_arq, rtx_arq] = run(true);
+  EXPECT_FALSE(pending_arq);
+  EXPECT_EQ(fp_arq, want);
+  EXPECT_GE(rtx_arq, 1u);
+}
+
+TEST(RtRuntime, BlackholedEscalationUnwindsViaGiveUpTimeout) {
+  const Net n = echo_net(net::testbed_tree());
+
+  rt::Dispatcher d;
+  rt::LossyChannel ch(d, {});
+  rt::RuntimeOptions opt;
+  opt.arq.rto = 4;
+  opt.arq.rto_max = 16;
+  opt.arq.max_retries = 5;  // give up quickly; the test blackholes anyway
+  rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks, 0,
+                           opt);
+  runtime.bootstrap();
+  const std::uint64_t before = runtime.fingerprint();
+  const NodeId parent = n.topo.parent(49);
+  const int old_demand =
+      runtime.agent(parent).child_demand(49, Direction::kUp);
+
+  // From now on, no escalation request ever gets through.
+  ch.set_drop_filter([](const rt::Packet& p) {
+    return p.kind == rt::Packet::Kind::kData &&
+           p.msg.type == proto::MsgType::kPutIntf;
+  });
+  runtime.change_demand(49, Direction::kUp, 3);
+
+  // No deadlock: the dispatcher drained, the give-up unwound the pending
+  // escalation exactly like a kReject, and the pre-change state is back.
+  EXPECT_TRUE(runtime.quiescent());
+  EXPECT_GE(runtime.total_give_ups(), 1u);
+  for (NodeId v = 0; v < runtime.topology().size(); ++v) {
+    EXPECT_FALSE(runtime.agent(v).adjustment_pending()) << v;
+  }
+  EXPECT_EQ(runtime.agent(parent).child_demand(49, Direction::kUp),
+            old_demand);
+  EXPECT_EQ(runtime.fingerprint(), before);
+  EXPECT_EQ(core::validate_schedule(runtime.topology(), n.traffic,
+                                    runtime.current_schedule(), frame()),
+            "");
+}
+
+// ------------------------------------------------------------ fixtures
+
+TEST(RtRuntime, AbortPendingWithoutPendingIsANoop) {
+  const Net n = echo_net(net::testbed_tree());
+  rt::Dispatcher d;
+  rt::LoopbackChannel ch(d);
+  rt::ProtoRuntime runtime(n.topo, n.traffic, frame(), d, ch, n.tasks);
+  runtime.bootstrap();
+  EXPECT_FALSE(
+      runtime.agent(1).abort_pending(2, Direction::kUp, runtime.endpoint(1)));
+  EXPECT_EQ(d.run_until_idle(), 0u);  // nothing was sent
+}
+
+TEST(LockRank, RtDispatcherRankSitsBetweenComposeCacheAndObsIntern) {
+  // Pin the published value: the rank table is API (docs/STATIC_ANALYSIS.md).
+  EXPECT_EQ(static_cast<std::uint32_t>(LockRank::kRtDispatcher), 350u);
+  // Posting externally is legal while holding any coarser lock...
+  Mutex shard{LockRank::kFleetShard, "test.rt.shard"};
+  Mutex cache{LockRank::kComposeCache, "test.rt.cache"};
+  Mutex inbox{LockRank::kRtDispatcher, "test.rt.inbox"};
+  {
+    MutexLock a(shard);
+    MutexLock b(cache);
+    MutexLock c(inbox);
+  }
+  // ...and obs interning stays reachable under the inbox lock.
+  Mutex intern{LockRank::kObsIntern, "test.rt.intern"};
+  MutexLock c(inbox);
+  MutexLock i(intern);
+}
+
+}  // namespace
+}  // namespace harp
