@@ -26,12 +26,27 @@
 //            folds into the report checksum.
 //
 // Rates are medians over kRounds identical rounds; every round must
-// reproduce the same checksum or the bench fails hard. The JSON report
+// reproduce the same checksum or the bench fails hard, and the
+// `harp.rt.task_allocs` counter must end the run at exactly zero — one
+// boxed task on a steady-state path is a malloc per event at scale, so
+// the allocation-free contract is gated here, not trusted
+// (docs/RUNTIME.md "Timer wheel & task storage"). The JSON report
 // carries results.rt{events_per_sec, timer_ops_per_sec, msgs_per_sec,
-// fingerprint}; BENCH_rt_dispatch.json is the checked-in baseline.
+// task_allocs, fingerprint}; BENCH_rt_dispatch.json is the checked-in
+// baseline.
+//
+// Reference flags (the perf_steady_state --ref-* idiom):
+//   --ref-events <rate>   pre-wheel events_per_sec
+//   --ref-timer <rate>    pre-wheel timer_ops_per_sec
+//   --ref-msgs <rate>     pre-wheel msgs_per_sec
+// When given, the report embeds them under results.reference together
+// with the speedups vs this run; bench_compare.py holds the recorded
+// speedup_timer >= 3.0 and speedup_events >= 1.5 (hot path 6).
 #include <algorithm>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -183,9 +198,42 @@ std::uint64_t runtime_round(double& seconds, std::uint64_t& msgs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  bench::Args args = bench::Args::parse(argc, argv);
+  // Peel off the reference flags before handing the rest to the shared
+  // parser (which rejects flags it does not know). A reference rate
+  // must be a positive number — a typo'd value silently recorded as 0
+  // would disable the speedup gate, so it is a hard usage error.
+  const auto parse_ref = [&](int& i, const char* flag) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s requires a value\n", argv[0], flag);
+      std::exit(2);
+    }
+    char* end = nullptr;
+    const double v = std::strtod(argv[++i], &end);
+    if (end == argv[i] || *end != '\0' || !(v > 0.0)) {
+      std::fprintf(stderr, "%s: %s expects a positive rate, got '%s'\n",
+                   argv[0], flag, argv[i]);
+      std::exit(2);
+    }
+    return v;
+  };
+  double ref_events = 0.0, ref_timer = 0.0, ref_msgs = 0.0;
+  std::vector<char*> rest{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ref-events") == 0) {
+      ref_events = parse_ref(i, "--ref-events");
+    } else if (std::strcmp(argv[i], "--ref-timer") == 0) {
+      ref_timer = parse_ref(i, "--ref-timer");
+    } else if (std::strcmp(argv[i], "--ref-msgs") == 0) {
+      ref_msgs = parse_ref(i, "--ref-msgs");
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  bench::Args args =
+      bench::Args::parse(static_cast<int>(rest.size()), rest.data());
   // Bare hot path: phase timers and trace events off, counters stay on
-  // (the runtime section reads harp.rt.msgs_delivered).
+  // (the runtime section reads harp.rt.msgs_delivered and the
+  // allocation gate reads harp.rt.task_allocs).
   obs::disable();
 
   std::vector<double> task_rate, timer_rate, msg_rate;
@@ -213,6 +261,18 @@ int main(int argc, char** argv) {
     msg_rate.push_back(static_cast<double>(msgs) / s);
   }
 
+  // The allocation-free contract, gated in-process: not one task was
+  // heap-boxed across every round of all three sections.
+  const std::uint64_t task_allocs =
+      obs::MetricsRegistry::global().counter("harp.rt.task_allocs").value();
+  if (task_allocs != 0) {
+    std::fprintf(stderr,
+                 "ALLOCATION GATE: harp.rt.task_allocs == %llu, expected 0 "
+                 "— a fat capture reached a steady-state path\n",
+                 static_cast<unsigned long long>(task_allocs));
+    std::exit(1);  // NOLINT(concurrency-mt-unsafe) single-threaded bench
+  }
+
   const double events_per_sec = median(task_rate);
   const double timer_ops_per_sec = median(timer_rate);
   const double msgs_per_sec = median(msg_rate);
@@ -232,6 +292,12 @@ int main(int argc, char** argv) {
              bench::fmt(msgs_per_sec, 0)});
   table.print();
   std::printf("fingerprint %s\n", fp_hex(fp).c_str());
+  if (ref_events > 0.0 && ref_timer > 0.0) {
+    std::printf("speedup vs reference: events %.2fx, timers %.2fx, "
+                "msgs %.2fx\n",
+                events_per_sec / ref_events, timer_ops_per_sec / ref_timer,
+                ref_msgs > 0.0 ? msgs_per_sec / ref_msgs : 0.0);
+  }
 
   bench::JsonReport report("perf_rt_dispatch", args);
   obs::Json& rt_out = report.results()["rt"];
@@ -244,7 +310,22 @@ int main(int argc, char** argv) {
   rt_out["events_per_sec"] = events_per_sec;
   rt_out["timer_ops_per_sec"] = timer_ops_per_sec;
   rt_out["msgs_per_sec"] = msgs_per_sec;
+  rt_out["task_allocs"] = static_cast<std::int64_t>(task_allocs);
   rt_out["fingerprint"] = fp_hex(fp);
+  if (ref_events > 0.0 && ref_timer > 0.0) {
+    // The pre-wheel rates and this run's edge over them — the numbers
+    // bench_compare.py's speedup floors (timer >= 3x, events >= 1.5x)
+    // are anchored to when this report becomes the baseline.
+    obs::Json& reference = report.results()["reference"];
+    reference["events_per_sec"] = ref_events;
+    reference["timer_ops_per_sec"] = ref_timer;
+    reference["speedup_events"] = events_per_sec / ref_events;
+    reference["speedup_timer"] = timer_ops_per_sec / ref_timer;
+    if (ref_msgs > 0.0) {
+      reference["msgs_per_sec"] = ref_msgs;
+      reference["speedup_msgs"] = msgs_per_sec / ref_msgs;
+    }
+  }
   report.write();
   return 0;
 }

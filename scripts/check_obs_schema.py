@@ -18,7 +18,8 @@ perf_fleet_scale reports (the multi-tenant control plane,
 docs/FLEET.md) get their `results.fleet` ladder checked: per-size
 fingerprint format, per-shard-config consistency and throughput fields.
 perf_rt_dispatch reports (the event-loop microbench, docs/RUNTIME.md)
-get their `results.rt` block checked: positive throughput rates and a
+get their `results.rt` block checked: positive throughput rates, a
+zero `task_allocs` (the allocation-free event-core contract) and a
 well-formed determinism fingerprint.
 For each `.jsonl` trace: verifies every line parses, every event type is
 documented, and any `trial` shard tag is a non-negative integer. Exits
@@ -146,7 +147,8 @@ def check_fleet_scale(path, section, problems):
 RT_DISPATCH_RATE_KEYS = ("events_per_sec", "timer_ops_per_sec",
                          "msgs_per_sec")
 RT_DISPATCH_COUNT_KEYS = ("rounds", "task_events", "timer_ops",
-                          "churn_ops_per_round", "runtime_msgs")
+                          "churn_ops_per_round", "runtime_msgs",
+                          "task_allocs")
 
 
 def check_rt_dispatch(path, section, problems):
@@ -171,6 +173,14 @@ def check_rt_dispatch(path, section, problems):
     if not re.fullmatch(r"[0-9a-f]{16}", str(fingerprint)):
         problems.append(f"{path}: rt.fingerprint {fingerprint!r} is not 16 "
                         "lowercase hex digits")
+    # The allocation-free contract: every steady-state round must run
+    # without a single boxed task (docs/RUNTIME.md "Timer wheel & task
+    # storage"). Exactly zero, not merely small — one boxed task on a hot
+    # path multiplies into one malloc per event at scale.
+    if section.get("task_allocs") != 0:
+        problems.append(f"{path}: rt.task_allocs is "
+                        f"{section.get('task_allocs')!r}, expected exactly "
+                        "0 (hot paths must not box tasks)")
     unknown = (set(section) - set(RT_DISPATCH_RATE_KEYS)
                - set(RT_DISPATCH_COUNT_KEYS) - {"fingerprint"})
     for key in sorted(unknown):

@@ -6,9 +6,9 @@ Usage:
 
 Walks the first-party translation units from compile_commands.json (plus
 every header under src/), strips comments and — where literals would
-only confuse the check — string literals, and applies three repo checks
-(docs/STATIC_ANALYSIS.md "Concurrency analysis" documents all three and
-the allowlist policy):
+only confuse the check — string literals, and applies four repo checks
+(docs/STATIC_ANALYSIS.md "Concurrency analysis" documents them and the
+allowlist policy):
 
   determinism     Bans nondeterminism primitives in src/: rand()/srand(),
                   std::random_device, time()/clock()/localtime/gmtime,
@@ -31,6 +31,16 @@ the allowlist policy):
                   documented in docs/OBSERVABILITY.md, and every
                   documented name must still exist in src/ — the doc and
                   the code cannot drift apart in either direction.
+
+  std-function    Bans std::function (and std::move_only_function) in
+                  src/rt/ and src/fleet/: the event and fleet data
+                  planes store tasks as fixed-size InlineFunction
+                  callables so steady-state dispatch never allocates
+                  (docs/RUNTIME.md "Timer wheel & task storage"). Fat
+                  captures must go through rt::boxed_task, which is
+                  counted by `harp.rt.task_allocs` and gated to zero on
+                  the bench hot path. Cold setup code (a test-only hook
+                  installed once per run) may escape with a line allow.
 
 Allowlist: FILE_ALLOW below maps a check to repo-relative paths exempt
 from it (each entry says why). A single line can be exempted in place
@@ -67,6 +77,12 @@ FILE_ALLOW = {
         "src/common/sync.cpp",
     ),
     "obs-schema": (),
+    "std-function": (
+        # The reference heap TimerQueue keeps std::function on purpose:
+        # it is the differential-test oracle for TimerWheel, never on
+        # the dispatcher hot path (rt/timer.hpp header comment).
+        "src/rt/timer.hpp",
+    ),
 }
 
 DETERMINISM_PATTERNS = (
@@ -88,6 +104,9 @@ RAW_PRIMITIVE_PATTERN = re.compile(
     r"\bstd::(?:mutex|shared_mutex|recursive_mutex|timed_mutex|"
     r"condition_variable(?:_any)?|thread|jthread|lock_guard|unique_lock|"
     r"scoped_lock|shared_lock)\b")
+
+STD_FUNCTION_PATTERN = re.compile(
+    r"\bstd::(?:function|move_only_function)\b")
 
 OBS_NAME_PATTERN = re.compile(r'"(harp\.[a-z0-9_.]+)"')
 ALLOW_MARKER = re.compile(r"harp-lint:\s*allow\(([a-z-]+)\)")
@@ -170,6 +189,20 @@ def check_raw_primitive(rel, lines, allows, problems):
                 "so the lock carries annotations and a rank")
 
 
+def check_std_function(rel, lines, allows, problems):
+    if not rel.startswith(("src/rt/", "src/fleet/")):
+        return  # other subsystems may type-erase freely
+    for lineno, line in enumerate(lines, 1):
+        code = STRING_LITERAL.sub('""', line)
+        m = STD_FUNCTION_PATTERN.search(code)
+        if m and not allowed("std-function", rel, lineno, allows):
+            problems.append(
+                f"{rel}:{lineno}: [std-function] {m.group(0)} is banned "
+                "on the rt/fleet hot paths — use harp::InlineFunction "
+                "(common/inline_task.hpp) or rt::boxed_task for fat "
+                "cold-path captures (allowlist: scripts/harp_lint.py)")
+
+
 def check_obs_schema(files_lines, documented, problems):
     used = {}  # name -> first "rel:lineno"
     for rel, lines in files_lines.items():
@@ -210,6 +243,7 @@ def main():
         files_lines[rel] = lines
         check_determinism(rel, lines, allows, problems)
         check_raw_primitive(rel, lines, allows, problems)
+        check_std_function(rel, lines, allows, problems)
     if not args.paths:  # partial runs cannot judge doc completeness
         check_obs_schema(files_lines, documented, problems)
 

@@ -1,12 +1,12 @@
 #include "fleet/fleet.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <unordered_map>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/hash.hpp"
+#include "common/ring.hpp"
 #include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
 #include "obs/context.hpp"
@@ -84,7 +84,7 @@ struct Fleet::Shard {
   Mutex mu{LockRank::kFleetShard, "fleet.Shard.mu"};
   CondVar work_cv;  ///< control -> worker: queue non-empty
   CondVar idle_cv;  ///< worker -> control: progress
-  std::deque<Task> queue HARP_GUARDED_BY(mu);
+  RingQueue<Task> queue HARP_GUARDED_BY(mu);
   bool stop HARP_GUARDED_BY(mu){false};
   std::uint64_t enqueued HARP_GUARDED_BY(mu){0};
   std::uint64_t executed HARP_GUARDED_BY(mu){0};
@@ -351,7 +351,10 @@ void Fleet::shard_main(Shard& shard, std::size_t tenant_node_quota) {
     }
   };
 
-  std::deque<Shard::Task> batch;
+  // One scratch ring for the whole shard lifetime: each swap hands the
+  // producer side our drained (but grown) buffer and takes its full one,
+  // so after warm-up neither side allocates again.
+  RingQueue<Shard::Task> batch;
   for (;;) {
     {
       MutexLock lock(shard.mu);
@@ -362,13 +365,16 @@ void Fleet::shard_main(Shard& shard, std::size_t tenant_node_quota) {
     // Batched drain: ops admitted while this batch executes pile up for
     // the next swap — one lock round-trip amortized over the whole tick.
     obs.op_batches->inc();
-    for (Shard::Task& task : batch) execute(task);
+    const std::size_t batch_size = batch.size();
+    while (!batch.empty()) {
+      Shard::Task task = batch.pop_front();
+      execute(task);
+    }
     {
       MutexLock lock(shard.mu);
-      shard.executed += batch.size();
+      shard.executed += batch_size;
     }
     shard.idle_cv.notify_all();
-    batch.clear();
   }
 }
 

@@ -46,9 +46,18 @@ void Channel::deliver(const Packet& p) {
   sinks_[p.dst](p);
 }
 
+void Channel::deliver_pooled(std::uint32_t idx) {
+  // Deliver by reference into the slab (stable even if the sink
+  // re-enters send() and grows the pool), then recycle the slot so the
+  // packet's message buffers are reused by a later send.
+  deliver(pool_.at(idx));
+  pool_.release(idx);
+}
+
 void LoopbackChannel::send(Packet p) {
   channel_obs().sent->inc();
-  d_.post([this, p = std::move(p)] { deliver(p); });
+  const std::uint32_t idx = pool_.acquire(std::move(p));
+  d_.post([this, idx] { deliver_pooled(idx); });
 }
 
 void LossyChannel::enqueue_delivery(const Packet& p) {
@@ -56,10 +65,11 @@ void LossyChannel::enqueue_delivery(const Packet& p) {
                         ? opt_.delay_max - opt_.delay_min
                         : 0;
   const Tick delay = opt_.delay_min + (span > 0 ? rng_.below(span + 1) : 0);
+  const std::uint32_t idx = pool_.acquire(p);  // copy: duplication needs p again
   if (delay == 0) {
-    d_.post([this, p] { deliver(p); });
+    d_.post([this, idx] { deliver_pooled(idx); });
   } else {
-    d_.schedule_after(delay, [this, p] { deliver(p); });
+    d_.schedule_after(delay, [this, idx] { deliver_pooled(idx); });
   }
 }
 

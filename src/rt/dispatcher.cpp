@@ -10,27 +10,32 @@ namespace harp::rt {
 
 namespace {
 
-struct DispatchObs {
-  obs::Counter* events;
-  obs::Counter* timers_scheduled;
-  obs::Counter* timers_fired;
-  obs::Counter* timers_cancelled;
-};
-
 // Names interned once; instruments resolved per call against the calling
-// thread's current context so concurrent trials stay isolated.
-DispatchObs dispatch_obs() {
+// thread's current context so concurrent trials stay isolated. One
+// resolver per counter (not one struct of four): the per-event path
+// touches exactly the instruments it needs.
+obs::Counter& events_counter() {
   static const obs::InstrumentId kEvents =
       obs::intern_counter("harp.rt.events_dispatched");
+  return obs::MetricsRegistry::global().counter(kEvents);
+}
+
+obs::Counter& timers_scheduled_counter() {
   static const obs::InstrumentId kScheduled =
       obs::intern_counter("harp.rt.timers_scheduled");
+  return obs::MetricsRegistry::global().counter(kScheduled);
+}
+
+obs::Counter& timers_fired_counter() {
   static const obs::InstrumentId kFired =
       obs::intern_counter("harp.rt.timers_fired");
+  return obs::MetricsRegistry::global().counter(kFired);
+}
+
+obs::Counter& timers_cancelled_counter() {
   static const obs::InstrumentId kCancelled =
       obs::intern_counter("harp.rt.timers_cancelled");
-  auto& reg = obs::MetricsRegistry::global();
-  return DispatchObs{&reg.counter(kEvents), &reg.counter(kScheduled),
-                     &reg.counter(kFired), &reg.counter(kCancelled)};
+  return obs::MetricsRegistry::global().counter(kCancelled);
 }
 
 }  // namespace
@@ -40,19 +45,24 @@ void Dispatcher::post(Task fn) { ready_.push_back(std::move(fn)); }
 void Dispatcher::post_external(Task fn) {
   MutexLock lock(inbox_mu_);
   inbox_.push_back(std::move(fn));
+  inbox_pending_.store(true, std::memory_order_release);
 }
 
 void Dispatcher::drain_inbox() {
-  std::vector<Task> drained;
-  {
-    MutexLock lock(inbox_mu_);
-    drained.swap(inbox_);
-  }
-  for (Task& t : drained) ready_.push_back(std::move(t));
+  // The pending flag keeps the common no-producer case to one atomic
+  // load per step — no mutex round-trip. When it is set, moving
+  // straight into the ready ring (instead of swapping into a scratch
+  // vector) keeps the inbox's grown capacity. Only the inbox needs the
+  // lock; ready_ is dispatch-thread-only.
+  if (!inbox_pending_.load(std::memory_order_acquire)) return;
+  MutexLock lock(inbox_mu_);
+  for (Task& t : inbox_) ready_.push_back(std::move(t));
+  inbox_.clear();
+  inbox_pending_.store(false, std::memory_order_relaxed);
 }
 
 TimerId Dispatcher::schedule_at(Tick deadline, Task fn) {
-  dispatch_obs().timers_scheduled->inc();
+  timers_scheduled_counter().inc();
   if (deadline < now_) deadline = now_;
   return timers_.schedule(deadline, std::move(fn));
 }
@@ -63,7 +73,7 @@ TimerId Dispatcher::schedule_after(Tick delay, Task fn) {
 
 bool Dispatcher::cancel(TimerId id) {
   const bool live = timers_.cancel(id);
-  if (live) dispatch_obs().timers_cancelled->inc();
+  if (live) timers_cancelled_counter().inc();
   return live;
 }
 
@@ -72,9 +82,9 @@ bool Dispatcher::idle() {
   return ready_.empty() && timers_.empty();
 }
 
-void Dispatcher::note_event(EventKind kind) {
+void Dispatcher::note_event([[maybe_unused]] EventKind kind) {
   ++dispatched_;
-  dispatch_obs().events->inc();
+  events_counter().inc();
   HARP_OBS_EVENT({.type = obs::EventType::kRtEvent,
                   .aux = static_cast<std::uint8_t>(kind),
                   .slot = now_});
@@ -83,9 +93,8 @@ void Dispatcher::note_event(EventKind kind) {
 std::size_t Dispatcher::step() {
   drain_inbox();
   if (!ready_.empty()) {
-    // Move the task out first: it may post/schedule, mutating the deque.
-    Task fn = std::move(ready_.front());
-    ready_.pop_front();
+    // Move the task out first: it may post/schedule, mutating the ring.
+    Task fn = ready_.pop_front();
     note_event(EventKind::kTask);
     fn();
     return 1;
@@ -96,7 +105,7 @@ std::size_t Dispatcher::step() {
   auto cb = timers_.pop_due(now_);
   if (!cb) return 0;
   note_event(EventKind::kTimer);
-  dispatch_obs().timers_fired->inc();
+  timers_fired_counter().inc();
   (*cb)();
   return 1;
 }

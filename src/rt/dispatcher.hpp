@@ -20,22 +20,27 @@
 //     construction, via Rng::fork().
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <vector>
 
+#include "common/inline_task.hpp"
+#include "common/ring.hpp"
 #include "common/rng.hpp"
 #include "common/sync.hpp"
 #include "common/thread_annotations.hpp"
-#include "rt/timer.hpp"
+#include "rt/timer_wheel.hpp"
 
 namespace harp::rt {
 
 class Dispatcher {
  public:
-  using Task = std::function<void()>;
+  /// Every task the dispatcher runs is an InlineTask: captures beyond
+  /// kInlineCaptureBytes are compile errors, so steady-state dispatch
+  /// never heap-allocates (fat captures go through rt::boxed_task,
+  /// which is counted by `harp.rt.task_allocs`).
+  using Task = InlineTask;
 
   /// Kind of event a step() executed; also the aux value of the
   /// `rt_event` trace record (wire names in obs rt_kind_name()).
@@ -103,12 +108,18 @@ class Dispatcher {
 
   Tick now_{0};
   Rng rng_;
-  std::deque<Task> ready_;
-  TimerQueue timers_;
+  RingQueue<Task> ready_;
+  TimerWheel timers_;
   std::uint64_t dispatched_{0};
 
   Mutex inbox_mu_{LockRank::kRtDispatcher, "rt.Dispatcher.inbox"};
   std::vector<Task> inbox_ HARP_GUARDED_BY(inbox_mu_);
+  /// Hint that the inbox may hold tasks, so the per-step drain_inbox()
+  /// is one atomic load instead of a mutex round-trip when no producer
+  /// is active (the overwhelmingly common case). Purely an
+  /// optimization: a post that races past the load is picked up at the
+  /// next step, exactly as if it had lost the lock race before.
+  std::atomic<bool> inbox_pending_{false};
 };
 
 }  // namespace harp::rt

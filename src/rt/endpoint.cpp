@@ -42,6 +42,16 @@ ReliableEndpoint::ReliableEndpoint(proto::HarpAgent& agent, Dispatcher& d,
   ch_.attach(agent_.id(), [this](const Packet& p) { on_packet(p); });
 }
 
+ReliableEndpoint::PeerTx& ReliableEndpoint::tx_for(NodeId peer) {
+  if (tx_.size() <= peer) tx_.resize(peer + 1);
+  return tx_[peer];
+}
+
+ReliableEndpoint::PeerRx& ReliableEndpoint::rx_for(NodeId peer) {
+  if (rx_.size() <= peer) rx_.resize(peer + 1);
+  return rx_[peer];
+}
+
 void ReliableEndpoint::send(proto::Message msg) {
   HARP_ASSERT(msg.src == agent_.id());
   if (!opt_.enabled) {
@@ -50,7 +60,7 @@ void ReliableEndpoint::send(proto::Message msg) {
     return;
   }
   const NodeId peer = msg.dst;
-  PeerTx& tx = tx_[peer];
+  PeerTx& tx = tx_for(peer);
   const std::uint32_t seq = tx.next_seq++;
   tx.attempts[seq] = 1;
   transmit(peer, seq, msg);
@@ -72,7 +82,7 @@ void ReliableEndpoint::arm(NodeId peer, PeerTx& tx) {
 }
 
 void ReliableEndpoint::on_timeout(NodeId peer) {
-  PeerTx& tx = tx_[peer];
+  PeerTx& tx = tx_for(peer);
   tx.timer_armed = false;
   if (tx.unacked.empty()) return;
   for (const auto& [seq, attempts] : tx.attempts) {
@@ -123,7 +133,7 @@ void ReliableEndpoint::give_up(NodeId /*peer*/, PeerTx& tx) {
 }
 
 void ReliableEndpoint::on_ack(NodeId peer, std::uint32_t seq) {
-  PeerTx& tx = tx_[peer];
+  PeerTx& tx = tx_for(peer);
   tx.unacked.erase(seq);
   tx.attempts.erase(seq);
   if (tx.unacked.empty() && tx.timer_armed) {
@@ -142,7 +152,7 @@ void ReliableEndpoint::on_data(const Packet& p) {
   arq_obs().acks->inc();
   ch_.send(Packet{Packet::Kind::kAck, agent_.id(), p.src, p.seq, {}});
 
-  PeerRx& rx = rx_[p.src];
+  PeerRx& rx = rx_for(p.src);
   if (p.seq < rx.expected ||
       (p.seq > rx.expected && rx.held.count(p.seq) > 0)) {
     arq_obs().dup_drops->inc();  // idempotent re-delivery
@@ -174,7 +184,7 @@ void ReliableEndpoint::on_packet(const Packet& p) {
 }
 
 bool ReliableEndpoint::quiescent() const {
-  for (const auto& [peer, tx] : tx_) {
+  for (const PeerTx& tx : tx_) {
     if (!tx.unacked.empty()) return false;
   }
   return true;

@@ -24,6 +24,7 @@
 
 #include <cstdint>
 #include <map>
+#include <vector>
 
 #include "common/types.hpp"
 #include "proto/agent.hpp"
@@ -83,12 +84,22 @@ class ReliableEndpoint : public proto::Transport {
   void on_ack(NodeId peer, std::uint32_t seq);
   void on_data(const Packet& p);
 
+  PeerTx& tx_for(NodeId peer);
+  PeerRx& rx_for(NodeId peer);
+
   proto::HarpAgent& agent_;
   Dispatcher& d_;
   Channel& ch_;
   ArqOptions opt_;
-  std::map<NodeId, PeerTx> tx_;
-  std::map<NodeId, PeerRx> rx_;
+  /// Per-peer streams, indexed by NodeId (grown lazily to the highest
+  /// peer this endpoint has exchanged with). A node only ever talks to
+  /// its parent and children, so direct indexing beats the old std::map
+  /// lookup on every ack/data hot-path hit; untouched slots are
+  /// default-initialized and indistinguishable from fresh streams. The
+  /// seq->payload maps inside stay ordered maps on purpose: retransmit
+  /// and release order must follow ascending seq.
+  std::vector<PeerTx> tx_;
+  std::vector<PeerRx> rx_;
   std::uint64_t retransmits_{0};
   std::uint64_t give_ups_{0};
 };

@@ -1,0 +1,13 @@
+#include "rt/task.hpp"
+
+#include "obs/obs.hpp"
+
+namespace harp::rt::detail {
+
+void note_task_alloc() {
+  static const obs::InstrumentId kTaskAllocs =
+      obs::intern_counter("harp.rt.task_allocs");
+  obs::MetricsRegistry::global().counter(kTaskAllocs).inc();
+}
+
+}  // namespace harp::rt::detail

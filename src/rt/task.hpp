@@ -1,0 +1,40 @@
+// boxed_task: the explicit escape hatch for callables too fat for an
+// InlineTask's 48-byte capture buffer.
+//
+// InlineFunction turns an oversized capture into a compile error on
+// purpose — the rt hot paths must never allocate silently. When cold
+// setup code genuinely needs a fat capture (test harness glue, one-off
+// configuration closures), it boxes the callable on the heap *visibly*:
+//
+//   d.post(rt::boxed_task([big = std::move(big_state)] { ... }));
+//
+// Every box bumps the `harp.rt.task_allocs` counter, and the
+// perf_rt_dispatch bench gate asserts that counter is exactly zero over
+// its steady-state rounds — so a fat capture sneaking onto a hot path
+// fails CI instead of silently costing a malloc per event
+// (docs/OBSERVABILITY.md, scripts/check_obs_schema.py).
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+#include "common/inline_task.hpp"
+
+namespace harp::rt {
+
+namespace detail {
+/// Bumps `harp.rt.task_allocs` in the calling thread's obs context.
+void note_task_alloc();
+}  // namespace detail
+
+/// Wraps `fn` in an InlineTask by moving it into a heap box (one
+/// allocation, counted in `harp.rt.task_allocs`). For cold paths only.
+template <typename F>
+InlineTask boxed_task(F&& fn) {
+  detail::note_task_alloc();
+  auto boxed = std::make_unique<std::decay_t<F>>(std::forward<F>(fn));
+  return InlineTask([owned = std::move(boxed)] { (*owned)(); });
+}
+
+}  // namespace harp::rt

@@ -13,7 +13,24 @@ TimerId TimerQueue::schedule(Tick deadline, Callback cb) {
   return id;
 }
 
-bool TimerQueue::cancel(TimerId id) { return live_.erase(id) > 0; }
+bool TimerQueue::cancel(TimerId id) {
+  if (live_.erase(id) == 0) return false;
+  // Keep lazy-cancel garbage bounded: once cancelled entries outnumber
+  // live ones, rebuild the heap from the live set. Amortized O(1) extra
+  // per cancel, and heap_size() stays <= 2 * live_size() + 1.
+  if (heap_.size() > 2 * live_.size()) compact();
+  return true;
+}
+
+void TimerQueue::compact() {
+  std::erase_if(heap_, [this](const Entry& e) {
+    return live_.find(e.id) == live_.end();
+  });
+  // make_heap reorders entries, but pop order only depends on the
+  // (deadline, id) comparator, which is a total order — firing sequence
+  // is unchanged.
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
 
 void TimerQueue::prune() {
   while (!heap_.empty() && live_.find(heap_.front().id) == live_.end()) {

@@ -1,15 +1,22 @@
-// TimerQueue: virtual-clock timers for the rt dispatcher.
+// TimerQueue: the reference timer implementation for the rt runtime.
 //
 // A binary min-heap of absolute deadlines (like protolib's ProtoTimer the
 // API is deadline-based, not interval-based) with lazy cancellation: a
 // cancelled timer's heap entry stays behind and is skipped when it
-// surfaces. Ties on the deadline fire in schedule order — TimerId is
-// monotonically increasing and breaks ties — which is one of the
-// determinism rules in docs/RUNTIME.md: same schedule/cancel sequence,
-// same firing sequence, on every platform.
+// surfaces, and the heap is compacted whenever cancelled entries come to
+// outnumber live ones so garbage stays bounded at <= 50% + 1. Ties on
+// the deadline fire in schedule order — TimerId is monotonically
+// increasing and breaks ties — which is one of the determinism rules in
+// docs/RUNTIME.md: same schedule/cancel sequence, same firing sequence,
+// on every platform.
 //
-// The queue knows nothing about time itself; the owning rt::Dispatcher
-// advances its virtual clock to `next_deadline()` and pops due callbacks.
+// The dispatcher's production timer is the O(1) TimerWheel
+// (rt/timer_wheel.hpp); this heap stays as the obviously-correct oracle
+// the wheel is differentially tested against (tests/timer_wheel_test.cpp)
+// and as the small-scale standalone queue.
+//
+// The queue knows nothing about time itself; the owner advances its
+// virtual clock to `next_deadline()` and pops due callbacks.
 #pragma once
 
 #include <cstddef>
@@ -41,8 +48,10 @@ class TimerQueue {
   TimerId schedule(Tick deadline, Callback cb);
 
   /// Disarms a live timer. Returns false when the id already fired, was
-  /// already cancelled, or never existed. O(log n) amortized: the heap
-  /// entry is abandoned and skipped later (lazy cancellation).
+  /// already cancelled, or never existed. Amortized O(log n): the heap
+  /// entry is abandoned and skipped later (lazy cancellation), and the
+  /// whole heap is rebuilt from the live set once cancelled entries
+  /// exceed half of it.
   bool cancel(TimerId id);
 
   /// Earliest live deadline, or kNeverTick when no timer is armed.
@@ -56,6 +65,14 @@ class TimerQueue {
   std::size_t size() const { return live_.size(); }
   bool empty() const { return live_.empty(); }
 
+  /// Same as size(): timers that will still fire. Paired with
+  /// heap_size() to make lazy-cancel garbage observable.
+  std::size_t live_size() const { return live_.size(); }
+
+  /// Heap entries including lazily-cancelled garbage. The compaction
+  /// rule keeps heap_size() <= 2 * live_size() + 1 between calls.
+  std::size_t heap_size() const { return heap_.size(); }
+
  private:
   struct Entry {
     Tick deadline;
@@ -64,6 +81,10 @@ class TimerQueue {
 
   /// Drops cancelled entries off the heap top.
   void prune();
+
+  /// Rebuilds the heap from live entries only (O(n)); called by cancel()
+  /// when cancelled garbage outnumbers live timers.
+  void compact();
 
   static bool later(const Entry& a, const Entry& b) {
     // std::push_heap builds a max-heap; "later" ordering turns it into a

@@ -1,0 +1,277 @@
+#include "rt/timer_wheel.hpp"
+
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace harp::rt {
+namespace {
+
+constexpr std::uint64_t kLowMask = (1ull << 6) - 1;
+
+/// Slab index encoded in a TimerId, or kNil for an id no schedule() ever
+/// returned (including the 0 that default-initialized handles carry).
+std::uint32_t id_index(TimerId id) {
+  const auto low = static_cast<std::uint32_t>(id & 0xffffffffull);
+  return low == 0 ? ~0u : low - 1;
+}
+
+std::uint32_t id_gen(TimerId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+
+}  // namespace
+
+TimerId TimerWheel::schedule(Tick deadline, Task cb) {
+  // The dispatcher clamps deadlines to its clock, which never trails the
+  // wheel's tick; clamp again here so the wheel is safe standalone — a
+  // past deadline means "due immediately", exactly as the heap treated
+  // deadlines below the last pop time.
+  if (deadline < cur_) deadline = cur_;
+  const std::uint32_t idx = acquire_node();
+  Node& n = slab_[idx];
+  n.cb = std::move(cb);
+  n.deadline = deadline;
+  n.seq = next_seq_++;
+  insert(idx);
+  ++live_;
+  if (earliest_valid_ && deadline < earliest_) earliest_ = deadline;
+  return (static_cast<TimerId>(n.gen) << 32) |
+         static_cast<TimerId>(idx + 1);
+}
+
+bool TimerWheel::cancel(TimerId id) {
+  const std::uint32_t idx = id_index(id);
+  if (idx >= slab_.size()) return false;
+  Node& n = slab_[idx];
+  if (n.bucket == kFreeBucket || n.gen != id_gen(id)) return false;
+  const Tick deadline = n.deadline;
+  unlink(idx);
+  release_node(idx);
+  --live_;
+  if (earliest_valid_ && deadline == earliest_) earliest_valid_ = false;
+  return true;
+}
+
+Tick TimerWheel::next_deadline() { return find_earliest(); }
+
+std::optional<TimerWheel::Task> TimerWheel::pop_due(Tick now) {
+  const Tick e = find_earliest();
+  if (e == kNeverTick || e > now) return std::nullopt;
+  // Every live deadline is >= e, so the wheel may advance to e; after
+  // the cascade the earliest nodes sit in level-0 bucket (e & 63) in
+  // seq order, head first.
+  advance_to(e);
+  const auto slot = static_cast<std::uint32_t>(e & kLowMask);
+  const std::uint32_t idx = heads_[slot];
+  HARP_ASSERT(idx != kNil);
+  Node& n = slab_[idx];
+  HARP_ASSERT(n.deadline == e);
+  Task cb = std::move(n.cb);
+  unlink(idx);
+  release_node(idx);
+  --live_;
+  // Remaining nodes in this bucket (if any) share deadline e, so the
+  // cached earliest stays exact; otherwise recompute lazily.
+  if (heads_[slot] == kNil) earliest_valid_ = false;
+  return cb;
+}
+
+std::uint32_t TimerWheel::acquire_node() {
+  if (free_head_ != kNil) {
+    const std::uint32_t idx = free_head_;
+    free_head_ = slab_[idx].next;
+    return idx;
+  }
+  const auto idx = static_cast<std::uint32_t>(slab_.size());
+  HARP_ASSERT(idx != ~0u);
+  slab_.emplace_back();
+  return idx;
+}
+
+void TimerWheel::release_node(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  n.cb.reset();  // drop captured state now, not at slot reuse
+  ++n.gen;       // outstanding handles to this slot go stale
+  n.bucket = kFreeBucket;
+  n.prev = kNil;
+  n.next = free_head_;
+  free_head_ = idx;
+}
+
+void TimerWheel::insert(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  const std::uint64_t diff = n.deadline ^ cur_;
+  if ((diff >> (kBits * kLevels)) != 0) {
+    link_front(kOverflowBucket, idx);
+    if (overflow_min_valid_ && n.deadline < overflow_min_) {
+      overflow_min_ = n.deadline;
+    }
+    return;
+  }
+  int level = 0;
+  if (diff != 0) {
+    level = (63 - std::countl_zero(diff)) / kBits;
+  }
+  const auto slot =
+      static_cast<std::uint32_t>((n.deadline >> (kBits * level)) & kLowMask);
+  if (level == 0) {
+    link_level0_sorted(slot, idx);
+  } else {
+    // Levels >= 1 hold a range of deadlines per bucket; order inside is
+    // irrelevant because the cascade re-sorts on its way to level 0.
+    link_front(static_cast<std::uint32_t>(level) * kSlots + slot, idx);
+  }
+  occupied_[level] |= 1ull << slot;
+}
+
+void TimerWheel::unlink(std::uint32_t idx) {
+  Node& n = slab_[idx];
+  const std::uint32_t b = n.bucket;
+  HARP_ASSERT(b != kFreeBucket);
+  if (n.prev != kNil) {
+    slab_[n.prev].next = n.next;
+  } else {
+    heads_[b] = n.next;
+  }
+  if (n.next != kNil) {
+    slab_[n.next].prev = n.prev;
+  } else {
+    tails_[b] = n.prev;
+  }
+  n.prev = kNil;
+  n.next = kNil;
+  n.bucket = kFreeBucket;
+  if (b == kOverflowBucket) {
+    if (overflow_min_valid_ && n.deadline == overflow_min_) {
+      overflow_min_valid_ = false;
+    }
+    return;
+  }
+  if (heads_[b] == kNil) {
+    occupied_[b >> kBits] &= ~(1ull << (b & kLowMask));
+  }
+}
+
+void TimerWheel::link_front(std::uint32_t bucket, std::uint32_t idx) {
+  Node& n = slab_[idx];
+  n.bucket = bucket;
+  n.prev = kNil;
+  n.next = heads_[bucket];
+  if (heads_[bucket] != kNil) {
+    slab_[heads_[bucket]].prev = idx;
+  } else {
+    tails_[bucket] = idx;
+  }
+  heads_[bucket] = idx;
+}
+
+void TimerWheel::link_level0_sorted(std::uint32_t slot, std::uint32_t idx) {
+  // Level-0 buckets fire head-to-tail, so they must be seq-ascending.
+  // Fresh schedules carry the max seq and append at the tail in O(1);
+  // only cascaded nodes (older seq landing among newer ones) walk.
+  Node& n = slab_[idx];
+  std::uint32_t after = tails_[slot];
+  while (after != kNil && slab_[after].seq > n.seq) {
+    after = slab_[after].prev;
+  }
+  n.bucket = slot;
+  n.prev = after;
+  if (after == kNil) {
+    n.next = heads_[slot];
+    heads_[slot] = idx;
+  } else {
+    n.next = slab_[after].next;
+    slab_[after].next = idx;
+  }
+  if (n.next != kNil) {
+    slab_[n.next].prev = idx;
+  } else {
+    tails_[slot] = idx;
+  }
+}
+
+void TimerWheel::reinsert_bucket(std::uint32_t bucket) {
+  std::uint32_t idx = heads_[bucket];
+  if (idx == kNil) return;
+  heads_[bucket] = kNil;
+  tails_[bucket] = kNil;
+  if (bucket != kOverflowBucket) {
+    occupied_[bucket >> kBits] &= ~(1ull << (bucket & kLowMask));
+  }
+  while (idx != kNil) {
+    const std::uint32_t next = slab_[idx].next;
+    slab_[idx].prev = kNil;
+    slab_[idx].next = kNil;
+    slab_[idx].bucket = kFreeBucket;
+    // insert() lands the node strictly below its old level (it shares
+    // the old level's digit with cur_ now), so the cascade terminates.
+    insert(idx);
+    idx = next;
+  }
+}
+
+Tick TimerWheel::find_earliest() {
+  if (live_ == 0) return kNeverTick;
+  if (earliest_valid_) return earliest_;
+  // Invariant: at every level the occupied slots sit at or after cur_'s
+  // digit for that level, and any level-k deadline is below any
+  // level-(k+1) deadline, which is below any overflow deadline. So the
+  // earliest deadline lives in the first occupied slot of the lowest
+  // non-empty level; level 0 needs no scan (one deadline per bucket).
+  for (int level = 0; level < kLevels; ++level) {
+    if (occupied_[level] == 0) continue;
+    const auto slot =
+        static_cast<std::uint32_t>(std::countr_zero(occupied_[level]));
+    if (level == 0) {
+      earliest_ = (cur_ & ~kLowMask) | slot;
+    } else {
+      Tick best = kNeverTick;
+      for (std::uint32_t idx =
+               heads_[static_cast<std::uint32_t>(level) * kSlots + slot];
+           idx != kNil; idx = slab_[idx].next) {
+        if (slab_[idx].deadline < best) best = slab_[idx].deadline;
+      }
+      earliest_ = best;
+    }
+    earliest_valid_ = true;
+    return earliest_;
+  }
+  if (!overflow_min_valid_) {
+    Tick best = kNeverTick;
+    for (std::uint32_t idx = heads_[kOverflowBucket]; idx != kNil;
+         idx = slab_[idx].next) {
+      if (slab_[idx].deadline < best) best = slab_[idx].deadline;
+    }
+    overflow_min_ = best;
+    overflow_min_valid_ = true;
+  }
+  earliest_ = overflow_min_;
+  earliest_valid_ = true;
+  return earliest_;
+}
+
+void TimerWheel::advance_to(Tick t) {
+  if (t <= cur_) return;
+  const bool new_epoch =
+      (t >> (kBits * kLevels)) != (cur_ >> (kBits * kLevels));
+  cur_ = t;
+  if (new_epoch) {
+    // The top-level window moved; overflow nodes may now be in range.
+    // Out-of-range ones simply re-land in the overflow list.
+    overflow_min_valid_ = false;
+    reinsert_bucket(kOverflowBucket);
+  }
+  // Cascade the one bucket per upper level that cur_ now points into.
+  // Any other non-empty bucket still classifies its nodes correctly
+  // (its digit differs from cur_'s at that level), and buckets at or
+  // below cur_ in a moved window would hold deadlines < t, which the
+  // precondition rules out.
+  for (int level = kLevels - 1; level >= 1; --level) {
+    const auto slot =
+        static_cast<std::uint32_t>((cur_ >> (kBits * level)) & kLowMask);
+    reinsert_bucket(static_cast<std::uint32_t>(level) * kSlots + slot);
+  }
+}
+
+}  // namespace harp::rt
